@@ -1,0 +1,170 @@
+(* Command-line interface for the HLS-versus-HC reproduction. *)
+
+open Cmdliner
+
+let tool_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "verilog" -> Ok Core.Design.Verilog
+    | "chisel" -> Ok Core.Design.Chisel
+    | "bsv" | "bsc" -> Ok Core.Design.Bsv
+    | "dslx" | "xls" -> Ok Core.Design.Dslx
+    | "maxj" | "maxcompiler" -> Ok Core.Design.Maxj
+    | "bambu" -> Ok Core.Design.Bambu
+    | "vhls" | "vivado-hls" | "vivado_hls" -> Ok Core.Design.Vivado_hls
+    | _ -> Error (`Msg (Printf.sprintf "unknown tool %S" s))
+  in
+  let print ppf t = Format.pp_print_string ppf (Core.Design.tool_name t) in
+  Arg.conv (parse, print)
+
+let tool_pos =
+  Arg.(required & pos 0 (some tool_conv) None & info [] ~docv:"TOOL")
+
+let opt_flag =
+  Arg.(value & flag & info [ "opt"; "optimized" ] ~doc:"Use the optimized design.")
+
+let pick_design tool optimized =
+  if optimized then Core.Registry.optimized tool else Core.Registry.initial tool
+
+let table1_cmd =
+  let run () = print_string (Core.Table1.render ()) in
+  Cmd.v (Cmd.info "table1" ~doc:"Print Table I (tools under evaluation).")
+    Term.(const run $ const ())
+
+let table2_cmd =
+  let run () = print_string (Core.Table2.render ()) in
+  Cmd.v
+    (Cmd.info "table2"
+       ~doc:"Measure every initial/optimized design and print Table II.")
+    Term.(const run $ const ())
+
+let fig1_cmd =
+  let tools =
+    Arg.(value & opt_all tool_conv [] & info [ "tool" ] ~docv:"TOOL"
+         ~doc:"Restrict to one tool (repeatable).")
+  in
+  let run tools =
+    let tools = match tools with [] -> None | ts -> Some ts in
+    print_string (Core.Fig1.render ?tools ())
+  in
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Run the DSE sweeps and print the Fig. 1 scatter.")
+    Term.(const run $ tools)
+
+let comply_cmd =
+  let blocks =
+    Arg.(value & opt int 500 & info [ "blocks" ] ~doc:"Blocks per condition (500 is about the statistical minimum).")
+  in
+  let run blocks =
+    List.iter
+      (fun tool ->
+        let d = Core.Registry.optimized tool in
+        let ok = Core.Evaluate.check_compliance ~blocks d in
+        Printf.printf "%-12s optimized: %s\n%!"
+          (Core.Design.tool_name tool)
+          (if ok then "IEEE 1180-1990 PASS" else "FAIL"))
+      Core.Design.all_tools
+  in
+  Cmd.v
+    (Cmd.info "comply"
+       ~doc:"IEEE 1180-1990 accuracy test of every optimized design.")
+    Term.(const run $ blocks)
+
+let emit_cmd =
+  let run tool optimized =
+    let d = pick_design tool optimized in
+    print_string d.Core.Design.listing;
+    print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Print a design's source listing.")
+    Term.(const run $ tool_pos $ opt_flag)
+
+let verilog_cmd =
+  let run tool optimized =
+    let d = pick_design tool optimized in
+    match d.Core.Design.impl with
+    | Core.Design.Stream c -> print_string (Hw.Verilog.emit (Lazy.force c))
+    | Core.Design.Pcie s ->
+        print_string (Hw.Verilog.emit (Lazy.force s).Maxj.Manager.kernel)
+  in
+  Cmd.v
+    (Cmd.info "verilog"
+       ~doc:"Emit the synthesized design as structural Verilog.")
+    Term.(const run $ tool_pos $ opt_flag)
+
+let sim_cmd =
+  let run tool optimized =
+    let d = pick_design tool optimized in
+    let m = Core.Evaluate.measure d in
+    Format.printf "%s %s (%s)@.  %a@.  Q = %.0f OPS/(LUT+FF)@."
+      (Core.Design.tool_name tool) d.Core.Design.label
+      d.Core.Design.config_desc Core.Metrics.pp_measured m
+      (Core.Metrics.quality m)
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Simulate and synthesize one design; print metrics.")
+    Term.(const run $ tool_pos $ opt_flag)
+
+let waves_cmd =
+  let out =
+    Arg.(value & opt string "waves.vcd" & info [ "o"; "output" ] ~doc:"Output VCD file.")
+  in
+  let cycles =
+    Arg.(value & opt int 64 & info [ "cycles" ] ~doc:"Cycles to record.")
+  in
+  let run tool optimized out cycles =
+    let d = pick_design tool optimized in
+    match d.Core.Design.impl with
+    | Core.Design.Pcie _ -> prerr_endline "MaxJ kernels: use the stream simulators"
+    | Core.Design.Stream c ->
+        let circuit = Lazy.force c in
+        let sim = Hw.Sim.create circuit in
+        Hw.Sim.reset sim;
+        (* drive one matrix so the trace shows real activity *)
+        let rng = Idct.Block.Rand.create () in
+        let m = Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255) in
+        let w = Hw.Waves.create sim in
+        Hw.Sim.set sim Axis.Stream.m_ready 1;
+        for cyc = 0 to cycles - 1 do
+          let beat = cyc mod 8 in
+          Hw.Sim.set sim Axis.Stream.s_valid 1;
+          Hw.Sim.set sim Axis.Stream.s_last (if beat = 7 then 1 else 0);
+          for l = 0 to 7 do
+            Hw.Sim.set sim (Axis.Stream.s_data l)
+              (Idct.Block.get m ~row:beat ~col:l)
+          done;
+          Hw.Waves.step w
+        done;
+        Hw.Waves.save w out;
+        Printf.printf "wrote %d cycles of %s to %s\n" cycles
+          circuit.Hw.Netlist.circuit_name out
+  in
+  Cmd.v
+    (Cmd.info "waves" ~doc:"Record a VCD waveform of a design under stream traffic.")
+    Term.(const run $ tool_pos $ opt_flag $ out $ cycles)
+
+let sweep_cmd =
+  let run tool =
+    List.iter
+      (fun d ->
+        let m = Core.Evaluate.measure ~matrices:3 d in
+        Printf.printf "%-34s A=%7d  P=%8.2f MOPS  f=%7.2f MHz\n%!"
+          d.Core.Design.label m.Core.Metrics.area
+          m.Core.Metrics.throughput_mops m.Core.Metrics.fmax_mhz)
+      (Core.Registry.sweep tool)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Measure every configuration of one tool.")
+    Term.(const run $ tool_pos)
+
+let main =
+  Cmd.group
+    (Cmd.info "hlsvhc" ~version:"1.0"
+       ~doc:
+         "Reproduction of 'High-Level Synthesis versus Hardware \
+          Construction' (DATE 2023).")
+    [ table1_cmd; table2_cmd; fig1_cmd; comply_cmd; emit_cmd; verilog_cmd;
+      sim_cmd; sweep_cmd; waves_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/compliance.ml: Axis Chls Core Format Idct Lazy List Printf String

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Axis Chls Format Hw Idct List

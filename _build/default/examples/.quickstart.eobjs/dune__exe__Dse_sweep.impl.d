@@ -1,0 +1,1 @@
+examples/dse_sweep.ml: Axis Dslx Format Hw Idct List Printf

@@ -1,0 +1,1 @@
+examples/dse_sweep.mli:

@@ -1,0 +1,1 @@
+examples/jpeg_decode.ml: Array Axis Core Idct Lazy List Printf

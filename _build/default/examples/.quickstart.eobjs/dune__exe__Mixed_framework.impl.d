@@ -1,0 +1,1 @@
+examples/mixed_framework.ml: Axis Chisel Chls Format Hw Idct List Printf

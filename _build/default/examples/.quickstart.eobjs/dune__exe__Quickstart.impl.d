@@ -1,0 +1,1 @@
+examples/quickstart.ml: Axis Core Format Hw Idct Lazy List String

@@ -1,0 +1,1 @@
+lib/axis/adapter.ml: Array Builder Hw List Option Printf Stream

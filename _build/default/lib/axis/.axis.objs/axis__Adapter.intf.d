@@ -1,0 +1,1 @@
+lib/axis/adapter.mli: Hw

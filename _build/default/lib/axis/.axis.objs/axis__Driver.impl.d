@@ -1,0 +1,1 @@
+lib/axis/driver.ml: Array Hw Idct List Monitor Netlist Option Printf Sim Stream

@@ -1,0 +1,1 @@
+lib/axis/driver.mli: Hw Idct Monitor

@@ -1,0 +1,1 @@
+lib/axis/monitor.ml: Format List Printf Stream

@@ -1,0 +1,1 @@
+lib/axis/monitor.mli: Format

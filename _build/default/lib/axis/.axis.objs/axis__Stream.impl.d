@@ -1,0 +1,1 @@
+lib/axis/stream.ml: Array Builder Fun Hw List Printf

@@ -1,0 +1,1 @@
+lib/axis/stream.mli: Hw

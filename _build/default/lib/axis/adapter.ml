@@ -1,0 +1,251 @@
+open Hw
+
+type lane_fn = Builder.t -> Builder.s array -> Builder.s array
+
+let lanes = Stream.lanes
+let n2 = lanes * lanes
+
+(* 3-bit counter with enable; returns (value, at_max). *)
+let beat_counter b name en =
+  let cnt = Builder.reg b ~enable:en ~width:3 name in
+  Builder.connect b cnt (Builder.add b cnt (Builder.const b ~width:3 1));
+  (cnt, Builder.eq b cnt (Builder.const b ~width:3 7))
+
+(* Note on streaming contract: these adapters run the input deserializer,
+   kernel hand-off and output serializer in lockstep frames, so a source
+   must not insert gaps *within* a matrix (gaps between matrices and
+   arbitrary m_ready back-pressure are fine).  The paper's sequential
+   adapters share this property, as does Axis.Driver. *)
+
+let wrap_matrix_kernel ~name ?beat_map ?mid_width ~latency ~kernel () =
+  let b = Builder.create name in
+  let p = Stream.declare_inputs b in
+  let mid_width = Option.value mid_width ~default:Stream.in_width in
+  let beat =
+    match beat_map with
+    | None -> p.Stream.s_data
+    | Some f -> f b p.Stream.s_data
+  in
+  Array.iter
+    (fun s ->
+      if Builder.width s <> mid_width then
+        failwith "wrap_matrix_kernel: beat_map width disagrees with mid_width")
+    beat;
+
+  (* Occupancy: [occ] counts matrices that have been handed to the kernel
+     and not yet fully drained; two output banks bound it by 2.  [pending]
+     counts full output banks awaiting drain. *)
+  let occ = Builder.reg b ~width:2 "occ" in
+  let pending = Builder.reg b ~width:2 "pending" in
+  let credits_ok =
+    Builder.lt b ~signed:false occ (Builder.const b ~width:2 2)
+  in
+
+  (* --- input side ------------------------------------------------------ *)
+  let full = Builder.reg b ~width:1 "full" in
+  let present = Builder.and_ b full credits_ok in
+  (* A new beat may land in the row the kernel is consuming this very
+     cycle: registers capture pre-edge values, so accepting input during
+     [present] is safe and keeps the periodicity at eight. *)
+  let s_ready = Builder.or_ b (Builder.not_ b full) present in
+  let in_fire = Builder.and_ b p.Stream.s_valid s_ready in
+  let in_cnt, in_last = beat_counter b "in_cnt" in_fire in
+  let last_beat = Builder.and_ b in_fire in_last in
+  Builder.connect b full
+    (Builder.mux b last_beat (Builder.one b 1)
+       (Builder.mux b present (Builder.zero b 1) full));
+  let mid =
+    Array.init n2 (fun i ->
+        let r = i / lanes and c = i mod lanes in
+        let en =
+          Builder.and_ b in_fire
+            (Builder.eq b in_cnt (Builder.const b ~width:3 r))
+        in
+        let q =
+          Builder.reg b ~enable:en ~width:mid_width
+            (Printf.sprintf "inb_%d_%d" r c)
+        in
+        Builder.connect b q beat.(c);
+        q)
+  in
+
+  (* --- kernel ----------------------------------------------------------- *)
+  let result = kernel b mid in
+  if Array.length result <> n2 then
+    failwith "wrap_matrix_kernel: kernel must return 64 values";
+  Array.iter
+    (fun s ->
+      if Builder.width s <> Stream.out_width then
+        failwith "wrap_matrix_kernel: kernel outputs must be 9 bits wide")
+    result;
+  let rec delay_valid v k =
+    if k = 0 then v
+    else
+      delay_valid (Builder.reg_next b ~name:(Printf.sprintf "vpipe%d" k) v) (k - 1)
+  in
+  let out_valid = delay_valid present latency in
+
+  (* --- output banks (ping-pong) ----------------------------------------- *)
+  let wr_bank = Builder.reg b ~enable:out_valid ~width:1 "wr_bank" in
+  Builder.connect b wr_bank (Builder.not_ b wr_bank);
+  let bank_regs sel_bit =
+    Array.init n2 (fun i ->
+        let en =
+          Builder.and_ b out_valid
+            (Builder.eq b wr_bank (Builder.const b ~width:1 sel_bit))
+        in
+        let q =
+          Builder.reg b ~enable:en ~width:Stream.out_width
+            (Printf.sprintf "outb%d_%d" sel_bit i)
+        in
+        Builder.connect b q result.(i);
+        q)
+  in
+  let bank0 = bank_regs 0 and bank1 = bank_regs 1 in
+
+  (* --- drain ------------------------------------------------------------ *)
+  let m_valid =
+    Builder.gt b ~signed:false pending (Builder.const b ~width:2 0)
+  in
+  let m_fire = Builder.and_ b m_valid p.Stream.m_ready in
+  let out_cnt, out_last = beat_counter b "out_cnt" m_fire in
+  let drain_done = Builder.and_ b m_fire out_last in
+  let rd_bank = Builder.reg b ~enable:drain_done ~width:1 "rd_bank" in
+  Builder.connect b rd_bank (Builder.not_ b rd_bank);
+  let m_data =
+    Array.init lanes (fun c ->
+        let pick bank =
+          Builder.mux_list b out_cnt
+            (List.init lanes (fun r -> bank.((r * lanes) + c)))
+        in
+        Builder.mux b rd_bank (pick bank1) (pick bank0))
+  in
+
+  let counter_update q ~inc ~dec =
+    let one2 = Builder.const b ~width:2 1 in
+    Builder.connect b q
+      (Builder.mux b
+         (Builder.and_ b inc (Builder.not_ b dec))
+         (Builder.add b q one2)
+         (Builder.mux b
+            (Builder.and_ b dec (Builder.not_ b inc))
+            (Builder.sub b q one2)
+            q))
+  in
+  counter_update occ ~inc:present ~dec:drain_done;
+  counter_update pending ~inc:out_valid ~dec:drain_done;
+
+  Stream.expose_outputs b ~s_ready ~m_valid
+    ~m_last:(Builder.and_ b m_valid out_last)
+    ~m_data;
+  Builder.finalize b
+
+let wrap_row_col ~name ~row_unit ~mid_width ~col_unit () =
+  let b = Builder.create name in
+  let p = Stream.declare_inputs b in
+  let c3 v = Builder.const b ~width:3 v in
+
+  (* Frame control: stage A collects (one row pass per beat), stage B runs
+     one column pass per cycle, stage C drains one row per beat; the three
+     stages advance in lockstep on [go], over ping-pong buffers. *)
+  let cnt = Builder.reg b ~width:3 "cnt" in
+  let at0 = Builder.eq b cnt (c3 0) in
+  let at7 = Builder.eq b cnt (c3 7) in
+  let a_live = Builder.reg b ~width:1 "a_live" in
+  let b_live = Builder.reg b ~width:1 "b_live" in
+  let c_live = Builder.reg b ~width:1 "c_live" in
+  let collecting = Builder.mux b at0 p.Stream.s_valid a_live in
+  let in_ok = Builder.or_ b (Builder.not_ b collecting) p.Stream.s_valid in
+  let out_ok = Builder.or_ b (Builder.not_ b c_live) p.Stream.m_ready in
+  let any_work =
+    Builder.or_ b p.Stream.s_valid
+      (Builder.or_ b a_live (Builder.or_ b b_live c_live))
+  in
+  let go = Builder.and_ b (Builder.and_ b in_ok out_ok) any_work in
+  Builder.connect b cnt (Builder.mux b go (Builder.add b cnt (c3 1)) cnt);
+  let frame_end = Builder.and_ b go at7 in
+  Builder.connect b a_live
+    (Builder.mux b
+       (Builder.and_ b go at0)
+       p.Stream.s_valid
+       (Builder.mux b frame_end (Builder.zero b 1) a_live));
+  Builder.connect b b_live (Builder.mux b frame_end collecting b_live);
+  Builder.connect b c_live (Builder.mux b frame_end b_live c_live);
+  let bank = Builder.reg b ~enable:frame_end ~width:1 "bank" in
+  Builder.connect b bank (Builder.not_ b bank);
+
+  let s_ready = Builder.and_ b collecting go in
+  let in_fire = Builder.and_ b p.Stream.s_valid s_ready in
+
+  (* Stage A: row pass on the incoming beat, into mid[bank]. *)
+  let row_res = row_unit b p.Stream.s_data in
+  Array.iter
+    (fun s ->
+      if Builder.width s <> mid_width then
+        failwith "wrap_row_col: row_unit width disagrees with mid_width")
+    row_res;
+  let mid_bank sel_bit =
+    Array.init n2 (fun i ->
+        let r = i / lanes and c = i mod lanes in
+        let en =
+          Builder.and_ b in_fire
+            (Builder.and_ b
+               (Builder.eq b cnt (c3 r))
+               (Builder.eq b bank (Builder.const b ~width:1 sel_bit)))
+        in
+        let q =
+          Builder.reg b ~enable:en ~width:mid_width
+            (Printf.sprintf "mid%d_%d_%d" sel_bit r c)
+        in
+        Builder.connect b q row_res.(c);
+        q)
+  in
+  let mid0 = mid_bank 0 and mid1 = mid_bank 1 in
+
+  (* Stage B: column [cnt] of the bank stage A filled last frame. *)
+  let mid_col =
+    Array.init lanes (fun r ->
+        let pick bankregs =
+          Builder.mux_list b cnt
+            (List.init lanes (fun c -> bankregs.((r * lanes) + c)))
+        in
+        Builder.mux b bank (pick mid0) (pick mid1))
+  in
+  let col_res = col_unit b mid_col in
+  Array.iter
+    (fun s ->
+      if Builder.width s <> Stream.out_width then
+        failwith "wrap_row_col: col_unit outputs must be 9 bits wide")
+    col_res;
+  let out_bank sel_bit =
+    Array.init n2 (fun i ->
+        let r = i / lanes and c = i mod lanes in
+        let en =
+          Builder.and_ b (Builder.and_ b b_live go)
+            (Builder.and_ b
+               (Builder.eq b cnt (c3 c))
+               (Builder.eq b bank (Builder.const b ~width:1 sel_bit)))
+        in
+        let q =
+          Builder.reg b ~enable:en ~width:Stream.out_width
+            (Printf.sprintf "out%d_%d_%d" sel_bit r c)
+        in
+        Builder.connect b q col_res.(r);
+        q)
+  in
+  let out0 = out_bank 0 and out1 = out_bank 1 in
+
+  (* Stage C: drain row [cnt] of the bank stage B filled last frame. *)
+  let m_data =
+    Array.init lanes (fun c ->
+        let pick bankregs =
+          Builder.mux_list b cnt
+            (List.init lanes (fun r -> bankregs.((r * lanes) + c)))
+        in
+        Builder.mux b bank (pick out0) (pick out1))
+  in
+  let m_valid = Builder.and_ b c_live in_ok in
+  Stream.expose_outputs b ~s_ready ~m_valid
+    ~m_last:(Builder.and_ b m_valid at7)
+    ~m_data;
+  Builder.finalize b

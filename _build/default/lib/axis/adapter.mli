@@ -1,0 +1,50 @@
+(** Row-by-row AXI-Stream interface adapters.
+
+    These generators wrap a computational kernel built with {!Hw.Builder}
+    into a circuit obeying the {!Stream} port convention.  They reproduce
+    the interface discipline of the paper: matrices enter and leave one
+    8-element row per beat, so a matrix transfer occupies eight beats and
+    the adapter — not the kernel — bounds the throughput at one operation
+    per eight cycles.
+
+    All wrappers tolerate arbitrary [s_valid]/[m_ready] patterns; at full
+    throughput they sustain a periodicity of eight cycles. *)
+
+type lane_fn = Hw.Builder.t -> Hw.Builder.s array -> Hw.Builder.s array
+(** Combinational transform over an array of signals (built into the same
+    circuit). *)
+
+val wrap_matrix_kernel :
+  name:string ->
+  ?beat_map:lane_fn ->
+  ?mid_width:int ->
+  latency:int ->
+  kernel:lane_fn ->
+  unit ->
+  Hw.Netlist.t
+(** [wrap_matrix_kernel ~name ~latency ~kernel ()] builds:
+
+    deserializer (8 beats) -> [kernel] (64 values in, 64 out) -> serializer.
+
+    [kernel] receives 64 signals in row-major order and must return 64
+    signals of width {!Stream.out_width}; it may create internal pipeline
+    registers, in which case [latency] is the number of cycles from input
+    presentation to output validity (0 for a purely combinational kernel;
+    initiation interval must be 1).
+
+    [beat_map] (default identity) is applied combinationally to each
+    arriving beat before storage — this is how the single-row-unit designs
+    compute the row pass on the fly; [mid_width] is the width of its
+    results (default {!Stream.in_width}). *)
+
+val wrap_row_col :
+  name:string ->
+  row_unit:lane_fn ->
+  mid_width:int ->
+  col_unit:lane_fn ->
+  unit ->
+  Hw.Netlist.t
+(** The fully-sequential organization (the paper's optimized RTL design):
+    one row unit applied per arriving beat, one column unit applied per
+    cycle over a ping-pong transpose buffer, one output row per beat.
+    Three overlapped 8-cycle phases; latency 24, periodicity 8. *)

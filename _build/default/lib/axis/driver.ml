@@ -1,0 +1,115 @@
+open Hw
+
+type result = {
+  outputs : Idct.Block.t list;
+  latency : int;
+  periodicity : int;
+  cycles : int;
+  violations : Monitor.violation list;
+}
+
+let sign_extend w v =
+  if v land (1 lsl (w - 1)) <> 0 then v - (1 lsl w) else v
+
+let run ?(input_gap = 0) ?(ready_pattern = fun _ -> true) ?timeout circuit
+    matrices =
+  if not (Stream.is_wrapped circuit) then
+    failwith "Driver.run: circuit does not follow the AXI-Stream convention";
+  let n_mat = List.length matrices in
+  let timeout =
+    Option.value timeout ~default:((200 * n_mat) + 2000 + (input_gap * n_mat))
+  in
+  let sim = Sim.create circuit in
+  Sim.reset sim;
+  let inputs = Array.of_list matrices in
+  let lanes = Stream.lanes in
+  (* Input source state. *)
+  let mat_idx = ref 0 and beat_idx = ref 0 and gap_left = ref 0 in
+  (* Output collection state. *)
+  let collected = ref [] in
+  let current_rows = ref [] in
+  let first_in_cycle = Array.make n_mat (-1) in
+  let last_out_cycle = Array.make n_mat (-1) in
+  let out_mat = ref 0 in
+  let trace = ref [] in
+  let cycle = ref 0 in
+  while !out_mat < n_mat && !cycle < timeout do
+    (* Drive inputs for this cycle. *)
+    let driving = !mat_idx < n_mat && !gap_left = 0 in
+    Sim.set sim Stream.s_valid (if driving then 1 else 0);
+    Sim.set sim Stream.s_last (if driving && !beat_idx = lanes - 1 then 1 else 0);
+    for c = 0 to lanes - 1 do
+      let v =
+        if driving then
+          Idct.Block.get inputs.(!mat_idx) ~row:!beat_idx ~col:c
+        else 0
+      in
+      Sim.set sim (Stream.s_data c) v
+    done;
+    let ready = ready_pattern !cycle in
+    Sim.set sim Stream.m_ready (if ready then 1 else 0);
+    (* Observe handshakes. *)
+    let s_ready = Sim.get sim Stream.s_ready = 1 in
+    let m_valid = Sim.get sim Stream.m_valid = 1 in
+    let m_last = Sim.get sim Stream.m_last = 1 in
+    let data =
+      Array.init lanes (fun c ->
+          sign_extend Stream.out_width (Sim.get sim (Stream.m_data c)))
+    in
+    trace :=
+      {
+        Monitor.cycle = !cycle;
+        valid = m_valid;
+        ready;
+        last = m_last;
+        data;
+      }
+      :: !trace;
+    if driving && s_ready then begin
+      if !beat_idx = 0 then first_in_cycle.(!mat_idx) <- !cycle;
+      incr beat_idx;
+      if !beat_idx = lanes then begin
+        beat_idx := 0;
+        incr mat_idx;
+        gap_left := input_gap
+      end
+    end
+    else if (not driving) && !gap_left > 0 then decr gap_left;
+    if m_valid && ready then begin
+      current_rows := Array.copy data :: !current_rows;
+      if List.length !current_rows = lanes then begin
+        let rows = Array.of_list (List.rev !current_rows) in
+        collected := Idct.Block.of_rows rows :: !collected;
+        if !out_mat < n_mat then last_out_cycle.(!out_mat) <- !cycle;
+        incr out_mat;
+        current_rows := []
+      end
+    end;
+    Sim.step sim;
+    incr cycle
+  done;
+  if !out_mat < n_mat then
+    failwith
+      (Printf.sprintf "Driver.run(%s): timeout after %d cycles (%d/%d matrices)"
+         circuit.Netlist.circuit_name !cycle !out_mat n_mat);
+  let latency =
+    let last = n_mat - 1 in
+    last_out_cycle.(last) - first_in_cycle.(last) + 1
+  in
+  let periodicity =
+    if n_mat >= 2 then
+      first_in_cycle.(n_mat - 1) - first_in_cycle.(n_mat - 2)
+    else latency
+  in
+  {
+    outputs = List.rev !collected;
+    latency;
+    periodicity;
+    cycles = !cycle;
+    violations = Monitor.check (List.rev !trace);
+  }
+
+let transform circuit matrix =
+  match (run circuit [ matrix ]).outputs with
+  | [ out ] -> out
+  | _ -> assert false

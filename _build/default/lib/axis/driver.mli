@@ -1,0 +1,35 @@
+(** Simulation testbench for wrapped designs.
+
+    Streams coefficient matrices into a circuit that follows the {!Stream}
+    port convention, collects the resulting sample matrices, measures
+    latency and periodicity, and runs the protocol {!Monitor} on the output
+    side.
+
+    Beats within one matrix are issued back to back (the adapters'
+    streaming contract); [input_gap] idle cycles may be inserted between
+    matrices, and [ready_pattern] can exercise back-pressure. *)
+
+type result = {
+  outputs : Idct.Block.t list;
+  latency : int;
+      (** steady-state cycles from a matrix's first input beat to its last
+          output beat (measured on the final matrix) *)
+  periodicity : int;
+      (** steady-state distance in cycles between consecutive matrices'
+          first input beats *)
+  cycles : int;              (** total simulated cycles *)
+  violations : Monitor.violation list;
+}
+
+val run :
+  ?input_gap:int ->
+  ?ready_pattern:(int -> bool) ->
+  ?timeout:int ->
+  Hw.Netlist.t ->
+  Idct.Block.t list ->
+  result
+(** @raise Failure if the circuit lacks the port convention or the
+    simulation exceeds [timeout] cycles (default 200 per matrix + 2000). *)
+
+val transform : Hw.Netlist.t -> Idct.Block.t -> Idct.Block.t
+(** Convenience: push one matrix through and return the result. *)

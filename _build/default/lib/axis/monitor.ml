@@ -1,0 +1,49 @@
+type sample = {
+  cycle : int;
+  valid : bool;
+  ready : bool;
+  last : bool;
+  data : int array;
+}
+
+type violation = { at_cycle : int; rule : string }
+
+let check samples =
+  let violations = ref [] in
+  let report cycle rule = violations := { at_cycle = cycle; rule } :: !violations in
+  let beats = ref 0 in
+  let rec scan pending_stall = function
+    | [] -> ()
+    | s :: rest ->
+        (match pending_stall with
+        | Some (stalled : sample) ->
+            if not s.valid then
+              report s.cycle "m_valid deasserted while a beat was stalled"
+            else begin
+              if s.data <> stalled.data then
+                report s.cycle "m_data changed while a beat was stalled";
+              if s.last <> stalled.last then
+                report s.cycle "m_last changed while a beat was stalled"
+            end
+        | None -> ());
+        if s.last && not s.valid then
+          report s.cycle "m_last asserted without m_valid";
+        if s.valid && s.ready then begin
+          incr beats;
+          let should_last = !beats mod Stream.lanes = 0 in
+          if s.last && not should_last then
+            report s.cycle
+              (Printf.sprintf "m_last on beat %d (expected every %dth)" !beats
+                 Stream.lanes);
+          if should_last && not s.last then
+            report s.cycle
+              (Printf.sprintf "missing m_last on beat %d" !beats)
+        end;
+        let stall = if s.valid && not s.ready then Some s else None in
+        scan stall rest
+  in
+  scan None samples;
+  List.rev !violations
+
+let pp_violation ppf v =
+  Format.fprintf ppf "cycle %d: %s" v.at_cycle v.rule

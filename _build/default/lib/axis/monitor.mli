@@ -1,0 +1,26 @@
+(** AXI-Stream protocol monitor.
+
+    Checks a per-cycle trace of the master-side handshake against the
+    protocol rules the paper's IP-library setting relies on:
+
+    - stability: once [m_valid] is asserted with [m_ready] low, [m_valid],
+      every data lane and [m_last] must hold unchanged until the beat is
+      accepted;
+    - framing: [m_last] must be asserted on exactly every eighth accepted
+      beat;
+    - no spurious last: [m_last] only with [m_valid]. *)
+
+type sample = {
+  cycle : int;
+  valid : bool;
+  ready : bool;
+  last : bool;
+  data : int array;
+}
+
+type violation = { at_cycle : int; rule : string }
+
+val check : sample list -> violation list
+(** Samples must be in increasing cycle order. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,1 @@
+lib/bsv/compile.ml: Array Builder Hashtbl Hw Lang List Netlist Options Sched

@@ -1,0 +1,1 @@
+lib/bsv/compile.mli: Hw Lang Options Sched

@@ -1,0 +1,1 @@
+lib/bsv/emit.ml: Buffer Hw Lang List Printf String

@@ -1,0 +1,1 @@
+lib/bsv/emit.mli: Lang

@@ -1,0 +1,1 @@
+lib/bsv/idct_bsv.ml: Array Axis Compile Hw Idct Lang List Printf

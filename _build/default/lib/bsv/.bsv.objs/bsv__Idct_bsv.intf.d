@@ -1,0 +1,1 @@
+lib/bsv/idct_bsv.mli: Hw Lang Options

@@ -1,0 +1,1 @@
+lib/bsv/lang.ml: Hashtbl Hw Int List Printf

@@ -1,0 +1,1 @@
+lib/bsv/options.ml: List Printf

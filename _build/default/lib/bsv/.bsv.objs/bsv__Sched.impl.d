@@ -1,0 +1,1 @@
+lib/bsv/sched.ml: Array Hw Lang List Options

@@ -1,0 +1,1 @@
+lib/bsv/sched.mli: Lang Options

@@ -1,0 +1,1 @@
+lib/bsv/semantics.ml: Array Bits Hw Lang List Netlist Printf Sched

@@ -1,0 +1,1 @@
+lib/bsv/semantics.mli: Hw Lang Sched

@@ -1,0 +1,17 @@
+(** Compilation of rule modules to {!Hw.Netlist} circuits.
+
+    For each rule the compiler materializes
+
+    - [CAN_FIRE]  — the guard (with action conditions folded in under
+      [-aggressive-conditions]);
+    - [WILL_FIRE] — [CAN_FIRE] minus every higher-urgency conflicting rule
+      that fires;
+
+    and for each register a write network selecting among the firing
+    writers (priority chain or one-hot, per {!Options.mux_style}).
+    Module inputs/outputs become circuit ports. *)
+
+val compile : ?options:Options.t -> Lang.modul -> Hw.Netlist.t
+
+val compile_with_schedule :
+  ?options:Options.t -> Lang.modul -> Hw.Netlist.t * Sched.t

@@ -1,0 +1,86 @@
+let binop_sym (op : Hw.Netlist.binop) =
+  match op with
+  | Hw.Netlist.Add -> "+"
+  | Hw.Netlist.Sub -> "-"
+  | Hw.Netlist.Mul -> "*"
+  | Hw.Netlist.And -> "&"
+  | Hw.Netlist.Or -> "|"
+  | Hw.Netlist.Xor -> "^"
+  | Hw.Netlist.Shl -> "<<"
+  | Hw.Netlist.Shr -> ">>"
+  | Hw.Netlist.Sra -> ">>>"
+  | Hw.Netlist.Eq -> "=="
+  | Hw.Netlist.Ne -> "!="
+  | Hw.Netlist.Lt _ -> "<"
+  | Hw.Netlist.Le _ -> "<="
+
+let rec expr_to_string (e : Lang.expr) =
+  match e with
+  | Lang.Const k ->
+      Printf.sprintf "%d'd%d" (Hw.Bits.width k) (Hw.Bits.to_int k)
+  | Lang.Read r -> r.Lang.rname
+  | Lang.In (name, _) -> name
+  | Lang.Unop (Hw.Netlist.Not, x) -> Printf.sprintf "~%s" (atom x)
+  | Lang.Unop (Hw.Netlist.Neg, x) -> Printf.sprintf "-%s" (atom x)
+  | Lang.Binop (op, x, y) ->
+      Printf.sprintf "%s %s %s" (atom x) (binop_sym op) (atom y)
+  | Lang.Mux (s, x, y) ->
+      Printf.sprintf "%s ? %s : %s" (atom s) (atom x) (atom y)
+  | Lang.Slice (x, hi, lo) -> Printf.sprintf "%s[%d:%d]" (atom x) hi lo
+  | Lang.Uext (x, w) -> Printf.sprintf "zeroExtend%d(%s)" w (expr_to_string x)
+  | Lang.Sext (x, w) -> Printf.sprintf "signExtend%d(%s)" w (expr_to_string x)
+
+and atom e =
+  match e with
+  | Lang.Const _ | Lang.Read _ | Lang.In _ | Lang.Slice _ | Lang.Uext _
+  | Lang.Sext _ ->
+      expr_to_string e
+  | Lang.Unop _ | Lang.Binop _ | Lang.Mux _ ->
+      "(" ^ expr_to_string e ^ ")"
+
+let emit (m : Lang.modul) =
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "interface %s_Ifc;\n" (String.capitalize_ascii m.Lang.mod_name);
+  List.iter
+    (fun (nm, w) -> pr "  method Action %s(Bit#(%d) x);\n" nm w)
+    m.Lang.inputs;
+  List.iter
+    (fun (nm, e) ->
+      pr "  method Bit#(%d) %s();\n" (Lang.infer_width e) nm)
+    m.Lang.outputs;
+  pr "endinterface\n";
+  pr "\n";
+  pr "module mk%s (%s_Ifc);\n"
+    (String.capitalize_ascii m.Lang.mod_name)
+    (String.capitalize_ascii m.Lang.mod_name);
+  List.iter
+    (fun (r : Lang.reg) ->
+      pr "  Reg#(Bit#(%d)) %s <- mkReg(%d);\n" r.Lang.rwidth r.Lang.rname
+        r.Lang.rinit)
+    m.Lang.regs;
+  List.iter
+    (fun (ru : Lang.rule) ->
+      pr "\n";
+      pr "  rule %s (%s);\n" ru.Lang.rule_name (expr_to_string ru.Lang.guard);
+      List.iter
+        (fun (a : Lang.action) ->
+          match a.Lang.when_ with
+          | None ->
+              pr "    %s <= %s;\n" a.Lang.target.Lang.rname
+                (expr_to_string a.Lang.value)
+          | Some w ->
+              pr "    if (%s) %s <= %s;\n" (expr_to_string w)
+                a.Lang.target.Lang.rname
+                (expr_to_string a.Lang.value))
+        ru.Lang.actions;
+      pr "  endrule\n")
+    m.Lang.rules;
+  List.iter
+    (fun (nm, e) ->
+      pr "\n  method Bit#(%d) %s();\n" (Lang.infer_width e) nm;
+      pr "    return %s;\n" (expr_to_string e);
+      pr "  endmethod\n")
+    m.Lang.outputs;
+  pr "endmodule\n";
+  Buffer.contents buf

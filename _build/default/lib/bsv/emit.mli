@@ -1,0 +1,8 @@
+(** BSV-style source listing of a rule module.
+
+    The listing is generated mechanically from the same AST the compiler
+    consumes, so the line counts used by the paper-reproduction metrics
+    refer to exactly the designs being synthesized. *)
+
+val expr_to_string : Lang.expr -> string
+val emit : Lang.modul -> string

@@ -1,0 +1,83 @@
+(** A rule-based hardware description language (the repository's Bluespec
+    SystemVerilog stand-in).
+
+    A module is a set of registers plus {e guarded atomic rules}: each rule
+    has a boolean guard and a set of conditional register updates.  The
+    reference semantics ({!Semantics}) executes one rule at a time; the
+    compiler ({!Compile}) schedules several compatible rules per clock
+    cycle, like the Bluespec Compiler.
+
+    Expressions are signed-agnostic bit vectors; widths are explicit and
+    checked by {!infer_width}. *)
+
+type expr =
+  | Const of Hw.Bits.t
+  | Read of reg
+  | In of string * int            (** module input port *)
+  | Unop of Hw.Netlist.unop * expr
+  | Binop of Hw.Netlist.binop * expr * expr
+  | Mux of expr * expr * expr
+  | Slice of expr * int * int
+  | Uext of expr * int
+  | Sext of expr * int
+
+and reg = { rid : int; rname : string; rwidth : int; rinit : int }
+
+type action = {
+  target : reg;
+  when_ : expr option;            (** extra enable, beyond the rule guard *)
+  value : expr;
+}
+
+type rule = { rule_name : string; guard : expr; actions : action list }
+
+type modul = {
+  mod_name : string;
+  inputs : (string * int) list;
+  regs : reg list;
+  rules : rule list;              (** in descending urgency order *)
+  outputs : (string * expr) list;
+}
+
+val infer_width : expr -> int
+(** @raise Failure on operand width mismatches (the language's type
+    check). *)
+
+val validate : modul -> unit
+(** Checks widths of every rule, action and output, uniqueness of register
+    ids and rule names, and that no rule writes one register twice (a rule
+    is an atomic action). *)
+
+val read_set : rule -> int list
+(** Ids of registers the rule's guard, conditions or values read. *)
+
+val write_set : rule -> int list
+(** Ids of registers the rule may write. *)
+
+(** {1 Construction helpers} *)
+
+type builder
+
+val builder : string -> builder
+val mk_reg : builder -> ?init:int -> string -> int -> reg
+val mk_input : builder -> string -> int -> expr
+val mk_rule : builder -> string -> guard:expr -> action list -> unit
+val mk_output : builder -> string -> expr -> unit
+val mk_module : builder -> modul
+(** Runs {!validate}. *)
+
+(** {1 Expression sugar} — width-checked smart constructors. *)
+
+val cst : int -> int -> expr
+(** [cst width v]. *)
+
+val ( &&: ) : expr -> expr -> expr
+val ( ||: ) : expr -> expr -> expr
+val not_ : expr -> expr
+val ( ==: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( +: ) : expr -> expr -> expr
+(** Same-width wrap-around addition (BSV semantics). *)
+
+val ( -: ) : expr -> expr -> expr
+val assign : ?when_:expr -> reg -> expr -> action

@@ -1,0 +1,33 @@
+type urgency = Declared | Reversed
+type mux_style = Priority | One_hot
+
+type t = {
+  urgency : urgency;
+  mux_style : mux_style;
+  aggressive_conditions : bool;
+  effort : int;
+}
+
+let default =
+  { urgency = Declared; mux_style = Priority; aggressive_conditions = false; effort = 2 }
+
+let all =
+  List.concat_map
+    (fun urgency ->
+      List.concat_map
+        (fun mux_style ->
+          List.concat_map
+            (fun aggressive_conditions ->
+              List.map
+                (fun effort ->
+                  { urgency; mux_style; aggressive_conditions; effort })
+                [ 0; 1; 2 ])
+            [ false; true ])
+        [ Priority; One_hot ])
+    [ Declared; Reversed ]
+
+let describe t =
+  Printf.sprintf "urgency=%s mux=%s aggressive=%b effort=%d"
+    (match t.urgency with Declared -> "declared" | Reversed -> "reversed")
+    (match t.mux_style with Priority -> "priority" | One_hot -> "one-hot")
+    t.aggressive_conditions t.effort

@@ -1,0 +1,30 @@
+(** Compiler option space (the BSC command-line/attribute knobs the paper
+    sweeps — 26 synthesized circuits whose characteristics barely move).
+
+    - [urgency]: rule urgency from declaration order, or reversed
+      (BSC's [-scheduler-effort]/urgency attributes);
+    - [mux_style]: register write-data selection as a priority chain or a
+      one-hot AND-OR network;
+    - [aggressive_conditions]: fold action conditions into rule
+      CAN_FIREs (BSC's [-aggressive-conditions]);
+    - [effort]: scheduler precision — [0] pairwise analysis only,
+      [1] adds precedence-cycle refinement, [2] adds guard-disjointness
+      pruning of write-write conflicts. *)
+
+type urgency = Declared | Reversed
+type mux_style = Priority | One_hot
+
+type t = {
+  urgency : urgency;
+  mux_style : mux_style;
+  aggressive_conditions : bool;
+  effort : int;
+}
+
+val default : t
+(** Declared order, priority muxes, no aggressive conditions, effort 2. *)
+
+val all : t list
+(** The full 24-point grid (2 x 2 x 2 x 3). *)
+
+val describe : t -> string

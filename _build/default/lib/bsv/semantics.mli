@@ -1,0 +1,38 @@
+(** Reference semantics for rule modules.
+
+    [step_one] implements the language's defining one-rule-at-a-time
+    semantics; [step_parallel] mirrors what the compiled hardware does in a
+    clock cycle (fire every scheduled rule against the cycle-start state).
+    {!serializable_step} checks the compiler's soundness claim on a given
+    state: the parallel step must equal executing the fired rules
+    sequentially in a {!Sched.serial_witness} order. *)
+
+type state = {
+  regs : Hw.Bits.t array;           (** indexed by register id *)
+  inputs : (string * Hw.Bits.t) list;
+}
+
+val initial_state : Lang.modul -> state
+val with_inputs : state -> (string * int) list -> state
+(** Values are masked to the declared port widths (unknown names fail). *)
+
+val eval : state -> Lang.expr -> Hw.Bits.t
+val rule_enabled : state -> Lang.rule -> bool
+val apply_rule : state -> Lang.rule -> state
+(** Executes the actions atomically (all reads before all writes). *)
+
+val step_one : state -> Lang.modul -> state option
+(** Fires the first enabled rule in declaration order, or [None]. *)
+
+val fired_set : state -> Sched.t -> int list
+(** Rule indices the static schedule fires from this state (urgency order,
+    conflicts resolved). *)
+
+val step_parallel : state -> Sched.t -> state
+(** One compiled clock cycle. *)
+
+val serializable_step : state -> Sched.t -> (state, string) result
+(** Runs {!step_parallel} and checks it against the sequential witness;
+    [Error] describes the first mismatch. *)
+
+val outputs : state -> Lang.modul -> (string * Hw.Bits.t) list

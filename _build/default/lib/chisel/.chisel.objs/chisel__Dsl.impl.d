@@ -1,0 +1,1 @@
+lib/chisel/dsl.ml: Bits Builder Hw

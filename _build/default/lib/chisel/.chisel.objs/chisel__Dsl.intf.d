@@ -1,0 +1,1 @@
+lib/chisel/dsl.mli: Hw

@@ -1,0 +1,1 @@
+lib/chisel/idct_gen.ml: Array Axis Builder Dsl Hw Idct Lazy Printf

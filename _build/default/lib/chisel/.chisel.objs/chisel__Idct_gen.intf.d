@@ -1,0 +1,1 @@
+lib/chisel/idct_gen.mli: Axis Hw

@@ -1,0 +1,56 @@
+open Hw
+
+type t = Builder.s
+
+let of_raw s = s
+let raw s = s
+let width = Builder.width
+
+let lit b v =
+  let w = Bits.width_for_signed_range v v in
+  Builder.const b ~width:w v
+
+let binop_widen f b x y =
+  let w = 1 + max (width x) (width y) in
+  f b (Builder.sext b x w) (Builder.sext b y w)
+
+let add b x y = binop_widen Builder.add b x y
+let sub b x y = binop_widen Builder.sub b x y
+
+let mul b x y =
+  let w = width x + width y in
+  if w > Bits.max_width then
+    failwith "Dsl.mul: product width exceeds the 62-bit netlist limit";
+  Builder.mul b (Builder.sext b x w) (Builder.sext b y w)
+
+let mulc b c y = mul b (lit b c) y
+
+let shl b x n = Builder.shl_const b (Builder.sext b x (width x + n)) n
+
+let asr_ b x n =
+  if n = 0 then x
+  else
+    let w = width x in
+    (* The result of a signed shift fits exactly in [w - n] bits (the top
+       bits are sign copies); shifting past the width leaves the sign. *)
+    if n >= w then Builder.slice b x ~hi:(w - 1) ~lo:(w - 1)
+    else Builder.slice b x ~hi:(w - 1) ~lo:n
+
+let resize b x w =
+  if w = width x then x
+  else if w < width x then Builder.slice b x ~hi:(w - 1) ~lo:0
+  else Builder.sext b x w
+
+let clamp b ~lo ~hi x =
+  let wr = Bits.width_for_signed_range lo hi in
+  let w = max (width x) wr in
+  let xe = resize b x w in
+  let clo = Builder.const b ~width:w lo and chi = Builder.const b ~width:w hi in
+  let below = Builder.lt b ~signed:true xe clo in
+  let above = Builder.gt b ~signed:true xe chi in
+  let sat = Builder.mux b below clo (Builder.mux b above chi xe) in
+  resize b sat wr
+
+let mux b sel x y =
+  let w = max (width x) (width y) in
+  Builder.mux b sel (resize b x w) (resize b y w)

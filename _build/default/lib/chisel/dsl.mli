@@ -1,0 +1,49 @@
+(** Hardware-construction eDSL with automatic width inference.
+
+    This is the repository's stand-in for Chisel: signed hardware values
+    whose widths grow through operators exactly as Chisel's [SInt]
+    inference does — addition widens by one bit, multiplication sums the
+    operand widths — so a generator written against this module produces
+    minimal-width datapaths, the effect the paper credits for Chisel's
+    area advantage over fixed-width Verilog.
+
+    All values are signed; the carrier is a {!Hw.Builder.s}. *)
+
+type t
+(** A signed hardware value. *)
+
+val of_raw : Hw.Builder.s -> t
+(** View a raw signal as signed (width unchanged). *)
+
+val raw : t -> Hw.Builder.s
+val width : t -> int
+
+val lit : Hw.Builder.t -> int -> t
+(** Literal with the minimal signed width. *)
+
+val add : Hw.Builder.t -> t -> t -> t
+(** Result width [max wa wb + 1]. *)
+
+val sub : Hw.Builder.t -> t -> t -> t
+val mul : Hw.Builder.t -> t -> t -> t
+(** Result width [wa + wb]. *)
+
+val mulc : Hw.Builder.t -> int -> t -> t
+(** Multiplication by a constant; result width [width-of-constant + wb]. *)
+
+val shl : Hw.Builder.t -> t -> int -> t
+(** Result width [w + n]. *)
+
+val asr_ : Hw.Builder.t -> t -> int -> t
+(** Arithmetic shift right; result width [w - n] (at least 1): the shifted
+    value fits exactly. *)
+
+val resize : Hw.Builder.t -> t -> int -> t
+(** Sign-extend or truncate to the given width. *)
+
+val clamp : Hw.Builder.t -> lo:int -> hi:int -> t -> t
+(** Saturate to [lo, hi]; result has the minimal width holding the range. *)
+
+val mux : Hw.Builder.t -> Hw.Builder.s -> t -> t -> t
+(** Select between two signed values; arms are extended to a common
+    width. *)

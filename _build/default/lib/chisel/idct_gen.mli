@@ -1,0 +1,45 @@
+(** IDCT hardware generators (Chen–Wang butterfly) over the {!Dsl}.
+
+    One generator serves two width disciplines:
+
+    - [Fixed (arith, store)] — every intermediate is computed modulo
+      [2^arith] and row-pass results are stored in [store] bits, mirroring
+      the reference C code's [int]/[short] types and the paper's
+      hand-written Verilog (32-bit arithmetic);
+    - [Inferred] — widths grow minimally through the butterfly as the
+      {!Dsl} (Chisel) infers them, the source of Chisel's area advantage.
+
+    Both disciplines are bit-exact to {!Idct.Chenwang} on IEEE 1180
+    conformant inputs. *)
+
+type mode = Fixed of int * int | Inferred
+
+val verilog_mode : mode
+(** [Fixed (32, 16)] — the paper's Verilog discipline. *)
+
+val mid_width : mode -> int
+(** Width of a row-pass result as stored in the transpose buffer. *)
+
+val row_unit : mode -> Axis.Adapter.lane_fn
+(** 8 coefficients (12 bit) in, 8 row-pass results ({!mid_width}) out. *)
+
+val col_unit : mode -> Axis.Adapter.lane_fn
+(** 8 row-pass results in, 8 clipped samples (9 bit) out. *)
+
+val kernel_full : mode -> Axis.Adapter.lane_fn
+(** Full 64-in/64-out combinational transform: 8 row units feeding 8
+    column units through a wiring transpose. *)
+
+(** {1 Complete AXI-Stream designs} *)
+
+val design_comb : mode -> name:string -> Hw.Netlist.t
+(** Naive organization: 8 row + 8 column units, fully combinational kernel
+    behind the row-by-row adapter (latency 17, periodicity 8). *)
+
+val design_row8col : mode -> name:string -> Hw.Netlist.t
+(** One row unit applied on the fly to each arriving beat, 8 combinational
+    column units (latency 17, periodicity 8). *)
+
+val design_rowcol : mode -> name:string -> Hw.Netlist.t
+(** One row unit and one column unit, fully sequential macro-pipeline
+    (latency 24, periodicity 8). *)

@@ -1,0 +1,1 @@
+lib/chls/ast.ml: Array Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/chls/ast.mli: Hashtbl

@@ -1,0 +1,1 @@
+lib/chls/cprint.ml: Ast Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/chls/cprint.mli: Ast

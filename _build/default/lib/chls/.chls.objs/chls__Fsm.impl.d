@@ -1,0 +1,1 @@
+lib/chls/fsm.ml: Array Ast Axis Builder Hashtbl Hw List Netlist Option Printf Schedule Transform

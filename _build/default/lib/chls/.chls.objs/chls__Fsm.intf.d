@@ -1,0 +1,1 @@
+lib/chls/fsm.mli: Hw Schedule

@@ -1,0 +1,1 @@
+lib/chls/idct_c.ml: Array Ast Idct List

@@ -1,0 +1,1 @@
+lib/chls/idct_c.mli: Ast Idct

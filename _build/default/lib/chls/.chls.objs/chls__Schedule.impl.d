@@ -1,0 +1,1 @@
+lib/chls/schedule.ml: Array Ast Float Hashtbl List Option Printf Transform

@@ -1,0 +1,1 @@
+lib/chls/schedule.mli: Ast Transform

@@ -1,0 +1,1 @@
+lib/chls/tool.ml: Array Ast Axis Fsm Hashtbl Hw Idct_c List Option Printf Schedule String Transform

@@ -1,0 +1,1 @@
+lib/chls/tool.mli: Ast Axis Hw Schedule Transform

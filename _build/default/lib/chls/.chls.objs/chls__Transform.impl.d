@@ -1,0 +1,1 @@
+lib/chls/transform.ml: Ast List Printf

@@ -1,0 +1,1 @@
+lib/chls/transform.mli: Ast

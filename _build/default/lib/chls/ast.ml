@@ -1,0 +1,192 @@
+type ctype = { width : int; signed : bool }
+
+let int_t = { width = 32; signed = true }
+let short_t = { width = 16; signed = true }
+
+type binop =
+  | Add | Sub | Mul
+  | Shl | Shr
+  | And | Or | Xor
+  | Lt | Le | Gt | Ge | Eq | Ne
+
+type expr =
+  | Int of int
+  | Var of string
+  | Load of string * expr
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Cond of expr * expr * expr
+  | Call of string * expr list
+
+type stmt =
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | For of { ivar : string; bound : int; body : stmt list }
+  | CallStmt of string * arg list
+  | Return of expr
+
+and arg = AExpr of expr | AArray of string | AView of string * expr * int
+
+type param = PScalar of string * ctype | PArray of string * ctype * int
+
+type func = {
+  fname : string;
+  params : param list;
+  ret : ctype option;
+  locals : (string * ctype) list;
+  arrays : (string * ctype * int) list;
+  body : stmt list;
+}
+
+type program = { funcs : func list; top : string }
+
+let find_func p name = List.find (fun f -> f.fname = name) p.funcs
+
+(* ---------------- interpreter (C int semantics) ---------------- *)
+
+type memory = (string, int array) Hashtbl.t
+
+let mask32 v = v land 0xFFFFFFFF
+let signed32 v = let v = mask32 v in if v land 0x80000000 <> 0 then v - 0x100000000 else v
+let trunc (t : ctype) v =
+  let m = (1 lsl t.width) - 1 in
+  let v = v land m in
+  if t.signed && v land (1 lsl (t.width - 1)) <> 0 then v - (1 lsl t.width)
+  else v
+
+exception Returned of int
+
+let rec eval_binop op x y =
+  let b v = if v then 1 else 0 in
+  match op with
+  | Add -> signed32 (x + y)
+  | Sub -> signed32 (x - y)
+  | Mul -> signed32 (x * y)
+  | Shl -> signed32 (x lsl (y land 31))
+  | Shr -> x asr (y land 31)
+  | And -> signed32 (x land y)
+  | Or -> signed32 (x lor y)
+  | Xor -> signed32 (x lxor y)
+  | Lt -> b (x < y)
+  | Le -> b (x <= y)
+  | Gt -> b (x > y)
+  | Ge -> b (x >= y)
+  | Eq -> b (x = y)
+  | Ne -> b (x <> y)
+
+and eval p env (mem : memory) types (e : expr) =
+  match e with
+  | Int v -> v
+  | Var x -> (
+      match Hashtbl.find_opt env x with
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "C interp: unbound %s" x))
+  | Load (a, i) -> (
+      let idx = eval p env mem types i in
+      match Hashtbl.find_opt mem a with
+      | Some arr ->
+          if idx < 0 || idx >= Array.length arr then
+            failwith (Printf.sprintf "C interp: %s[%d] out of bounds" a idx)
+          else arr.(idx)
+      | None -> failwith (Printf.sprintf "C interp: unknown array %s" a))
+  | Bin (op, x, y) ->
+      eval_binop op (eval p env mem types x) (eval p env mem types y)
+  | Neg x -> signed32 (-eval p env mem types x)
+  | Cond (c, t, f) ->
+      if eval p env mem types c <> 0 then eval p env mem types t
+      else eval p env mem types f
+  | Call (fn, args) -> (
+      let f = find_func p fn in
+      let vargs = List.map (fun a -> `Int (eval p env mem types a)) args in
+      match run p f ~args:vargs with
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "C interp: %s returns void" fn))
+
+and exec p env mem types (s : stmt) =
+  match s with
+  | Assign (x, e) ->
+      let t =
+        match Hashtbl.find_opt types x with Some t -> t | None -> int_t
+      in
+      Hashtbl.replace env x (trunc t (eval p env mem types e))
+  | Store (a, i, e) ->
+      let idx = eval p env mem types i in
+      let v = eval p env mem types e in
+      let arr = Hashtbl.find mem a in
+      if idx < 0 || idx >= Array.length arr then
+        failwith (Printf.sprintf "C interp: %s[%d] out of bounds" a idx);
+      let t = match Hashtbl.find_opt types a with Some t -> t | None -> int_t in
+      arr.(idx) <- trunc t v
+  | If (c, th, el) ->
+      if eval p env mem types c <> 0 then List.iter (exec p env mem types) th
+      else List.iter (exec p env mem types) el
+  | For { ivar; bound; body } ->
+      for i = 0 to bound - 1 do
+        Hashtbl.replace env ivar i;
+        List.iter (exec p env mem types) body
+      done
+  | CallStmt (fn, args) ->
+      let f = find_func p fn in
+      (* Views are materialized as copies around the call — equivalent for
+         single-threaded C semantics. *)
+      let cleanups = ref [] in
+      let param_len k =
+        match List.nth f.params k with
+        | PArray (_, _, n) -> n
+        | PScalar _ -> failwith "C interp: view bound to scalar parameter"
+      in
+      let vargs =
+        List.mapi
+          (fun k arg ->
+            match arg with
+            | AExpr e -> `Int (eval p env mem types e)
+            | AArray a -> `Arr (Hashtbl.find mem a)
+            | AView (a, off, stride) ->
+                let base = eval p env mem types off in
+                let arr = Hashtbl.find mem a in
+                let n = param_len k in
+                let view = Array.init n (fun j -> arr.(base + (j * stride))) in
+                cleanups :=
+                  (fun () ->
+                    Array.iteri (fun j v -> arr.(base + (j * stride)) <- v) view)
+                  :: !cleanups;
+                `Arr view)
+          args
+      in
+      ignore (run p f ~args:vargs);
+      List.iter (fun fin -> fin ()) !cleanups
+  | Return e -> raise (Returned (eval p env mem types e))
+
+and run p (f : func) ~args =
+  let env = Hashtbl.create 16 in
+  let mem : memory = Hashtbl.create 8 in
+  let types = Hashtbl.create 16 in
+  List.iter (fun (x, t) -> Hashtbl.replace types x t) f.locals;
+  List.iter (fun (a, t, _) -> Hashtbl.replace types a t) f.arrays;
+  List.iter
+    (fun prm ->
+      match prm with
+      | PScalar (x, t) -> Hashtbl.replace types x t
+      | PArray (a, t, _) -> Hashtbl.replace types a t)
+    f.params;
+  List.iter2
+    (fun prm arg ->
+      match (prm, arg) with
+      | PScalar (x, t), `Int v -> Hashtbl.replace env x (trunc t v)
+      | PArray (a, _, n), `Arr arr ->
+          if Array.length arr <> n then
+            failwith (Printf.sprintf "C interp: %s length mismatch" a);
+          Hashtbl.replace mem a arr
+      | PScalar _, `Arr _ | PArray _, `Int _ ->
+          failwith "C interp: argument kind mismatch")
+    f.params args;
+  List.iter (fun (a, _, n) -> Hashtbl.replace mem a (Array.make n 0)) f.arrays;
+  try
+    List.iter (exec p env mem types) f.body;
+    None
+  with Returned v -> Some v
+
+let interp p name ~args =
+  let f = find_func p name in
+  run p f ~args

@@ -1,0 +1,79 @@
+(** C subset for the high-level-synthesis flow.
+
+    The subset covers what HLS benchmarks like the mpeg2decode IDCT use:
+    [int]/[short] scalars, fixed-size local or parameter arrays, counted
+    [for] loops, [if]/conditional expressions, function calls (value
+    returning or void with array side effects), and the usual arithmetic.
+    Semantics are two's-complement with C [int] (32-bit) arithmetic:
+    operands are promoted to 32 bits, assignment truncates to the target's
+    width — matched exactly by {!interp} and by the generated hardware. *)
+
+type ctype = { width : int; signed : bool }
+
+val int_t : ctype
+(** 32-bit signed. *)
+
+val short_t : ctype
+(** 16-bit signed. *)
+
+type binop =
+  | Add | Sub | Mul
+  | Shl | Shr                    (** [>>] is arithmetic on signed values *)
+  | And | Or | Xor
+  | Lt | Le | Gt | Ge | Eq | Ne
+
+type expr =
+  | Int of int
+  | Var of string
+  | Load of string * expr        (** [a[i]] *)
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Cond of expr * expr * expr   (** [c ? t : f] *)
+  | Call of string * expr list   (** value-returning call *)
+
+type stmt =
+  | Assign of string * expr
+  | Store of string * expr * expr   (** [a[i] = e] *)
+  | If of expr * stmt list * stmt list
+  | For of { ivar : string; bound : int; body : stmt list }
+      (** [for (ivar = 0; ivar < bound; ivar++)] *)
+  | CallStmt of string * arg list   (** void call *)
+  | Return of expr
+
+and arg =
+  | AExpr of expr
+  | AArray of string
+  | AView of string * expr * int
+      (** [AView (a, offset, stride)] passes the in-place view
+          [a[offset + k*stride]] — C pointer arithmetic like
+          [idct_row(blk + 8*i)] or a strided column. *)
+(** Array arguments are passed by reference. *)
+
+type param = PScalar of string * ctype | PArray of string * ctype * int
+
+type func = {
+  fname : string;
+  params : param list;
+  ret : ctype option;
+  locals : (string * ctype) list;
+  arrays : (string * ctype * int) list;   (** local arrays *)
+  body : stmt list;
+}
+
+type program = { funcs : func list; top : string }
+
+val find_func : program -> string -> func
+
+val eval_binop : binop -> int -> int -> int
+(** C [int] semantics of one operator (32-bit wrap-around). *)
+
+(** {1 Reference interpreter} *)
+
+type memory = (string, int array) Hashtbl.t
+(** Array name to contents (values stored truncated to the element type). *)
+
+val interp :
+  program -> string -> args:[ `Int of int | `Arr of int array ] list ->
+  int option
+(** Runs a function; [`Arr] arguments are mutated in place (C reference
+    semantics).  Returns the function result, if any. *)

@@ -1,0 +1,132 @@
+let binop_sym (op : Ast.binop) =
+  match op with
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Shl -> "<<"
+  | Ast.Shr -> ">>"
+  | Ast.And -> "&"
+  | Ast.Or -> "|"
+  | Ast.Xor -> "^"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+
+let rec expr_to_string (e : Ast.expr) =
+  match e with
+  | Ast.Int v -> string_of_int v
+  | Ast.Var x -> x
+  | Ast.Load (a, i) -> Printf.sprintf "%s[%s]" a (expr_to_string i)
+  | Ast.Bin (op, x, y) ->
+      Printf.sprintf "%s %s %s" (atom x) (binop_sym op) (atom y)
+  | Ast.Neg x -> "-" ^ atom x
+  | Ast.Cond (c, t, f) ->
+      Printf.sprintf "%s ? %s : %s" (atom c) (atom t) (atom f)
+  | Ast.Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+
+and atom (e : Ast.expr) =
+  match e with
+  | Ast.Int v when v < 0 -> "(" ^ string_of_int v ^ ")"
+  | Ast.Int _ | Ast.Var _ | Ast.Load _ | Ast.Call _ -> expr_to_string e
+  | Ast.Bin _ | Ast.Neg _ | Ast.Cond _ -> "(" ^ expr_to_string e ^ ")"
+
+let type_str (t : Ast.ctype) =
+  match (t.Ast.width, t.Ast.signed) with
+  | 32, true -> "int"
+  | 16, true -> "short"
+  | 8, true -> "char"
+  | w, true -> Printf.sprintf "int%d_t" w
+  | w, false -> Printf.sprintf "uint%d_t" w
+
+let rec stmt_lines indent (s : Ast.stmt) =
+  let pad = String.make indent ' ' in
+  match s with
+  | Ast.Assign (x, e) -> [ Printf.sprintf "%s%s = %s;" pad x (expr_to_string e) ]
+  | Ast.Store (a, i, e) ->
+      [
+        Printf.sprintf "%s%s[%s] = %s;" pad a (expr_to_string i)
+          (expr_to_string e);
+      ]
+  | Ast.If (c, th, []) ->
+      (Printf.sprintf "%sif (%s) {" pad (expr_to_string c))
+      :: List.concat_map (stmt_lines (indent + 2)) th
+      @ [ pad ^ "}" ]
+  | Ast.If (c, th, el) ->
+      (Printf.sprintf "%sif (%s) {" pad (expr_to_string c))
+      :: List.concat_map (stmt_lines (indent + 2)) th
+      @ [ pad ^ "} else {" ]
+      @ List.concat_map (stmt_lines (indent + 2)) el
+      @ [ pad ^ "}" ]
+  | Ast.For { ivar; bound; body } ->
+      (Printf.sprintf "%sfor (%s = 0; %s < %d; %s++) {" pad ivar ivar bound
+         ivar)
+      :: List.concat_map (stmt_lines (indent + 2)) body
+      @ [ pad ^ "}" ]
+  | Ast.CallStmt (f, args) ->
+      let arg_str = function
+        | Ast.AExpr e -> expr_to_string e
+        | Ast.AArray a -> a
+        | Ast.AView (a, off, 1) ->
+            Printf.sprintf "%s + %s" a (expr_to_string off)
+        | Ast.AView (a, off, stride) ->
+            Printf.sprintf "%s + %s /* stride %d */" a (expr_to_string off)
+              stride
+      in
+      [
+        Printf.sprintf "%s%s(%s);" pad f
+          (String.concat ", " (List.map arg_str args));
+      ]
+  | Ast.Return e -> [ Printf.sprintf "%sreturn %s;" pad (expr_to_string e) ]
+
+let emit_func ?(pragmas = []) (f : Ast.func) =
+  let param_str = function
+    | Ast.PScalar (x, t) -> Printf.sprintf "%s %s" (type_str t) x
+    | Ast.PArray (a, t, n) -> Printf.sprintf "%s %s[%d]" (type_str t) a n
+  in
+  let ret = match f.Ast.ret with Some t -> type_str t | None -> "void" in
+  let header =
+    Printf.sprintf "%s %s(%s) {" ret f.Ast.fname
+      (String.concat ", " (List.map param_str f.Ast.params))
+  in
+  let decls =
+    (match f.Ast.locals with
+    | [] -> []
+    | ls ->
+        (* Group locals of one type on one line, as the original does. *)
+        let by_type = Hashtbl.create 4 in
+        List.iter
+          (fun (x, t) ->
+            let k = type_str t in
+            Hashtbl.replace by_type k
+              (x :: Option.value ~default:[] (Hashtbl.find_opt by_type k)))
+          ls;
+        Hashtbl.fold
+          (fun ty xs acc ->
+            Printf.sprintf "  %s %s;" ty (String.concat ", " (List.rev xs))
+            :: acc)
+          by_type [])
+    @ List.map
+        (fun (a, t, n) -> Printf.sprintf "  %s %s[%d];" (type_str t) a n)
+        f.Ast.arrays
+  in
+  String.concat "\n"
+    ((header :: List.map (fun s -> "  " ^ s) pragmas)
+    @ decls
+    @ List.concat_map (stmt_lines 2) f.Ast.body
+    @ [ "}" ])
+
+let emit ?(pragmas = []) (p : Ast.program) =
+  String.concat "\n\n"
+    (List.map
+       (fun (f : Ast.func) ->
+         let prag =
+           Option.value ~default:[] (List.assoc_opt f.Ast.fname pragmas)
+         in
+         emit_func ~pragmas:prag f)
+       p.Ast.funcs)
+
+let stmt_strings st = stmt_lines 0 st

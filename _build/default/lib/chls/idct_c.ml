@@ -1,0 +1,163 @@
+open Ast
+
+let w1 = Idct.Chenwang.w1
+let w2 = Idct.Chenwang.w2
+let w3 = Idct.Chenwang.w3
+let w5 = Idct.Chenwang.w5
+let w6 = Idct.Chenwang.w6
+let w7 = Idct.Chenwang.w7
+
+let v x = Var x
+let i k = Int k
+let ( +: ) a b = Bin (Add, a, b)
+let ( -: ) a b = Bin (Sub, a, b)
+let ( *: ) a b = Bin (Mul, a, b)
+let ( <<: ) a n = Bin (Shl, a, i n)
+let ( >>: ) a n = Bin (Shr, a, i n)
+let set x e = Assign (x, e)
+
+let iclip_fn =
+  {
+    fname = "iclip";
+    params = [ PScalar ("x", int_t) ];
+    ret = Some int_t;
+    locals = [];
+    arrays = [];
+    body =
+      [
+        Return
+          (Cond
+             ( Bin (Lt, v "x", i (-256)),
+               i (-256),
+               Cond (Bin (Gt, v "x", i 255), i 255, v "x") ));
+      ];
+  }
+
+let xlocals =
+  List.map (fun n -> (n, int_t)) [ "x0"; "x1"; "x2"; "x3"; "x4"; "x5"; "x6"; "x7"; "x8" ]
+
+(* The shared middle of both passes (stages one to three of the butterfly,
+   with the column pass's extra rounding and >>3). *)
+let stages ~round ~shift3 =
+  let sh e = if shift3 then e >>: 3 else e in
+  [
+    set "x8" ((i w7 *: (v "x4" +: v "x5")) +: i round);
+    set "x4" (sh (v "x8" +: (i (w1 - w7) *: v "x4")));
+    set "x5" (sh (v "x8" -: (i (w1 + w7) *: v "x5")));
+    set "x8" ((i w3 *: (v "x6" +: v "x7")) +: i round);
+    set "x6" (sh (v "x8" -: (i (w3 - w5) *: v "x6")));
+    set "x7" (sh (v "x8" -: (i (w3 + w5) *: v "x7")));
+    set "x8" (v "x0" +: v "x1");
+    set "x0" (v "x0" -: v "x1");
+    set "x1" ((i w6 *: (v "x3" +: v "x2")) +: i round);
+    set "x2" (sh (v "x1" -: (i (w2 + w6) *: v "x2")));
+    set "x3" (sh (v "x1" +: (i (w2 - w6) *: v "x3")));
+    set "x1" (v "x4" +: v "x6");
+    set "x4" (v "x4" -: v "x6");
+    set "x6" (v "x5" +: v "x7");
+    set "x5" (v "x5" -: v "x7");
+    set "x7" (v "x8" +: v "x3");
+    set "x8" (v "x8" -: v "x3");
+    set "x3" (v "x0" +: v "x2");
+    set "x0" (v "x0" -: v "x2");
+    set "x2" (((i 181 *: (v "x4" +: v "x5")) +: i 128) >>: 8);
+    set "x4" (((i 181 *: (v "x4" -: v "x5")) +: i 128) >>: 8);
+  ]
+
+let idct_row_fn =
+  {
+    fname = "idct_row";
+    params = [ PArray ("blk", short_t, 8) ];
+    ret = None;
+    locals = xlocals;
+    arrays = [];
+    body =
+      [
+        set "x0" ((Load ("blk", i 0) <<: 11) +: i 128);
+        set "x1" (Load ("blk", i 4) <<: 11);
+        set "x2" (Load ("blk", i 6));
+        set "x3" (Load ("blk", i 2));
+        set "x4" (Load ("blk", i 1));
+        set "x5" (Load ("blk", i 7));
+        set "x6" (Load ("blk", i 5));
+        set "x7" (Load ("blk", i 3));
+      ]
+      @ stages ~round:0 ~shift3:false
+      @ [
+          Store ("blk", i 0, (v "x7" +: v "x1") >>: 8);
+          Store ("blk", i 1, (v "x3" +: v "x2") >>: 8);
+          Store ("blk", i 2, (v "x0" +: v "x4") >>: 8);
+          Store ("blk", i 3, (v "x8" +: v "x6") >>: 8);
+          Store ("blk", i 4, (v "x8" -: v "x6") >>: 8);
+          Store ("blk", i 5, (v "x0" -: v "x4") >>: 8);
+          Store ("blk", i 6, (v "x3" -: v "x2") >>: 8);
+          Store ("blk", i 7, (v "x7" -: v "x1") >>: 8);
+        ];
+  }
+
+let idct_col_fn =
+  let cl e = Call ("iclip", [ e ]) in
+  {
+    fname = "idct_col";
+    params = [ PArray ("blk", short_t, 8) ];
+    ret = None;
+    locals = xlocals;
+    arrays = [];
+    body =
+      [
+        set "x0" ((Load ("blk", i 0) <<: 8) +: i 8192);
+        set "x1" (Load ("blk", i 4) <<: 8);
+        set "x2" (Load ("blk", i 6));
+        set "x3" (Load ("blk", i 2));
+        set "x4" (Load ("blk", i 1));
+        set "x5" (Load ("blk", i 7));
+        set "x6" (Load ("blk", i 5));
+        set "x7" (Load ("blk", i 3));
+      ]
+      @ stages ~round:4 ~shift3:true
+      @ [
+          Store ("blk", i 0, cl ((v "x7" +: v "x1") >>: 14));
+          Store ("blk", i 1, cl ((v "x3" +: v "x2") >>: 14));
+          Store ("blk", i 2, cl ((v "x0" +: v "x4") >>: 14));
+          Store ("blk", i 3, cl ((v "x8" +: v "x6") >>: 14));
+          Store ("blk", i 4, cl ((v "x8" -: v "x6") >>: 14));
+          Store ("blk", i 5, cl ((v "x0" -: v "x4") >>: 14));
+          Store ("blk", i 6, cl ((v "x3" -: v "x2") >>: 14));
+          Store ("blk", i 7, cl ((v "x7" -: v "x1") >>: 14));
+        ];
+  }
+
+(* The top function mirrors mpeg2decode's Fast_IDCT exactly: the passes
+   work in place on the block through pointer views ([idctrow(block+8*i)]
+   and the stride-8 column view). *)
+let idct_fn =
+  {
+    fname = "idct";
+    params = [ PArray ("blk", short_t, 64) ];
+    ret = None;
+    locals = [ ("i", int_t) ];
+    arrays = [];
+    body =
+      [
+        For
+          {
+            ivar = "i";
+            bound = 8;
+            body = [ CallStmt ("idct_row", [ AView ("blk", v "i" *: i 8, 1) ]) ];
+          };
+        For
+          {
+            ivar = "i";
+            bound = 8;
+            body = [ CallStmt ("idct_col", [ AView ("blk", v "i", 8) ]) ];
+          };
+      ];
+  }
+
+let program =
+  { funcs = [ iclip_fn; idct_row_fn; idct_col_fn; idct_fn ]; top = "idct" }
+
+let run blk =
+  let arr = Array.copy blk in
+  ignore (Ast.interp program "idct" ~args:[ `Arr arr ]);
+  arr

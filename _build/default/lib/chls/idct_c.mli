@@ -1,0 +1,11 @@
+(** The mpeg2decode IDCT in the C AST — the paper's input program, with
+    the documented modification: rounding/clipping is the [iclip] function
+    rather than a pre-filled array. *)
+
+val program : Ast.program
+(** [iclip], [idct_row], [idct_col] (working on an 8-element row buffer)
+    and the top [idct] over a 64-element block. *)
+
+val run : Idct.Block.t -> Idct.Block.t
+(** Reference execution through {!Ast.interp}; bit-identical to
+    {!Idct.Chenwang.idct}. *)

@@ -1,0 +1,267 @@
+type config = {
+  read_ports : int;
+  write_ports : int;
+  multipliers : int;
+  chain_ns : float;
+}
+
+let default_config =
+  { read_ports = 1; write_ports = 1; multipliers = 1; chain_ns = 5.0 }
+
+type okind =
+  | KConst of int
+  | KVar of string
+  | KBin of Ast.binop
+  | KNeg
+  | KCond
+  | KLoad of string
+  | KStore of string
+  | KDefVar of string
+
+type op = {
+  oid : int;
+  kind : okind;
+  data_deps : int list;
+  mem_deps : (int * [ `Strict | `Weak ]) list;
+  mutable step : int;
+  mutable port : int;
+  mutable unit_id : int;
+}
+
+type block = { ops : op array; n_steps : int }
+
+type sregion =
+  | SBlock of block
+  | SLoop of { ivar : string; bound : int; body : sregion list }
+  | SWait of int
+  | SCapture
+  | SEmit
+
+type t = { proc : Transform.proc; config : config; regions : sregion list }
+
+let is_partitioned proc a =
+  match List.find_opt (fun (a', _, _, _) -> a' = a) proc.Transform.arrays with
+  | Some (_, _, _, p) -> p
+  | None -> failwith (Printf.sprintf "Chls: unknown array %s" a)
+
+let is_const_op ops i =
+  match ops.(i).kind with KConst _ -> true | _ -> false
+
+let is_shared_mul (o : op) =
+  match o.kind with KBin Ast.Mul -> true | _ -> false
+
+(* ---------------- DFG construction ---------------- *)
+
+type dfg_builder = {
+  proc : Transform.proc;
+  mutable nodes : op list;          (* reversed *)
+  mutable count : int;
+  mutable last_def : (string * int) list;      (* var -> value node *)
+  mutable last_defvar : (string * int) list;    (* var -> commit node *)
+  mutable last_store : (string * int) list;    (* array -> last store node *)
+  mutable loads_since : (string * int list) list;  (* array -> loads since *)
+}
+
+let new_op d kind data_deps mem_deps =
+  let o =
+    { oid = d.count; kind; data_deps; mem_deps; step = -1; port = -1; unit_id = -1 }
+  in
+  d.nodes <- o :: d.nodes;
+  d.count <- d.count + 1;
+  o.oid
+
+let rec build_expr d (e : Ast.expr) =
+  match e with
+  | Ast.Int v -> new_op d (KConst v) [] []
+  | Ast.Var x -> (
+      match List.assoc_opt x d.last_def with
+      | Some n -> n
+      | None -> new_op d (KVar x) [] [])
+  | Ast.Load (a, i) ->
+      let ni = build_expr d i in
+      let mem =
+        (match List.assoc_opt a d.last_store with
+        | Some s -> [ (s, `Strict) ]
+        | None -> [])
+      in
+      let n = new_op d (KLoad a) [ ni ] mem in
+      let cur = Option.value ~default:[] (List.assoc_opt a d.loads_since) in
+      d.loads_since <-
+        (a, n :: cur) :: List.remove_assoc a d.loads_since;
+      n
+  | Ast.Bin (op, x, y) ->
+      let nx = build_expr d x in
+      let ny = build_expr d y in
+      new_op d (KBin op) [ nx; ny ] []
+  | Ast.Neg x -> new_op d KNeg [ build_expr d x ] []
+  | Ast.Cond (c, t, f) ->
+      let nc = build_expr d c in
+      let nt = build_expr d t in
+      let nf = build_expr d f in
+      new_op d KCond [ nc; nt; nf ] []
+  | Ast.Call _ -> failwith "Chls.schedule: calls must be inlined"
+
+let build_stmt d (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (x, e) ->
+      let n = build_expr d e in
+      (* Commits to the same variable register must stay in order (the
+         last write must land in the latest step). *)
+      let waw =
+        match List.assoc_opt x d.last_defvar with
+        | Some prev -> [ (prev, `Strict) ]
+        | None -> []
+      in
+      let def = new_op d (KDefVar x) [ n ] waw in
+      d.last_def <- (x, n) :: List.remove_assoc x d.last_def;
+      d.last_defvar <- (x, def) :: List.remove_assoc x d.last_defvar
+  | Ast.Store (a, i, e) ->
+      let ni = build_expr d i in
+      let nv = build_expr d e in
+      let mem =
+        (match List.assoc_opt a d.last_store with
+        | Some s' -> [ (s', `Strict) ]
+        | None -> [])
+        @ List.map
+            (fun l -> (l, `Weak))
+            (Option.value ~default:[] (List.assoc_opt a d.loads_since))
+      in
+      let n = new_op d (KStore a) [ ni; nv ] mem in
+      d.last_store <- (a, n) :: List.remove_assoc a d.last_store;
+      d.loads_since <- (a, []) :: List.remove_assoc a d.loads_since
+  | Ast.If _ | Ast.For _ | Ast.CallStmt _ | Ast.Return _ ->
+      failwith "Chls.schedule: non-simple statement in block"
+
+(* ---------------- delays ---------------- *)
+
+let op_delay proc ops (o : op) =
+  match o.kind with
+  | KConst _ | KVar _ | KDefVar _ -> 0.0
+  | KLoad a -> (
+      match o.data_deps with
+      | [ i ] when is_partitioned proc a && is_const_op ops i -> 0.0
+      | _ -> 0.9)
+  | KStore _ -> 0.0
+  | KNeg -> 0.7
+  | KCond -> 0.3
+  | KBin b -> (
+      match b with
+      | Ast.Add | Ast.Sub | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq
+      | Ast.Ne ->
+          0.7
+      | Ast.Mul ->
+          (* Constant multiplications become shift-add networks. *)
+          if List.exists (is_const_op ops) o.data_deps then 1.6 else 2.5
+      | Ast.Shl | Ast.Shr -> 0.0
+      | Ast.And | Ast.Or | Ast.Xor -> 0.3)
+
+(* ---------------- list scheduling of one block ---------------- *)
+
+let schedule_block (cfg : config) proc (stmts : Ast.stmt list) =
+  let d =
+    {
+      proc;
+      nodes = [];
+      count = 0;
+      last_def = [];
+      last_defvar = [];
+      last_store = [];
+      loads_since = [];
+    }
+  in
+  List.iter (build_stmt d) stmts;
+  let ops = Array.of_list (List.rev d.nodes) in
+  let n = Array.length ops in
+  let arrival = Array.make n 0.0 in
+  (* Resource usage tables: (step, key) -> count. *)
+  let usage : (int * string, int) Hashtbl.t = Hashtbl.create 64 in
+  let used step key = Option.value ~default:0 (Hashtbl.find_opt usage (step, key)) in
+  let take step key =
+    Hashtbl.replace usage (step, key) (used step key + 1);
+    used step key - 1
+  in
+  let needs_port o =
+    match o.kind with
+    | KLoad a when not (is_partitioned proc a) -> Some (`R, a)
+    | KStore a when not (is_partitioned proc a) -> Some (`W, a)
+    | KLoad _ | KStore _ | KConst _ | KVar _ | KBin _ | KNeg | KCond
+    | KDefVar _ ->
+        None
+  in
+  for i = 0 to n - 1 do
+    let o = ops.(i) in
+    let delay = op_delay proc ops o in
+    (* Earliest step and chained arrival from data deps. *)
+    let earliest = ref 0 and chain_in = ref 0.0 in
+    List.iter
+      (fun dep ->
+        let do_ = ops.(dep) in
+        if do_.step > !earliest then begin
+          earliest := do_.step;
+          chain_in := arrival.(dep)
+        end
+        else if do_.step = !earliest then chain_in := Float.max !chain_in arrival.(dep))
+      o.data_deps;
+    List.iter
+      (fun (dep, kind) ->
+        let req =
+          match kind with
+          | `Strict -> ops.(dep).step + 1
+          | `Weak -> ops.(dep).step
+        in
+        if req > !earliest then begin
+          earliest := req;
+          chain_in := 0.0
+        end)
+      o.mem_deps;
+    let step = ref !earliest and chain = ref !chain_in in
+    if !chain +. delay > cfg.chain_ns then begin
+      incr step;
+      chain := 0.0
+    end;
+    (* Resource constraints. *)
+    let fits s =
+      (match needs_port o with
+      | Some (`R, a) -> used s ("R" ^ a) < cfg.read_ports
+      | Some (`W, a) -> used s ("W" ^ a) < cfg.write_ports
+      | None -> true)
+      && ((not (is_shared_mul o && not (List.exists (is_const_op ops) o.data_deps)))
+         || used s "MUL" < cfg.multipliers)
+    in
+    while not (fits !step) do
+      incr step;
+      chain := 0.0
+    done;
+    (match needs_port o with
+    | Some (`R, a) -> o.port <- take !step ("R" ^ a)
+    | Some (`W, a) -> o.port <- take !step ("W" ^ a)
+    | None -> ());
+    if is_shared_mul o && not (List.exists (is_const_op ops) o.data_deps) then
+      o.unit_id <- take !step "MUL";
+    o.step <- !step;
+    arrival.(i) <- (if !step > !earliest then delay else !chain +. delay)
+  done;
+  let n_steps = Array.fold_left (fun acc o -> max acc (o.step + 1)) 1 ops in
+  { ops; n_steps }
+
+let rec schedule_region cfg proc (r : Transform.region) =
+  match r with
+  | Transform.RStraight b -> SBlock (schedule_block cfg proc b)
+  | Transform.RLoop { ivar; bound; body } ->
+      SLoop { ivar; bound; body = List.map (schedule_region cfg proc) body }
+  | Transform.RWait k -> SWait k
+  | Transform.RCapture -> SCapture
+  | Transform.REmit -> SEmit
+
+let schedule cfg (proc : Transform.proc) =
+  { proc; config = cfg; regions = List.map (schedule_region cfg proc) proc.Transform.regions }
+
+let rec region_cycles = function
+  | SBlock b -> b.n_steps
+  | SWait k -> k
+  | SCapture | SEmit -> 1
+  | SLoop { bound; body; _ } ->
+      bound * List.fold_left (fun acc r -> acc + region_cycles r) 0 body
+
+let total_cycles t =
+  List.fold_left (fun acc r -> acc + region_cycles r) 0 t.regions

@@ -1,0 +1,64 @@
+(** Operation scheduling (the core of the HLS flow).
+
+    Every straight-line block becomes a dataflow graph of operations, which
+    a list scheduler assigns to control steps under the configuration's
+    resource constraints: memory read/write ports per array, shared
+    multiplier units, and a per-step operator-chaining delay budget (the
+    clock target; speculative SDC scheduling raises it).
+
+    Partitioned arrays live in registers: statically-indexed accesses are
+    wires and no ports are consumed. *)
+
+type config = {
+  read_ports : int;          (** per array, per step *)
+  write_ports : int;
+  multipliers : int;         (** shared multiplier units *)
+  chain_ns : float;          (** operator chaining budget per step *)
+}
+
+val default_config : config
+(** 1R/1W, 1 multiplier, 5 ns chaining. *)
+
+type okind =
+  | KConst of int
+  | KVar of string                  (** variable register at block entry *)
+  | KBin of Ast.binop
+  | KNeg
+  | KCond
+  | KLoad of string
+  | KStore of string
+  | KDefVar of string               (** commits a value to a variable register *)
+
+type op = {
+  oid : int;
+  kind : okind;
+  data_deps : int list;
+  mem_deps : (int * [ `Strict | `Weak ]) list;
+  mutable step : int;
+  mutable port : int;               (** memory port index for loads/stores *)
+  mutable unit_id : int;            (** multiplier unit for shared muls *)
+}
+
+type block = { ops : op array; n_steps : int }
+
+type sregion =
+  | SBlock of block
+  | SLoop of { ivar : string; bound : int; body : sregion list }
+  | SWait of int
+  | SCapture                        (** one stalling input-beat state *)
+  | SEmit                           (** one stalling output-beat state *)
+
+type t = {
+  proc : Transform.proc;
+  config : config;
+  regions : sregion list;
+}
+
+val schedule : config -> Transform.proc -> t
+
+val region_cycles : sregion -> int
+val total_cycles : t -> int
+(** Compute cycles of the whole procedure (excluding interface I/O). *)
+
+val is_shared_mul : op -> bool
+(** Multiplications with two non-constant operands occupy a shared unit. *)

@@ -1,0 +1,54 @@
+(** Front-end transformations: from the C AST to the scheduler's IR.
+
+    The pipeline inlines calls (value calls always — they become select
+    networks; statement calls structurally, with per-call-site renaming),
+    optionally unrolls all loops (constant-folding the induction variable
+    away), and if-converts conditionals into predicated assignments.  The
+    result is a flat list of regions of straight-line code.
+
+    When [inline_calls] is false the call bodies are still stitched in
+    (there is a single FSM), but every original call boundary costs a
+    synchronization region — the stream-interface overhead the paper
+    observes with push-button Vivado HLS. *)
+
+type options = {
+  inline_calls : bool;
+  unroll : bool;
+  partition : string list;       (** arrays elaborated as registers *)
+  call_sync_cycles : int;        (** overhead per non-inlined call site *)
+}
+
+val default_options : options
+(** inline, no unroll, nothing partitioned, 8 sync cycles. *)
+
+type block = Ast.stmt list
+(** Only [Assign] and [Store] statements, call-free expressions. *)
+
+type region =
+  | RStraight of block
+  | RLoop of { ivar : string; bound : int; body : region list }
+  | RWait of int                 (** idle synchronization cycles *)
+  | RCapture
+      (** stall until [s_valid]; latch the eight input lanes into the
+          variables [__in0] .. [__in7] (interface construct, added by
+          {!Tool}) *)
+  | REmit
+      (** assert [m_valid] with lanes [__out0] .. [__out7]; stall until
+          [m_ready]; [m_last] tracks the beat counter [__ob] *)
+
+type proc = {
+  pname : string;
+  arrays : (string * Ast.ctype * int * bool) list;
+      (** name, element type, length, partitioned? — parameter and local
+          arrays alike *)
+  vars : (string * Ast.ctype) list;
+  regions : region list;
+}
+
+val expand_calls : Ast.program -> Ast.expr -> Ast.expr
+(** Inline every value-returning call in the expression (e.g. [iclip]). *)
+
+val lower : options -> Ast.program -> proc
+(** Lowers [program.top].  Loops may nest and contain calls; conditionals
+    must contain only assignments and stores.
+    @raise Failure on constructs outside the supported subset. *)

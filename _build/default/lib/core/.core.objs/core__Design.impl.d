@@ -1,0 +1,1 @@
+lib/core/design.ml: Hw Lazy Maxj

@@ -1,0 +1,1 @@
+lib/core/evaluate.ml: Axis Design Format Hw Idct Lazy List Maxj Metrics Printf

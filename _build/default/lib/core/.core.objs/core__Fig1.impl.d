@@ -1,0 +1,1 @@
+lib/core/fig1.ml: Array Buffer Design Evaluate Float Hashtbl List Metrics Printf Registry String

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Bsv Chisel Chls Design Dslx List Listings Loc Maxj Printf Tool_adapters Verilog_designs

@@ -1,0 +1,1 @@
+lib/core/second_kernel.ml: Array Axis Chisel Chls Dslx Hw List Printf

@@ -1,0 +1,1 @@
+lib/core/second_kernel.mli: Chls Dslx Hw Idct

@@ -1,0 +1,1 @@
+lib/core/table2.ml: Buffer Design Evaluate List Metrics Printf Registry String

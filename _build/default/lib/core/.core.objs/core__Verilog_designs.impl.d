@@ -1,0 +1,1 @@
+lib/core/verilog_designs.ml: List Printf String Vlog

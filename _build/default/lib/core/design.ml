@@ -1,0 +1,38 @@
+type tool = Verilog | Chisel | Bsv | Dslx | Maxj | Bambu | Vivado_hls
+
+type impl =
+  | Stream of Hw.Netlist.t Lazy.t
+  | Pcie of Maxj.Manager.system Lazy.t
+
+type t = {
+  tool : tool;
+  label : string;
+  config_desc : string;
+  loc_fu : int;
+  loc_axi : int;
+  loc_conf : int;
+  impl : impl;
+  listing : string;
+}
+
+let loc t = t.loc_fu + t.loc_axi + t.loc_conf
+
+let language_name = function
+  | Verilog -> "Verilog"
+  | Chisel -> "Chisel"
+  | Bsv -> "BSV"
+  | Dslx -> "DSLX"
+  | Maxj -> "MaxJ"
+  | Bambu -> "C"
+  | Vivado_hls -> "C"
+
+let tool_name = function
+  | Verilog -> "Vivado"
+  | Chisel -> "Chisel"
+  | Bsv -> "BSC"
+  | Dslx -> "XLS"
+  | Maxj -> "MaxCompiler"
+  | Bambu -> "Bambu"
+  | Vivado_hls -> "Vivado HLS"
+
+let all_tools = [ Verilog; Chisel; Bsv; Dslx; Maxj; Bambu; Vivado_hls ]

@@ -1,0 +1,28 @@
+(** Uniform descriptor of one evaluated design point. *)
+
+type tool = Verilog | Chisel | Bsv | Dslx | Maxj | Bambu | Vivado_hls
+
+type impl =
+  | Stream of Hw.Netlist.t Lazy.t
+      (** AXI-Stream wrapped circuit (everything except MaxJ) *)
+  | Pcie of Maxj.Manager.system Lazy.t
+      (** MaxCompiler system: kernel + PCIe manager *)
+
+type t = {
+  tool : tool;
+  label : string;          (** e.g. "initial", "optimized", "stages=4" *)
+  config_desc : string;    (** tool options in force *)
+  loc_fu : int;            (** L^FU: functional-unit source lines *)
+  loc_axi : int;           (** L^AXI: hand-written adapter lines (0 if generated) *)
+  loc_conf : int;          (** L^Conf: configuration lines *)
+  impl : impl;
+  listing : string;        (** the counted source text *)
+}
+
+val loc : t -> int
+(** [L = L^FU + L^AXI + L^Conf]. *)
+
+val language_name : tool -> string
+val tool_name : tool -> string
+val all_tools : tool list
+(** In the paper's column order. *)

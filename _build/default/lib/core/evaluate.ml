@@ -1,0 +1,69 @@
+let test_matrices n =
+  let rng = Idct.Block.Rand.create ~seed:7 () in
+  List.init n (fun _ ->
+      Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255))
+
+let measure ?(matrices = 4) (d : Design.t) : Metrics.measured =
+  match d.Design.impl with
+  | Design.Stream circuit ->
+      let circuit = Lazy.force circuit in
+      let mats = test_matrices matrices in
+      let expected = List.map Idct.Chenwang.idct mats in
+      let r = Axis.Driver.run circuit mats in
+      if not (List.for_all2 Idct.Block.equal r.Axis.Driver.outputs expected)
+      then
+        failwith
+          (Printf.sprintf "design %s/%s is not bit-true"
+             (Design.tool_name d.Design.tool)
+             d.Design.label);
+      (match r.Axis.Driver.violations with
+      | [] -> ()
+      | v :: _ ->
+          failwith
+            (Format.asprintf "design %s/%s violates AXI-Stream: %a"
+               (Design.tool_name d.Design.tool)
+               d.Design.label Axis.Monitor.pp_violation v));
+      let rep = Hw.Synth.run circuit in
+      {
+        Metrics.fmax_mhz = rep.Hw.Synth.fmax_mhz;
+        throughput_mops =
+          rep.Hw.Synth.fmax_mhz /. float_of_int r.Axis.Driver.periodicity;
+        latency = r.Axis.Driver.latency;
+        periodicity = r.Axis.Driver.periodicity;
+        area = rep.Hw.Synth.area;
+        luts_nodsp = rep.Hw.Synth.luts_nodsp;
+        ffs_nodsp = rep.Hw.Synth.ffs_nodsp;
+        luts = rep.Hw.Synth.luts;
+        ffs = rep.Hw.Synth.ffs;
+        dsps = rep.Hw.Synth.dsps;
+        ios = rep.Hw.Synth.ios;
+      }
+  | Design.Pcie system ->
+      let system = Lazy.force system in
+      let r = Maxj.Manager.evaluate system in
+      let rep = Hw.Synth.run system.Maxj.Manager.kernel in
+      {
+        Metrics.fmax_mhz = r.Maxj.Manager.fmax_mhz;
+        throughput_mops = r.Maxj.Manager.throughput_mops;
+        latency = r.Maxj.Manager.latency_ticks;
+        periodicity = system.Maxj.Manager.ticks_per_op;
+        area = rep.Hw.Synth.area;
+        luts_nodsp = rep.Hw.Synth.luts_nodsp;
+        ffs_nodsp = rep.Hw.Synth.ffs_nodsp;
+        luts = rep.Hw.Synth.luts;
+        ffs = rep.Hw.Synth.ffs;
+        dsps = rep.Hw.Synth.dsps;
+        ios = Maxj.Manager.pcie_pins;
+      }
+
+let check_compliance ?(blocks = 500) (d : Design.t) =
+  match d.Design.impl with
+  | Design.Stream circuit ->
+      let circuit = Lazy.force circuit in
+      let dut blk = Axis.Driver.transform circuit blk in
+      Idct.Ieee1180.compliant ~blocks dut
+  | Design.Pcie _ ->
+      (* The MaxJ kernels are checked by their own stream simulators. *)
+      let mats = test_matrices blocks in
+      let got = Maxj.Idct_maxj.simulate_initial mats in
+      List.for_all2 Idct.Block.equal got (List.map Idct.Chenwang.idct mats)

@@ -1,0 +1,17 @@
+(** Measurement of a design point, following the paper's procedure:
+    synthesize for the target device, simulate a stream of matrices to
+    obtain latency and periodicity, and derive [P = f_max / T_P]; the
+    normalized area comes from the [maxdsp=0] mapping.
+
+    Every measurement first checks the design bit-true against the
+    reference fixed-point IDCT ({!Idct.Chenwang}) and fails loudly on a
+    functional mismatch or an AXI-Stream protocol violation. *)
+
+val measure : ?matrices:int -> Design.t -> Metrics.measured
+(** [matrices] (default 4) sets the simulated stream length. *)
+
+val check_compliance : ?blocks:int -> Design.t -> bool
+(** IEEE 1180-1990 accuracy procedure through the wrapped circuit.
+    The default of 500 blocks per condition is about the statistical
+    minimum: the per-position mean-error criterion (0.015) needs several
+    hundred samples before estimator noise stays under the threshold. *)

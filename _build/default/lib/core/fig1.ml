@@ -1,0 +1,95 @@
+type point = {
+  label : string;
+  area : int;
+  throughput_mops : float;
+  fmax_mhz : float;
+}
+
+type series = { tool : Design.tool; points : point list }
+
+let cache : (Design.tool, series) Hashtbl.t = Hashtbl.create 8
+
+let series_of tool =
+  match Hashtbl.find_opt cache tool with
+  | Some s -> s
+  | None ->
+      let points =
+        List.map
+          (fun d ->
+            let m = Evaluate.measure ~matrices:3 d in
+            {
+              label = d.Design.label;
+              area = m.Metrics.area;
+              throughput_mops = m.Metrics.throughput_mops;
+              fmax_mhz = m.Metrics.fmax_mhz;
+            })
+          (Registry.sweep tool)
+      in
+      let s = { tool; points } in
+      Hashtbl.replace cache tool s;
+      s
+
+let compute ?(tools = Design.all_tools) () = List.map series_of tools
+
+let glyph = function
+  | Design.Verilog -> 'V'
+  | Design.Chisel -> 'C'
+  | Design.Bsv -> 'B'
+  | Design.Dslx -> 'X'
+  | Design.Maxj -> 'M'
+  | Design.Bambu -> 'b'
+  | Design.Vivado_hls -> 'h'
+
+let render ?tools () =
+  let series = compute ?tools () in
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* Data listing. *)
+  List.iter
+    (fun s ->
+      pr "%s (%s, %d configurations):\n"
+        (Design.language_name s.tool)
+        (Design.tool_name s.tool)
+        (List.length s.points);
+      List.iter
+        (fun p ->
+          pr "  %-34s A=%7d  P=%8.2f MOPS  f=%7.2f MHz\n" p.label p.area
+            p.throughput_mops p.fmax_mhz)
+        s.points)
+    series;
+  (* ASCII scatter, log10 axes. *)
+  let all = List.concat_map (fun s -> s.points) series in
+  let lx p = log10 (float_of_int (max 1 p.area)) in
+  let ly p = log10 (Float.max 0.01 p.throughput_mops) in
+  let min_x = List.fold_left (fun a p -> Float.min a (lx p)) infinity all in
+  let max_x = List.fold_left (fun a p -> Float.max a (lx p)) neg_infinity all in
+  let min_y = List.fold_left (fun a p -> Float.min a (ly p)) infinity all in
+  let max_y = List.fold_left (fun a p -> Float.max a (ly p)) neg_infinity all in
+  let w = 72 and h = 24 in
+  let grid = Array.make_matrix h w ' ' in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun p ->
+          let x =
+            int_of_float
+              ((lx p -. min_x) /. Float.max 1e-9 (max_x -. min_x)
+              *. float_of_int (w - 1))
+          in
+          let y =
+            int_of_float
+              ((ly p -. min_y) /. Float.max 1e-9 (max_y -. min_y)
+              *. float_of_int (h - 1))
+          in
+          grid.(h - 1 - y).(x) <- glyph s.tool)
+        s.points)
+    series;
+  pr "\nPerformance (MOPS, log)  x  Area (LUT*+FF*, log)\n";
+  pr "legend: V=Verilog C=Chisel B=BSV X=XLS M=MaxJ b=Bambu h=VivadoHLS\n";
+  for r = 0 to h - 1 do
+    pr "|%s|\n" (String.init w (fun c -> grid.(r).(c)))
+  done;
+  pr "%s\n" (String.make (w + 2) '-');
+  pr "area: %.0f .. %.0f   throughput: %.2f .. %.2f MOPS\n"
+    (10. ** min_x) (10. ** max_x) (10. ** min_y) (10. ** max_y);
+  Buffer.contents buf

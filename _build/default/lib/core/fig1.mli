@@ -1,0 +1,20 @@
+(** Fig. 1 — design-space exploration in the Performance x Area plane.
+
+    One series per tool; each point is one explored configuration
+    (Verilog 3, Chisel 3, BSC 26, XLS 19, MaxCompiler 2, Bambu 42,
+    Vivado HLS 5 — 100 synthesized circuits). *)
+
+type point = {
+  label : string;
+  area : int;
+  throughput_mops : float;
+  fmax_mhz : float;
+}
+
+type series = { tool : Design.tool; points : point list }
+
+val compute : ?tools:Design.tool list -> unit -> series list
+(** Measures every sweep configuration (cached). *)
+
+val render : ?tools:Design.tool list -> unit -> string
+(** Data table plus an ASCII log-log scatter of the plane. *)

@@ -1,0 +1,31 @@
+let is_code line =
+  let l = String.trim line in
+  String.length l > 0
+  && (not (String.length l >= 2 && String.sub l 0 2 = "//"))
+  && (not (String.length l >= 2 && String.sub l 0 2 = "--"))
+  && (not (String.length l >= 2 && String.sub l 0 2 = "(*" && String.length l >= 2
+           && String.sub l (String.length l - 2) 2 = "*)"))
+  && not (String.length l >= 2 && String.sub l 0 2 = "/*"
+          && String.length l >= 2
+          && String.sub l (String.length l - 2) 2 = "*/")
+
+let code_lines src =
+  String.split_on_char '\n' src |> List.filter is_code |> List.map String.trim
+
+let count src = List.length (code_lines src)
+
+let delta before after =
+  let a = List.sort compare (code_lines before) in
+  let b = List.sort compare (code_lines after) in
+  (* Multiset symmetric difference. *)
+  let rec go a b added removed =
+    match (a, b) with
+    | [], [] -> added + removed
+    | [], rest -> added + List.length rest + removed
+    | rest, [] -> added + removed + List.length rest
+    | x :: xs, y :: ys ->
+        if x = y then go xs ys added removed
+        else if x < y then go xs b added (removed + 1)
+        else go a ys (added + 1) removed
+  in
+  go a b 0 0

@@ -1,0 +1,13 @@
+(** The paper's LOC metric: lines of code excluding blanks and
+    comment-only lines (Section III-A: "the number of lines of code,
+    including tool settings"). *)
+
+val count : string -> int
+(** Lines that contain code (not blank, not comment-only).  Comment
+    syntaxes of all the evaluated languages are recognized ([//], [/* */]
+    single-line, [#] and [--]). *)
+
+val delta : string -> string -> int
+(** [delta before after] is the paper's modification cost
+    [dL = dL+ + dL-]: lines added plus lines removed, computed on the
+    multisets of code lines. *)

@@ -1,0 +1,29 @@
+type measured = {
+  fmax_mhz : float;
+  throughput_mops : float;
+  latency : int;
+  periodicity : int;
+  area : int;
+  luts_nodsp : int;
+  ffs_nodsp : int;
+  luts : int;
+  ffs : int;
+  dsps : int;
+  ios : int;
+}
+
+let quality m = m.throughput_mops *. 1e6 /. float_of_int m.area
+
+let automation ~verilog_loc ~loc =
+  100. *. float_of_int (verilog_loc - loc) /. float_of_int verilog_loc
+
+let controllability ~best ~verilog_best = 100. *. best /. verilog_best
+
+let flexibility ~best ~initial ~delta_loc =
+  if delta_loc = 0 then 0. else (best -. initial) /. float_of_int delta_loc
+
+let pp_measured ppf m =
+  Format.fprintf ppf
+    "f=%.2fMHz P=%.2fMOPS T_L=%d T_P=%d A=%d (LUT*=%d FF*=%d LUT=%d FF=%d DSP=%d IO=%d)"
+    m.fmax_mhz m.throughput_mops m.latency m.periodicity m.area m.luts_nodsp
+    m.ffs_nodsp m.luts m.ffs m.dsps m.ios

@@ -1,0 +1,37 @@
+(** The paper's evaluation metrics (Section III-A).
+
+    With [L] lines of code, [P] throughput (operations per second) and
+    [A = N*_LUT + N*_FF] normalized area:
+
+    - quality              [Q = P / A]
+    - degree of automation [alpha = (L_V - L) / L_V]           (eq. 1)
+    - controllability      [C_Phi = Phi* / Phi*_V]             (eq. 2)
+    - flexibility          [F_Phi = (Phi* - Phi_0) / dL]       (eq. 3) *)
+
+type measured = {
+  fmax_mhz : float;
+  throughput_mops : float;
+  latency : int;            (** cycles, including I/O transmission *)
+  periodicity : int;        (** cycles between operation starts *)
+  area : int;               (** A = N*_LUT + N*_FF *)
+  luts_nodsp : int;
+  ffs_nodsp : int;
+  luts : int;
+  ffs : int;
+  dsps : int;
+  ios : int;
+}
+
+val quality : measured -> float
+(** [P / A] in operations per second per (LUT+FF). *)
+
+val automation : verilog_loc:int -> loc:int -> float
+(** Percentage; negative when the description is longer than Verilog. *)
+
+val controllability : best:float -> verilog_best:float -> float
+(** Percentage. *)
+
+val flexibility : best:float -> initial:float -> delta_loc:int -> float
+(** Quality gained per changed line. *)
+
+val pp_measured : Format.formatter -> measured -> unit

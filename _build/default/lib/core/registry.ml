@@ -1,0 +1,226 @@
+open Design
+
+let mk tool label config_desc ~fu ~axi ~conf ~listing impl =
+  {
+    tool;
+    label;
+    config_desc;
+    loc_fu = fu;
+    loc_axi = axi;
+    loc_conf = conf;
+    impl;
+    listing;
+  }
+
+(* ---------------- Verilog (parsed sources) ---------------- *)
+
+let verilog_units_loc =
+  Loc.count (Verilog_designs.row_unit ^ Verilog_designs.col_unit)
+
+let verilog_initial =
+  mk Verilog "initial" "Vivado defaults"
+    ~fu:verilog_units_loc
+    ~axi:(Loc.count Verilog_designs.initial_source - verilog_units_loc)
+    ~conf:0 ~listing:Verilog_designs.initial_source
+    (Stream (lazy (Verilog_designs.initial_circuit ())))
+
+let verilog_row8col =
+  mk Verilog "1 row + 8 col units" "Vivado defaults"
+    ~fu:verilog_units_loc
+    ~axi:(Loc.count Verilog_designs.row8col_source - verilog_units_loc)
+    ~conf:0 ~listing:Verilog_designs.row8col_source
+    (Stream (lazy (Verilog_designs.row8col_circuit ())))
+
+let verilog_optimized =
+  mk Verilog "optimized" "Vivado defaults"
+    ~fu:verilog_units_loc
+    ~axi:(Loc.count Verilog_designs.rowcol_source - verilog_units_loc)
+    ~conf:0 ~listing:Verilog_designs.rowcol_source
+    (Stream (lazy (Verilog_designs.rowcol_circuit ())))
+
+(* ---------------- Chisel ---------------- *)
+
+let chisel_initial =
+  mk Chisel "initial" "width inference, combinational kernel"
+    ~fu:(Loc.count Listings.chisel_butterfly)
+    ~axi:
+      (Loc.count Listings.chisel_initial - Loc.count Listings.chisel_butterfly)
+    ~conf:0 ~listing:Listings.chisel_initial
+    (Stream
+       (lazy (Chisel.Idct_gen.design_comb Chisel.Idct_gen.Inferred ~name:"chisel_initial")))
+
+let chisel_row8col =
+  mk Chisel "1 row + 8 col units" "width inference"
+    ~fu:(Loc.count Listings.chisel_butterfly)
+    ~axi:
+      (Loc.count Listings.chisel_initial - Loc.count Listings.chisel_butterfly)
+    ~conf:0 ~listing:Listings.chisel_initial
+    (Stream
+       (lazy
+         (Chisel.Idct_gen.design_row8col Chisel.Idct_gen.Inferred
+            ~name:"chisel_row8col")))
+
+let chisel_optimized =
+  mk Chisel "optimized" "width inference, macro-pipeline"
+    ~fu:(Loc.count Listings.chisel_butterfly)
+    ~axi:
+      (Loc.count Listings.chisel_optimized
+      - Loc.count Listings.chisel_butterfly)
+    ~conf:0 ~listing:Listings.chisel_optimized
+    (Stream
+       (lazy
+         (Chisel.Idct_gen.design_rowcol Chisel.Idct_gen.Inferred
+            ~name:"chisel_optimized")))
+
+(* ---------------- BSV ---------------- *)
+
+let bsv_listing_initial = Listings.bsv_shared ^ "\n\n" ^ Listings.bsv_initial
+let bsv_listing_optimized = Listings.bsv_shared ^ "\n\n" ^ Listings.bsv_optimized
+
+let bsv_design label config_desc listing modul options =
+  mk Bsv label config_desc
+    ~fu:(Loc.count Listings.bsv_shared)
+    ~axi:(Loc.count listing - Loc.count Listings.bsv_shared)
+    ~conf:0 ~listing
+    (Stream (lazy (Bsv.Idct_bsv.circuit ~options modul)))
+
+let bsv_initial =
+  bsv_design "initial" "BSC defaults" bsv_listing_initial
+    Bsv.Idct_bsv.initial_design Bsv.Options.default
+
+let bsv_optimized =
+  bsv_design "optimized" "BSC defaults" bsv_listing_optimized
+    Bsv.Idct_bsv.optimized_design Bsv.Options.default
+
+let bsv_sweep =
+  (* 26 synthesized circuits: the 24-option grid on the optimized design
+     plus the two designs under the default configuration. *)
+  bsv_initial :: bsv_optimized
+  :: List.map
+       (fun o ->
+         bsv_design
+           ("optimized/" ^ Bsv.Options.describe o)
+           (Bsv.Options.describe o) bsv_listing_optimized
+           Bsv.Idct_bsv.optimized_design o)
+       Bsv.Options.all
+
+(* ---------------- DSLX ---------------- *)
+
+let dslx_listing = Dslx.Emit.emit Dslx.Idct_dslx.program
+
+let dslx_design label stages =
+  mk Dslx label
+    (if stages = 0 then "combinational" else Printf.sprintf "--pipeline_stages=%d" stages)
+    ~fu:(Loc.count dslx_listing)
+    ~axi:Tool_adapters.dslx_adapter_loc
+    ~conf:(if stages = 0 then 0 else 1)
+    ~listing:dslx_listing
+    (Stream
+       (lazy (Dslx.Idct_dslx.design ~stages ~name:(Printf.sprintf "xls_s%d" stages) ())))
+
+let dslx_initial = dslx_design "initial" 0
+let dslx_optimized = dslx_design "optimized" 8
+
+let dslx_sweep =
+  dslx_initial
+  :: List.init 18 (fun i -> dslx_design (Printf.sprintf "stages=%d" (i + 1)) (i + 1))
+
+(* ---------------- MaxJ ---------------- *)
+
+let maxj_initial =
+  mk Maxj "initial" "matrix per tick, PCIe streams"
+    ~fu:(Loc.count (Listings.maxj_shared ^ Listings.maxj_initial))
+    ~axi:0 (* MaxCompiler generates the PCIe manager *)
+    ~conf:0
+    ~listing:(Listings.maxj_shared ^ "\n\n" ^ Listings.maxj_initial)
+    (Pcie (lazy (Maxj.Idct_maxj.initial_system ())))
+
+let maxj_optimized =
+  mk Maxj "optimized" "row per tick, on-chip transpose buffer"
+    ~fu:(Loc.count (Listings.maxj_shared ^ Listings.maxj_optimized))
+    ~axi:0 ~conf:0
+    ~listing:(Listings.maxj_shared ^ "\n\n" ^ Listings.maxj_optimized)
+    (Pcie (lazy (Maxj.Idct_maxj.opt_system ())))
+
+(* ---------------- C / Bambu ---------------- *)
+
+let c_listing = Chls.Cprint.emit Chls.Idct_c.program
+
+let bambu_conf_lines (c : Chls.Tool.bambu_config) =
+  1 (* preset *) + (if c.Chls.Tool.sdc then 1 else 0)
+  + if c.Chls.Tool.chain_effort <> 1 then 1 else 0
+
+let bambu_design label c =
+  mk Bambu label (Chls.Tool.describe_bambu c)
+    ~fu:(Loc.count c_listing)
+    ~axi:Chls.Tool.bambu_adapter_loc
+    ~conf:(bambu_conf_lines c)
+    ~listing:c_listing
+    (Stream (lazy (Chls.Tool.bambu_circuit c)))
+
+let bambu_initial = bambu_design "initial" Chls.Tool.bambu_initial
+let bambu_optimized = bambu_design "optimized" Chls.Tool.bambu_optimized
+
+let bambu_sweep =
+  List.map (fun c -> bambu_design (Chls.Tool.describe_bambu c) c) Chls.Tool.bambu_grid
+
+(* ---------------- C / Vivado HLS ---------------- *)
+
+let vhls_listing c =
+  Chls.Cprint.emit ~pragmas:[ ("idct", Chls.Tool.vhls_pragmas c) ]
+    Chls.Idct_c.program
+
+let vhls_design label c =
+  mk Vivado_hls label (Chls.Tool.describe_vhls c)
+    ~fu:(Loc.count (vhls_listing c))
+    ~axi:0 (* the INTERFACE pragma generates the adapter *)
+    ~conf:0
+    ~listing:(vhls_listing c)
+    (Stream (lazy (Chls.Tool.vhls_circuit c)))
+
+let vhls_initial = vhls_design "initial" Chls.Tool.vhls_initial
+let vhls_optimized = vhls_design "optimized" Chls.Tool.vhls_optimized
+
+let vhls_sweep =
+  List.map
+    (fun c -> vhls_design (Chls.Tool.describe_vhls c) c)
+    Chls.Tool.vhls_ladder
+
+(* ---------------- access ---------------- *)
+
+let initial = function
+  | Verilog -> verilog_initial
+  | Chisel -> chisel_initial
+  | Bsv -> bsv_initial
+  | Dslx -> dslx_initial
+  | Maxj -> maxj_initial
+  | Bambu -> bambu_initial
+  | Vivado_hls -> vhls_initial
+
+let optimized = function
+  | Verilog -> verilog_optimized
+  | Chisel -> chisel_optimized
+  | Bsv -> bsv_optimized
+  | Dslx -> dslx_optimized
+  | Maxj -> maxj_optimized
+  | Bambu -> bambu_optimized
+  | Vivado_hls -> vhls_optimized
+
+let delta_loc tool =
+  let a = (initial tool).listing and b = (optimized tool).listing in
+  let conf_delta =
+    abs ((optimized tool).loc_conf - (initial tool).loc_conf)
+  in
+  Loc.delta a b + conf_delta
+
+let sweep = function
+  | Verilog -> [ verilog_initial; verilog_row8col; verilog_optimized ]
+  | Chisel -> [ chisel_initial; chisel_row8col; chisel_optimized ]
+  | Bsv -> bsv_sweep
+  | Dslx -> dslx_sweep
+  | Maxj -> [ maxj_initial; maxj_optimized ]
+  | Bambu -> bambu_sweep
+  | Vivado_hls -> vhls_sweep
+
+let all_designs () =
+  List.concat_map (fun t -> [ initial t; optimized t ]) all_tools

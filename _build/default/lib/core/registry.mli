@@ -1,0 +1,17 @@
+(** The design inventory: every tool's initial and optimized design, plus
+    the configuration sweeps behind the DSE figure. *)
+
+val initial : Design.tool -> Design.t
+val optimized : Design.tool -> Design.t
+
+val delta_loc : Design.tool -> int
+(** The paper's [dL]: lines changed (added + removed, options included)
+    between the initial and optimized descriptions. *)
+
+val sweep : Design.tool -> Design.t list
+(** All configurations explored for the tool (the points of Fig. 1):
+    Verilog 3, Chisel 3, BSC 26, XLS 19, MaxCompiler 2, Bambu 42,
+    Vivado HLS 5. *)
+
+val all_designs : unit -> Design.t list
+(** Initial and optimized designs of every tool. *)

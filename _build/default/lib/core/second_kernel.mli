@@ -1,0 +1,28 @@
+(** Extension experiment: a second benchmark kernel.
+
+    The paper's conclusion cautions that its results "cannot be easily
+    extrapolated to more complex benchmarks"; this module probes that with
+    a different computational shape — an 8-tap symmetric circular FIR over
+    the 64-sample block (windowed sums instead of a butterfly; taps
+    [1 3 8 20 20 8 3 1], output [>> 6], clipped to 9 bits) — implemented in
+    three of the front ends and run through the same evaluation pipeline. *)
+
+val taps : int array
+
+val reference : Idct.Block.t -> Idct.Block.t
+(** Software model (the ground truth for all three implementations). *)
+
+val c_program : Chls.Ast.program
+(** The kernel in C (rolled loop, circular index arithmetic). *)
+
+val dslx_program : Dslx.Ir.program
+(** The kernel in the DSLX IR (counted folds, statically folded indices). *)
+
+val chisel_design : name:string -> Hw.Netlist.t
+(** Generated with the construction eDSL, behind the matrix adapter. *)
+
+val c_design : name:string -> Hw.Netlist.t
+(** Sequential HLS flow (Bambu-style defaults). *)
+
+val dslx_design : ?stages:int -> name:string -> unit -> Hw.Netlist.t
+(** XLS flow; [stages] defaults to 4. *)

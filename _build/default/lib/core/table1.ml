@@ -1,0 +1,39 @@
+type row = {
+  language : string;
+  paradigm : string;
+  tool : string;
+  tool_type : string;
+  openness : string;
+}
+
+let rows =
+  [
+    { language = "Verilog"; paradigm = "Classical RTL"; tool = "Vivado";
+      tool_type = "LS/PR"; openness = "Commercial" };
+    { language = "Chisel"; paradigm = "Functional/RTL"; tool = "Chisel";
+      tool_type = "HC"; openness = "Open-source" };
+    { language = "BSV"; paradigm = "Rule-based/RTL"; tool = "BSC";
+      tool_type = "HC"; openness = "Open-source" };
+    { language = "DSLX"; paradigm = "Functional"; tool = "XLS";
+      tool_type = "HLS"; openness = "Open-source" };
+    { language = "MaxJ"; paradigm = "Dataflow"; tool = "MaxCompiler";
+      tool_type = "HLS"; openness = "Commercial" };
+    { language = "C"; paradigm = "Imperative"; tool = "Bambu";
+      tool_type = "HLS"; openness = "Open-source" };
+    { language = "C"; paradigm = "Imperative"; tool = "Vivado HLS";
+      tool_type = "HLS"; openness = "Commercial" };
+  ]
+
+let render () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-8s | %-14s | %-11s | %-5s | %s\n" "Language" "Paradigm"
+       "Tool" "Type" "Openness");
+  Buffer.add_string buf (String.make 60 '-' ^ "\n");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-8s | %-14s | %-11s | %-5s | %s\n" r.language
+           r.paradigm r.tool r.tool_type r.openness))
+    rows;
+  Buffer.contents buf

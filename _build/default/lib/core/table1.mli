@@ -1,0 +1,12 @@
+(** Table I — languages and tools under evaluation. *)
+
+type row = {
+  language : string;
+  paradigm : string;
+  tool : string;
+  tool_type : string;
+  openness : string;
+}
+
+val rows : row list
+val render : unit -> string

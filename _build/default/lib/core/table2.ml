@@ -1,0 +1,140 @@
+type column = {
+  design : Design.t;
+  measured : Metrics.measured;
+  loc : int;
+  alpha : float;
+  quality : float;
+}
+
+type row = {
+  tool : Design.tool;
+  initial : column;
+  optimized : column;
+  delta_l : int;
+  controllability : float;
+  flexibility : float;
+}
+
+let compute_row verilog_initial_loc verilog_best_q tool =
+  let col d =
+    let m = Evaluate.measure d in
+    {
+      design = d;
+      measured = m;
+      loc = Design.loc d;
+      alpha =
+        Metrics.automation ~verilog_loc:verilog_initial_loc ~loc:(Design.loc d);
+      quality = Metrics.quality m;
+    }
+  in
+  let initial = col (Registry.initial tool) in
+  let optimized = col (Registry.optimized tool) in
+  let delta_l = Registry.delta_loc tool in
+  {
+    tool;
+    initial;
+    optimized;
+    delta_l;
+    controllability =
+      Metrics.controllability ~best:optimized.quality
+        ~verilog_best:verilog_best_q;
+    flexibility =
+      Metrics.flexibility ~best:optimized.quality ~initial:initial.quality
+        ~delta_loc:delta_l;
+  }
+
+let computed = ref None
+
+let compute () =
+  match !computed with
+  | Some rows -> rows
+  | None ->
+      let v_init = Registry.initial Design.Verilog in
+      let v_opt = Registry.optimized Design.Verilog in
+      (* The paper normalizes alpha by the Verilog LOC of the matching
+         configuration; we use the initial Verilog LOC for the initial
+         columns and the optimized Verilog LOC for the optimized ones.
+         The Verilog optimum anchors C_Q at 100%. *)
+      let v_best_q = Metrics.quality (Evaluate.measure v_opt) in
+      let rows =
+        List.map
+          (fun tool ->
+            let r = compute_row (Design.loc v_init) v_best_q tool in
+            (* optimized-column alpha is against the optimized Verilog *)
+            let opt_alpha =
+              Metrics.automation ~verilog_loc:(Design.loc v_opt)
+                ~loc:r.optimized.loc
+            in
+            { r with optimized = { r.optimized with alpha = opt_alpha } })
+          Design.all_tools
+      in
+      computed := Some rows;
+      rows
+
+let render () =
+  let rows = compute () in
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let header =
+    List.map
+      (fun r ->
+        Printf.sprintf "%s/%s" (Design.language_name r.tool)
+          (Design.tool_name r.tool))
+      rows
+  in
+  pr "%-24s" "indicator";
+  List.iter (fun h -> pr " | %-22s" h) header;
+  pr "\n%s\n" (String.make (24 + (25 * List.length rows)) '-');
+  let line name f =
+    pr "%-24s" name;
+    List.iter (fun r -> pr " | %-22s" (f r)) rows;
+    pr "\n"
+  in
+  let pair fi fo r = Printf.sprintf "%s / %s" (fi r) (fo r) in
+  line "LOC (initial/opt)"
+    (pair (fun r -> string_of_int r.initial.loc)
+       (fun r -> string_of_int r.optimized.loc));
+  line "Modification dL" (fun r -> string_of_int r.delta_l);
+  line "Automation alpha"
+    (pair (fun r -> Printf.sprintf "%.1f%%" r.initial.alpha)
+       (fun r -> Printf.sprintf "%.1f%%" r.optimized.alpha));
+  line "Quality Q = P/A"
+    (pair (fun r -> Printf.sprintf "%.0f" r.initial.quality)
+       (fun r -> Printf.sprintf "%.0f" r.optimized.quality));
+  line "Controllability C_Q" (fun r -> Printf.sprintf "%.1f%%" r.controllability);
+  line "Flexibility F_Q" (fun r -> Printf.sprintf "%.1f" r.flexibility);
+  line "Frequency, MHz"
+    (pair (fun r -> Printf.sprintf "%.2f" r.initial.measured.Metrics.fmax_mhz)
+       (fun r -> Printf.sprintf "%.2f" r.optimized.measured.Metrics.fmax_mhz));
+  line "Throughput, MOPS"
+    (pair
+       (fun r -> Printf.sprintf "%.2f" r.initial.measured.Metrics.throughput_mops)
+       (fun r -> Printf.sprintf "%.2f" r.optimized.measured.Metrics.throughput_mops));
+  line "Latency, cycles"
+    (pair (fun r -> string_of_int r.initial.measured.Metrics.latency)
+       (fun r -> string_of_int r.optimized.measured.Metrics.latency));
+  line "Periodicity, cycles"
+    (pair (fun r -> string_of_int r.initial.measured.Metrics.periodicity)
+       (fun r -> string_of_int r.optimized.measured.Metrics.periodicity));
+  line "Area A = LUT*+FF*"
+    (pair (fun r -> string_of_int r.initial.measured.Metrics.area)
+       (fun r -> string_of_int r.optimized.measured.Metrics.area));
+  line "N*_LUT (maxdsp=0)"
+    (pair (fun r -> string_of_int r.initial.measured.Metrics.luts_nodsp)
+       (fun r -> string_of_int r.optimized.measured.Metrics.luts_nodsp));
+  line "N*_FF (maxdsp=0)"
+    (pair (fun r -> string_of_int r.initial.measured.Metrics.ffs_nodsp)
+       (fun r -> string_of_int r.optimized.measured.Metrics.ffs_nodsp));
+  line "N_LUT"
+    (pair (fun r -> string_of_int r.initial.measured.Metrics.luts)
+       (fun r -> string_of_int r.optimized.measured.Metrics.luts));
+  line "N_FF"
+    (pair (fun r -> string_of_int r.initial.measured.Metrics.ffs)
+       (fun r -> string_of_int r.optimized.measured.Metrics.ffs));
+  line "N_DSP"
+    (pair (fun r -> string_of_int r.initial.measured.Metrics.dsps)
+       (fun r -> string_of_int r.optimized.measured.Metrics.dsps));
+  line "N_IO"
+    (pair (fun r -> string_of_int r.initial.measured.Metrics.ios)
+       (fun r -> string_of_int r.optimized.measured.Metrics.ios));
+  Buffer.contents buf

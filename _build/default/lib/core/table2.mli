@@ -1,0 +1,26 @@
+(** Table II — the full evaluation matrix: per tool, the initial and
+    optimized designs with LOC, automation, quality, controllability,
+    flexibility and the raw synthesis indicators. *)
+
+type column = {
+  design : Design.t;
+  measured : Metrics.measured;
+  loc : int;
+  alpha : float;
+  quality : float;
+}
+
+type row = {
+  tool : Design.tool;
+  initial : column;
+  optimized : column;
+  delta_l : int;
+  controllability : float;   (** C_Q, percent of the Verilog optimum *)
+  flexibility : float;       (** F_Q *)
+}
+
+val compute : unit -> row list
+(** Measures every design (cached after the first call). *)
+
+val render : unit -> string
+(** The table in the paper's layout (rows = indicators, columns = tools). *)

@@ -1,0 +1,12 @@
+(* Adapter labor accounting for tools that need hand-written interface
+   code (Section III-C).
+
+   - XLS produces a bare kernel; the paper pairs it with a hand-crafted
+     AXI-Stream adapter.  Ours is the deserializer/serializer of
+     Axis.Adapter expressed as Verilog; its size matches the Verilog
+     baseline's adapter portion.
+   - Vivado HLS generates the interface from a pragma (L^AXI = 0); the
+     pragma lines are counted as configuration.
+   - MaxCompiler generates the PCIe manager (L^AXI = 0). *)
+
+let dslx_adapter_loc = 52

@@ -1,0 +1,503 @@
+(* The hand-written Verilog baseline designs (the paper's reference
+   language).  These are genuine Verilog sources, parsed and elaborated by
+   the Vlog front end; the same texts are what the LOC metric counts. *)
+
+(* Chen-Wang constants: W1..W7 and their sums/differences, as literals the
+   way the reference C writes them. *)
+
+let row_unit =
+  {|
+// One row pass of the Chen-Wang 8x8 IDCT, 32-bit arithmetic.
+module idct_row (i0, i1, i2, i3, i4, i5, i6, i7,
+                 o0, o1, o2, o3, o4, o5, o6, o7);
+  input [11:0] i0, i1, i2, i3, i4, i5, i6, i7;
+  output [15:0] o0, o1, o2, o3, o4, o5, o6, o7;
+  wire [31:0] e0 = {{20{i0[11]}}, i0};
+  wire [31:0] e1 = {{20{i1[11]}}, i1};
+  wire [31:0] e2 = {{20{i2[11]}}, i2};
+  wire [31:0] e3 = {{20{i3[11]}}, i3};
+  wire [31:0] e4 = {{20{i4[11]}}, i4};
+  wire [31:0] e5 = {{20{i5[11]}}, i5};
+  wire [31:0] e6 = {{20{i6[11]}}, i6};
+  wire [31:0] e7 = {{20{i7[11]}}, i7};
+  wire [31:0] x0 = (e0 << 11) + 32'd128;
+  wire [31:0] x1 = e4 << 11;
+  wire [31:0] x2 = e6;
+  wire [31:0] x3 = e2;
+  wire [31:0] x4 = e1;
+  wire [31:0] x5 = e7;
+  wire [31:0] x6 = e5;
+  wire [31:0] x7 = e3;
+  // first stage
+  wire [31:0] a8 = 32'd565 * (x4 + x5);
+  wire [31:0] a4 = a8 + 32'd2276 * x4;
+  wire [31:0] a5 = a8 - 32'd3406 * x5;
+  wire [31:0] b8 = 32'd2408 * (x6 + x7);
+  wire [31:0] a6 = b8 - 32'd799 * x6;
+  wire [31:0] a7 = b8 - 32'd4017 * x7;
+  // second stage
+  wire [31:0] c8 = x0 + x1;
+  wire [31:0] c0 = x0 - x1;
+  wire [31:0] c1 = 32'd1108 * (x3 + x2);
+  wire [31:0] c2 = c1 - 32'd3784 * x2;
+  wire [31:0] c3 = c1 + 32'd1568 * x3;
+  wire [31:0] d1 = a4 + a6;
+  wire [31:0] d4 = a4 - a6;
+  wire [31:0] d6 = a5 + a7;
+  wire [31:0] d5 = a5 - a7;
+  // third stage
+  wire [31:0] f7 = c8 + c3;
+  wire [31:0] f8 = c8 - c3;
+  wire [31:0] f3 = c0 + c2;
+  wire [31:0] f0 = c0 - c2;
+  wire [31:0] f2 = (32'd181 * (d4 + d5) + 32'd128) >>> 8;
+  wire [31:0] f4 = (32'd181 * (d4 - d5) + 32'd128) >>> 8;
+  // fourth stage
+  assign o0 = (f7 + d1) >>> 8;
+  assign o1 = (f3 + f2) >>> 8;
+  assign o2 = (f0 + f4) >>> 8;
+  assign o3 = (f8 + d6) >>> 8;
+  assign o4 = (f8 - d6) >>> 8;
+  assign o5 = (f0 - f4) >>> 8;
+  assign o6 = (f3 - f2) >>> 8;
+  assign o7 = (f7 - d1) >>> 8;
+endmodule
+|}
+
+let col_unit =
+  {|
+// One column pass, with rounding and clipping to [-256, 255].
+module idct_col (i0, i1, i2, i3, i4, i5, i6, i7,
+                 o0, o1, o2, o3, o4, o5, o6, o7);
+  input [15:0] i0, i1, i2, i3, i4, i5, i6, i7;
+  output [8:0] o0, o1, o2, o3, o4, o5, o6, o7;
+  wire [31:0] e0 = {{16{i0[15]}}, i0};
+  wire [31:0] e1 = {{16{i1[15]}}, i1};
+  wire [31:0] e2 = {{16{i2[15]}}, i2};
+  wire [31:0] e3 = {{16{i3[15]}}, i3};
+  wire [31:0] e4 = {{16{i4[15]}}, i4};
+  wire [31:0] e5 = {{16{i5[15]}}, i5};
+  wire [31:0] e6 = {{16{i6[15]}}, i6};
+  wire [31:0] e7 = {{16{i7[15]}}, i7};
+  wire [31:0] x0 = (e0 << 8) + 32'd8192;
+  wire [31:0] x1 = e4 << 8;
+  wire [31:0] x2 = e6;
+  wire [31:0] x3 = e2;
+  wire [31:0] x4 = e1;
+  wire [31:0] x5 = e7;
+  wire [31:0] x6 = e5;
+  wire [31:0] x7 = e3;
+  // first stage
+  wire [31:0] a8 = 32'd565 * (x4 + x5) + 32'd4;
+  wire [31:0] a4 = (a8 + 32'd2276 * x4) >>> 3;
+  wire [31:0] a5 = (a8 - 32'd3406 * x5) >>> 3;
+  wire [31:0] b8 = 32'd2408 * (x6 + x7) + 32'd4;
+  wire [31:0] a6 = (b8 - 32'd799 * x6) >>> 3;
+  wire [31:0] a7 = (b8 - 32'd4017 * x7) >>> 3;
+  // second stage
+  wire [31:0] c8 = x0 + x1;
+  wire [31:0] c0 = x0 - x1;
+  wire [31:0] c1 = 32'd1108 * (x3 + x2) + 32'd4;
+  wire [31:0] c2 = (c1 - 32'd3784 * x2) >>> 3;
+  wire [31:0] c3 = (c1 + 32'd1568 * x3) >>> 3;
+  wire [31:0] d1 = a4 + a6;
+  wire [31:0] d4 = a4 - a6;
+  wire [31:0] d6 = a5 + a7;
+  wire [31:0] d5 = a5 - a7;
+  // third stage
+  wire [31:0] f7 = c8 + c3;
+  wire [31:0] f8 = c8 - c3;
+  wire [31:0] f3 = c0 + c2;
+  wire [31:0] f0 = c0 - c2;
+  wire [31:0] f2 = (32'd181 * (d4 + d5) + 32'd128) >>> 8;
+  wire [31:0] f4 = (32'd181 * (d4 - d5) + 32'd128) >>> 8;
+  // fourth stage, with clipping
+  wire [31:0] t0 = (f7 + d1) >>> 14;
+  wire [31:0] t1 = (f3 + f2) >>> 14;
+  wire [31:0] t2 = (f0 + f4) >>> 14;
+  wire [31:0] t3 = (f8 + d6) >>> 14;
+  wire [31:0] t4 = (f8 - d6) >>> 14;
+  wire [31:0] t5 = (f0 - f4) >>> 14;
+  wire [31:0] t6 = (f3 - f2) >>> 14;
+  wire [31:0] t7 = (f7 - d1) >>> 14;
+  assign o0 = $signed(t0) < $signed(-32'd256) ? 9'd256 : ($signed(t0) > $signed(32'd255) ? 9'd255 : t0[8:0]);
+  assign o1 = $signed(t1) < $signed(-32'd256) ? 9'd256 : ($signed(t1) > $signed(32'd255) ? 9'd255 : t1[8:0]);
+  assign o2 = $signed(t2) < $signed(-32'd256) ? 9'd256 : ($signed(t2) > $signed(32'd255) ? 9'd255 : t2[8:0]);
+  assign o3 = $signed(t3) < $signed(-32'd256) ? 9'd256 : ($signed(t3) > $signed(32'd255) ? 9'd255 : t3[8:0]);
+  assign o4 = $signed(t4) < $signed(-32'd256) ? 9'd256 : ($signed(t4) > $signed(32'd255) ? 9'd255 : t4[8:0]);
+  assign o5 = $signed(t5) < $signed(-32'd256) ? 9'd256 : ($signed(t5) > $signed(32'd255) ? 9'd255 : t5[8:0]);
+  assign o6 = $signed(t6) < $signed(-32'd256) ? 9'd256 : ($signed(t6) > $signed(32'd255) ? 9'd255 : t6[8:0]);
+  assign o7 = $signed(t7) < $signed(-32'd256) ? 9'd256 : ($signed(t7) > $signed(32'd255) ? 9'd255 : t7[8:0]);
+endmodule
+|}
+
+(* Row-wide holding registers used by the stream adapters. *)
+let buffers =
+  {|
+// An 8-lane register row with load enable (12-bit lanes).
+module row12 (clk, rst, en, d0, d1, d2, d3, d4, d5, d6, d7,
+              q0, q1, q2, q3, q4, q5, q6, q7);
+  input clk, rst, en;
+  input [11:0] d0, d1, d2, d3, d4, d5, d6, d7;
+  output [11:0] q0, q1, q2, q3, q4, q5, q6, q7;
+  reg [11:0] q0, q1, q2, q3, q4, q5, q6, q7;
+  always @(posedge clk)
+    if (rst) begin
+      q0 <= 12'd0; q1 <= 12'd0; q2 <= 12'd0; q3 <= 12'd0;
+      q4 <= 12'd0; q5 <= 12'd0; q6 <= 12'd0; q7 <= 12'd0;
+    end else if (en) begin
+      q0 <= d0; q1 <= d1; q2 <= d2; q3 <= d3;
+      q4 <= d4; q5 <= d5; q6 <= d6; q7 <= d7;
+    end
+endmodule
+
+// An 8-lane register row with load enable (9-bit lanes).
+module row9 (clk, rst, en, d0, d1, d2, d3, d4, d5, d6, d7,
+             q0, q1, q2, q3, q4, q5, q6, q7);
+  input clk, rst, en;
+  input [8:0] d0, d1, d2, d3, d4, d5, d6, d7;
+  output [8:0] q0, q1, q2, q3, q4, q5, q6, q7;
+  reg [8:0] q0, q1, q2, q3, q4, q5, q6, q7;
+  always @(posedge clk)
+    if (rst) begin
+      q0 <= 9'd0; q1 <= 9'd0; q2 <= 9'd0; q3 <= 9'd0;
+      q4 <= 9'd0; q5 <= 9'd0; q6 <= 9'd0; q7 <= 9'd0;
+    end else if (en) begin
+      q0 <= d0; q1 <= d1; q2 <= d2; q3 <= d3;
+      q4 <= d4; q5 <= d5; q6 <= d6; q7 <= d7;
+    end
+endmodule
+|}
+
+(* Balanced 8:1 selection (what a [case] statement synthesizes to). *)
+let mux8 sel name_of =
+  let leaf i = name_of i in
+  Printf.sprintf
+    "%s[2] ? (%s[1] ? (%s[0] ? %s : %s) : (%s[0] ? %s : %s)) : (%s[1] ? (%s[0] ? %s : %s) : (%s[0] ? %s : %s))"
+    sel sel sel (leaf 7) (leaf 6) sel (leaf 5) (leaf 4)
+    sel sel (leaf 3) (leaf 2) sel (leaf 1) (leaf 0)
+
+(* Shared port list of the stream tops. *)
+let top_ports =
+  "clk, rst, s_valid, s_last, s_data0, s_data1, s_data2, s_data3, s_data4, \
+   s_data5, s_data6, s_data7, m_ready, s_ready, m_valid, m_last, m_data0, \
+   m_data1, m_data2, m_data3, m_data4, m_data5, m_data6, m_data7"
+
+let top_port_decls =
+  {|  input clk, rst, s_valid, s_last, m_ready;
+  input [11:0] s_data0, s_data1, s_data2, s_data3, s_data4, s_data5, s_data6, s_data7;
+  output s_ready, m_valid, m_last;
+  output [8:0] m_data0, m_data1, m_data2, m_data3, m_data4, m_data5, m_data6, m_data7;|}
+
+(* Double-buffered output side shared by the initial and 1-row designs:
+   control counters, two banks of row registers, drain muxes. *)
+let output_side =
+  {|  // capture into the bank selected by wr_bank, one matrix per present
+  always @(posedge clk) if (rst) wr_bank <= 1'd0; else if (present) wr_bank <= ~wr_bank;
+  always @(posedge clk) if (rst) rd_bank <= 1'd0; else if (drain_done) rd_bank <= ~rd_bank;
+  always @(posedge clk)
+    if (rst) occ <= 2'd0;
+    else if (present & ~drain_done) occ <= occ + 2'd1;
+    else if (drain_done & ~present) occ <= occ - 2'd1;
+  always @(posedge clk)
+    if (rst) pending <= 2'd0;
+    else if (present & ~drain_done) pending <= pending + 2'd1;
+    else if (drain_done & ~present) pending <= pending - 2'd1;
+  assign m_valid = pending != 2'd0;
+  wire m_fire = m_valid & m_ready;
+  wire drain_done = m_fire & (out_cnt == 3'd7);
+  assign m_last = m_valid & (out_cnt == 3'd7);
+  always @(posedge clk) if (rst) out_cnt <= 3'd0; else if (m_fire) out_cnt <= out_cnt + 3'd1;|}
+
+let bank_instance bank row =
+  Printf.sprintf
+    "  row9 ob%d_%d (.clk(clk), .rst(rst), .en(present & (wr_bank == 1'd%d)), \
+     .d0(y0_%d), .d1(y1_%d), .d2(y2_%d), .d3(y3_%d), .d4(y4_%d), .d5(y5_%d), \
+     .d6(y6_%d), .d7(y7_%d), .q0(ob%dr%d_0), .q1(ob%dr%d_1), .q2(ob%dr%d_2), \
+     .q3(ob%dr%d_3), .q4(ob%dr%d_4), .q5(ob%dr%d_5), .q6(ob%dr%d_6), .q7(ob%dr%d_7));"
+    bank row bank row row row row row row row row
+    bank row bank row bank row bank row bank row bank row bank row bank row
+
+let drain_mux lane =
+  let sel bank =
+    mux8 "out_cnt" (fun r -> Printf.sprintf "ob%dr%d_%d" bank r lane)
+  in
+  Printf.sprintf
+    "  assign m_data%d = rd_bank ? (%s) : (%s);" lane (sel 1) (sel 0)
+
+let bank_wires bank =
+  Printf.sprintf "  wire [8:0] %s;"
+    (String.concat ", "
+       (List.concat
+          (List.init 8 (fun r ->
+               List.init 8 (fun c -> Printf.sprintf "ob%dr%d_%d" bank r c)))))
+
+(* ------------------------------------------------------------------ *)
+(* Initial design: 8 row units + 8 column units, combinational kernel  *)
+(* ------------------------------------------------------------------ *)
+
+let initial_top =
+  let row_buf r =
+    Printf.sprintf
+      "  row12 ib%d (.clk(clk), .rst(rst), .en(in_fire & (in_cnt == 3'd%d)), \
+       .d0(s_data0), .d1(s_data1), .d2(s_data2), .d3(s_data3), .d4(s_data4), \
+       .d5(s_data5), .d6(s_data6), .d7(s_data7), .q0(r%d_0), .q1(r%d_1), \
+       .q2(r%d_2), .q3(r%d_3), .q4(r%d_4), .q5(r%d_5), .q6(r%d_6), .q7(r%d_7));"
+      r r r r r r r r r r
+  in
+  let row_unit_inst r =
+    Printf.sprintf
+      "  idct_row u_row%d (.i0(r%d_0), .i1(r%d_1), .i2(r%d_2), .i3(r%d_3), \
+       .i4(r%d_4), .i5(r%d_5), .i6(r%d_6), .i7(r%d_7), .o0(w%d_0), .o1(w%d_1), \
+       .o2(w%d_2), .o3(w%d_3), .o4(w%d_4), .o5(w%d_5), .o6(w%d_6), .o7(w%d_7));"
+      r r r r r r r r r r r r r r r r r
+  in
+  let col_unit_inst c =
+    Printf.sprintf
+      "  idct_col u_col%d (.i0(w0_%d), .i1(w1_%d), .i2(w2_%d), .i3(w3_%d), \
+       .i4(w4_%d), .i5(w5_%d), .i6(w6_%d), .i7(w7_%d), .o0(y%d_0), .o1(y%d_1), \
+       .o2(y%d_2), .o3(y%d_3), .o4(y%d_4), .o5(y%d_5), .o6(y%d_6), .o7(y%d_7));"
+      c c c c c c c c c c c c c c c c c
+  in
+  let wires prefix width =
+    Printf.sprintf "  wire [%d:0] %s;" (width - 1)
+      (String.concat ", "
+         (List.concat
+            (List.init 8 (fun a ->
+                 List.init 8 (fun b -> Printf.sprintf "%s%d_%d" prefix a b)))))
+  in
+  String.concat "\n"
+    ([
+       "module idct_v_initial (" ^ top_ports ^ ");";
+       top_port_decls;
+       "  reg [2:0] in_cnt, out_cnt;";
+       "  reg full, wr_bank, rd_bank;";
+       "  reg [1:0] occ, pending;";
+       "  wire present = full & (occ < 2'd2);";
+       "  assign s_ready = ~full | present;";
+       "  wire in_fire = s_valid & s_ready;";
+       "  wire last_beat = in_fire & (in_cnt == 3'd7);";
+       "  always @(posedge clk) if (rst) in_cnt <= 3'd0; else if (in_fire) in_cnt <= in_cnt + 3'd1;";
+       "  always @(posedge clk) if (rst) full <= 1'd0; else if (last_beat) full <= 1'd1; else if (present) full <= 1'd0;";
+       wires "r" 12;
+       wires "w" 16;
+       wires "y" 9;
+     ]
+    @ List.init 8 row_buf
+    @ List.init 8 row_unit_inst
+    @ List.init 8 col_unit_inst
+    @ [ bank_wires 0; bank_wires 1 ]
+    @ List.init 2 (fun b -> String.concat "\n" (List.init 8 (bank_instance b)))
+    @ [ output_side ]
+    @ List.init 8 drain_mux
+    @ [ "endmodule" ])
+
+let initial_source =
+  String.concat "\n" [ row_unit; col_unit; buffers; initial_top ]
+
+let initial_circuit () =
+  Vlog.Elaborate.circuit_of_string ~top:"idct_v_initial" initial_source
+
+(* ------------------------------------------------------------------ *)
+(* One row unit + 8 column units                                        *)
+(* ------------------------------------------------------------------ *)
+
+let row16_buffer =
+  {|
+// An 8-lane register row with load enable (16-bit lanes).
+module row16 (clk, rst, en, d0, d1, d2, d3, d4, d5, d6, d7,
+              q0, q1, q2, q3, q4, q5, q6, q7);
+  input clk, rst, en;
+  input [15:0] d0, d1, d2, d3, d4, d5, d6, d7;
+  output [15:0] q0, q1, q2, q3, q4, q5, q6, q7;
+  reg [15:0] q0, q1, q2, q3, q4, q5, q6, q7;
+  always @(posedge clk)
+    if (rst) begin
+      q0 <= 16'd0; q1 <= 16'd0; q2 <= 16'd0; q3 <= 16'd0;
+      q4 <= 16'd0; q5 <= 16'd0; q6 <= 16'd0; q7 <= 16'd0;
+    end else if (en) begin
+      q0 <= d0; q1 <= d1; q2 <= d2; q3 <= d3;
+      q4 <= d4; q5 <= d5; q6 <= d6; q7 <= d7;
+    end
+endmodule
+|}
+
+let row8col_top =
+  let mid_buf r =
+    Printf.sprintf
+      "  row16 mb%d (.clk(clk), .rst(rst), .en(in_fire & (in_cnt == 3'd%d)), \
+       .d0(rr_0), .d1(rr_1), .d2(rr_2), .d3(rr_3), .d4(rr_4), .d5(rr_5), \
+       .d6(rr_6), .d7(rr_7), .q0(w%d_0), .q1(w%d_1), .q2(w%d_2), .q3(w%d_3), \
+       .q4(w%d_4), .q5(w%d_5), .q6(w%d_6), .q7(w%d_7));"
+      r r r r r r r r r r
+  in
+  let col_unit_inst c =
+    Printf.sprintf
+      "  idct_col u_col%d (.i0(w0_%d), .i1(w1_%d), .i2(w2_%d), .i3(w3_%d), \
+       .i4(w4_%d), .i5(w5_%d), .i6(w6_%d), .i7(w7_%d), .o0(y%d_0), .o1(y%d_1), \
+       .o2(y%d_2), .o3(y%d_3), .o4(y%d_4), .o5(y%d_5), .o6(y%d_6), .o7(y%d_7));"
+      c c c c c c c c c c c c c c c c c
+  in
+  let wires prefix width =
+    Printf.sprintf "  wire [%d:0] %s;" (width - 1)
+      (String.concat ", "
+         (List.concat
+            (List.init 8 (fun a ->
+                 List.init 8 (fun b -> Printf.sprintf "%s%d_%d" prefix a b)))))
+  in
+  String.concat "\n"
+    ([
+       "module idct_v_row8col (" ^ top_ports ^ ");";
+       top_port_decls;
+       "  reg [2:0] in_cnt, out_cnt;";
+       "  reg full, wr_bank, rd_bank;";
+       "  reg [1:0] occ, pending;";
+       "  wire present = full & (occ < 2'd2);";
+       "  assign s_ready = ~full | present;";
+       "  wire in_fire = s_valid & s_ready;";
+       "  wire last_beat = in_fire & (in_cnt == 3'd7);";
+       "  always @(posedge clk) if (rst) in_cnt <= 3'd0; else if (in_fire) in_cnt <= in_cnt + 3'd1;";
+       "  always @(posedge clk) if (rst) full <= 1'd0; else if (last_beat) full <= 1'd1; else if (present) full <= 1'd0;";
+       "  // single row unit applied to the incoming beat";
+       "  wire [15:0] rr_0, rr_1, rr_2, rr_3, rr_4, rr_5, rr_6, rr_7;";
+       "  idct_row u_row (.i0(s_data0), .i1(s_data1), .i2(s_data2), \
+        .i3(s_data3), .i4(s_data4), .i5(s_data5), .i6(s_data6), .i7(s_data7), \
+        .o0(rr_0), .o1(rr_1), .o2(rr_2), .o3(rr_3), .o4(rr_4), .o5(rr_5), \
+        .o6(rr_6), .o7(rr_7));";
+       wires "w" 16;
+       wires "y" 9;
+     ]
+    @ List.init 8 mid_buf
+    @ List.init 8 col_unit_inst
+    @ [ bank_wires 0; bank_wires 1 ]
+    @ List.init 2 (fun b -> String.concat "\n" (List.init 8 (bank_instance b)))
+    @ [ output_side ]
+    @ List.init 8 drain_mux
+    @ [ "endmodule" ])
+
+let row8col_source =
+  String.concat "\n" [ row_unit; col_unit; row16_buffer; buffers; row8col_top ]
+
+let row8col_circuit () =
+  Vlog.Elaborate.circuit_of_string ~top:"idct_v_row8col" row8col_source
+
+(* ------------------------------------------------------------------ *)
+(* One row unit + one column unit (the paper's optimized design)        *)
+(* ------------------------------------------------------------------ *)
+
+let lane9_buffer =
+  {|
+// A 9-bit x8 row register written one lane at a time.
+module lane9 (clk, rst, en, sel, d, q0, q1, q2, q3, q4, q5, q6, q7);
+  input clk, rst, en;
+  input [2:0] sel;
+  input [8:0] d;
+  output [8:0] q0, q1, q2, q3, q4, q5, q6, q7;
+  reg [8:0] q0, q1, q2, q3, q4, q5, q6, q7;
+  always @(posedge clk)
+    if (rst) begin
+      q0 <= 9'd0; q1 <= 9'd0; q2 <= 9'd0; q3 <= 9'd0;
+      q4 <= 9'd0; q5 <= 9'd0; q6 <= 9'd0; q7 <= 9'd0;
+    end else if (en) begin
+      if (sel == 3'd0) q0 <= d;
+      if (sel == 3'd1) q1 <= d;
+      if (sel == 3'd2) q2 <= d;
+      if (sel == 3'd3) q3 <= d;
+      if (sel == 3'd4) q4 <= d;
+      if (sel == 3'd5) q5 <= d;
+      if (sel == 3'd6) q6 <= d;
+      if (sel == 3'd7) q7 <= d;
+    end
+endmodule
+|}
+
+let rowcol_top =
+  let mid_buf bank r =
+    Printf.sprintf
+      "  row16 mb%d_%d (.clk(clk), .rst(rst), .en(in_fire & (cnt == 3'd%d) & \
+       (bank == 1'd%d)), .d0(rr_0), .d1(rr_1), .d2(rr_2), .d3(rr_3), \
+       .d4(rr_4), .d5(rr_5), .d6(rr_6), .d7(rr_7), .q0(w%d_%d_0), \
+       .q1(w%d_%d_1), .q2(w%d_%d_2), .q3(w%d_%d_3), .q4(w%d_%d_4), \
+       .q5(w%d_%d_5), .q6(w%d_%d_6), .q7(w%d_%d_7));"
+      bank r r bank bank r bank r bank r bank r bank r bank r bank r bank r
+  in
+  let mid_wires bank =
+    Printf.sprintf "  wire [15:0] %s;"
+      (String.concat ", "
+         (List.concat
+            (List.init 8 (fun r ->
+                 List.init 8 (fun c -> Printf.sprintf "w%d_%d_%d" bank r c)))))
+  in
+  (* Column [cnt] of the bank written last frame. *)
+  let col_sel r =
+    let pick bank = mux8 "cnt" (fun c -> Printf.sprintf "w%d_%d_%d" bank r c) in
+    Printf.sprintf "  wire [15:0] ci_%d = bank ? (%s) : (%s);" r (pick 0) (pick 1)
+  in
+  let out_buf bank r =
+    Printf.sprintf
+      "  lane9 ob%d_%d (.clk(clk), .rst(rst), .en(b_live & go & (bank == 1'd%d)), \
+       .sel(cnt), .d(cy_%d), .q0(ob%dr%d_0), .q1(ob%dr%d_1), .q2(ob%dr%d_2), \
+       .q3(ob%dr%d_3), .q4(ob%dr%d_4), .q5(ob%dr%d_5), .q6(ob%dr%d_6), .q7(ob%dr%d_7));"
+      bank r bank r bank r bank r bank r bank r bank r bank r bank r bank r
+  in
+  let drain_mux_rc lane =
+    let pick bank = mux8 "cnt" (fun r -> Printf.sprintf "ob%dr%d_%d" bank r lane) in
+    Printf.sprintf "  assign m_data%d = bank ? (%s) : (%s);" lane (pick 0) (pick 1)
+  in
+  String.concat "\n"
+    ([
+       "module idct_v_rowcol (" ^ top_ports ^ ");";
+       top_port_decls;
+       "  // three 8-cycle phases in lockstep: collect+row pass, column pass, drain";
+       "  reg [2:0] cnt;";
+       "  reg a_live, b_live, c_live, bank;";
+       "  wire at0 = cnt == 3'd0;";
+       "  wire at7 = cnt == 3'd7;";
+       "  wire collecting = at0 ? s_valid : a_live;";
+       "  wire in_ok = ~collecting | s_valid;";
+       "  wire out_ok = ~c_live | m_ready;";
+       "  wire any_work = s_valid | a_live | b_live | c_live;";
+       "  wire go = in_ok & out_ok & any_work;";
+       "  wire frame_end = go & at7;";
+       "  always @(posedge clk) if (rst) cnt <= 3'd0; else if (go) cnt <= cnt + 3'd1;";
+       "  always @(posedge clk) if (rst) a_live <= 1'd0; else if (go & at0) a_live <= s_valid; else if (frame_end) a_live <= 1'd0;";
+       "  always @(posedge clk) if (rst) b_live <= 1'd0; else if (frame_end) b_live <= collecting;";
+       "  always @(posedge clk) if (rst) c_live <= 1'd0; else if (frame_end) c_live <= b_live;";
+       "  always @(posedge clk) if (rst) bank <= 1'd0; else if (frame_end) bank <= ~bank;";
+       "  assign s_ready = collecting & go;";
+       "  wire in_fire = s_valid & s_ready;";
+       "  // stage A: the single row unit processes the incoming beat";
+       "  wire [15:0] rr_0, rr_1, rr_2, rr_3, rr_4, rr_5, rr_6, rr_7;";
+       "  idct_row u_row (.i0(s_data0), .i1(s_data1), .i2(s_data2), \
+        .i3(s_data3), .i4(s_data4), .i5(s_data5), .i6(s_data6), .i7(s_data7), \
+        .o0(rr_0), .o1(rr_1), .o2(rr_2), .o3(rr_3), .o4(rr_4), .o5(rr_5), \
+        .o6(rr_6), .o7(rr_7));";
+       mid_wires 0;
+       mid_wires 1;
+     ]
+    @ List.concat (List.init 2 (fun b -> List.init 8 (mid_buf b)))
+    @ List.init 8 col_sel
+    @ [
+        "  // stage B: the single column unit processes column [cnt]";
+        "  wire [8:0] cy_0, cy_1, cy_2, cy_3, cy_4, cy_5, cy_6, cy_7;";
+        "  idct_col u_col (.i0(ci_0), .i1(ci_1), .i2(ci_2), .i3(ci_3), \
+         .i4(ci_4), .i5(ci_5), .i6(ci_6), .i7(ci_7), .o0(cy_0), .o1(cy_1), \
+         .o2(cy_2), .o3(cy_3), .o4(cy_4), .o5(cy_5), .o6(cy_6), .o7(cy_7));";
+        bank_wires 0;
+        bank_wires 1;
+      ]
+    @ List.concat (List.init 2 (fun b -> List.init 8 (out_buf b)))
+    @ [
+        "  // stage C: drain row [cnt] of the other bank";
+        "  assign m_valid = c_live & in_ok;";
+        "  assign m_last = m_valid & at7;";
+      ]
+    @ List.init 8 drain_mux_rc
+    @ [ "endmodule" ])
+
+let rowcol_source =
+  String.concat "\n"
+    [ row_unit; col_unit; row16_buffer; lane9_buffer; rowcol_top ]
+
+let rowcol_circuit () =
+  Vlog.Elaborate.circuit_of_string ~top:"idct_v_rowcol" rowcol_source

@@ -1,0 +1,1 @@
+lib/dslx/emit.ml: Hw Ir List Printf String

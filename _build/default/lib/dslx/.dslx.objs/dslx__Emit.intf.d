@@ -1,0 +1,1 @@
+lib/dslx/emit.mli: Ir

@@ -1,0 +1,1 @@
+lib/dslx/idct_dslx.ml: Array Axis Hw Idct Ir List Lower Printf Typecheck

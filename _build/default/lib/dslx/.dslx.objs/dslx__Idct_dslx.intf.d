@@ -1,0 +1,1 @@
+lib/dslx/idct_dslx.mli: Hw Ir

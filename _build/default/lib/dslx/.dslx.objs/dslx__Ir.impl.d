@@ -1,0 +1,1 @@
+lib/dslx/ir.ml: Format Hw List

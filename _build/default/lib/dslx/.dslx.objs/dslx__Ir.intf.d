@@ -1,0 +1,1 @@
+lib/dslx/ir.mli: Format Hw

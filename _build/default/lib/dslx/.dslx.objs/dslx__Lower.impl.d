@@ -1,0 +1,1 @@
+lib/dslx/lower.ml: Array Bits Builder Hw Ir List Netlist Printf

@@ -1,0 +1,1 @@
+lib/dslx/lower.mli: Hw Ir

@@ -1,0 +1,1 @@
+lib/dslx/typecheck.ml: Format Hw Ir List Printf Result

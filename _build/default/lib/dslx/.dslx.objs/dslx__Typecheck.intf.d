@@ -1,0 +1,1 @@
+lib/dslx/typecheck.mli: Ir

@@ -1,0 +1,76 @@
+let binop_sym (op : Hw.Netlist.binop) =
+  match op with
+  | Hw.Netlist.Add -> "+"
+  | Hw.Netlist.Sub -> "-"
+  | Hw.Netlist.Mul -> "*"
+  | Hw.Netlist.And -> "&"
+  | Hw.Netlist.Or -> "|"
+  | Hw.Netlist.Xor -> "^"
+  | Hw.Netlist.Shl -> "<<"
+  | Hw.Netlist.Shr -> ">>"
+  | Hw.Netlist.Sra -> ">>"
+  | Hw.Netlist.Eq -> "=="
+  | Hw.Netlist.Ne -> "!="
+  | Hw.Netlist.Lt _ -> "<"
+  | Hw.Netlist.Le _ -> "<="
+
+let rec ty_str (t : Ir.ty) =
+  match t with
+  | Ir.Bits w -> Printf.sprintf "s%d" w
+  | Ir.Array (elt, n) -> Printf.sprintf "%s[%d]" (ty_str elt) n
+
+let rec expr_str (e : Ir.expr) =
+  match e with
+  | Ir.Var x -> x
+  | Ir.Lit { width; value } -> Printf.sprintf "s%d:%d" width value
+  | Ir.Bin (op, a, b) ->
+      Printf.sprintf "%s %s %s" (atom a) (binop_sym op) (atom b)
+  | Ir.Not a -> "!" ^ atom a
+  | Ir.Neg a -> "-" ^ atom a
+  | Ir.Cast (a, w, `Signed) -> Printf.sprintf "(%s as s%d)" (expr_str a) w
+  | Ir.Cast (a, w, `Unsigned) -> Printf.sprintf "(%s as u%d)" (expr_str a) w
+  | Ir.If (c, t, f) ->
+      Printf.sprintf "if %s { %s } else { %s }" (expr_str c) (expr_str t)
+        (expr_str f)
+  | Ir.Index (a, i) -> Printf.sprintf "%s[%s]" (atom a) (expr_str i)
+  | Ir.Update (a, i, v) ->
+      Printf.sprintf "update(%s, %s, %s)" (expr_str a) (expr_str i)
+        (expr_str v)
+  | Ir.ArrayLit es ->
+      Printf.sprintf "[%s]" (String.concat ", " (List.map expr_str es))
+  | Ir.Let _ -> String.concat "\n" (let_lines "  " e)
+  | Ir.Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_str args))
+  | Ir.For { var; count; acc; init; body } ->
+      Printf.sprintf "for (%s, %s) in u32:0..u32:%d {\n%s\n  }(%s)" var acc
+        count
+        (String.concat "\n" (let_lines "    " body))
+        (expr_str init)
+
+and let_lines indent (e : Ir.expr) =
+  match e with
+  | Ir.Let (x, v, body) ->
+      (Printf.sprintf "%slet %s = %s;" indent x (expr_str v))
+      :: let_lines indent body
+  | _ -> [ indent ^ expr_str e ]
+
+and atom (e : Ir.expr) =
+  match e with
+  | Ir.Var _ | Ir.Lit _ | Ir.Index _ | Ir.Call _ | Ir.ArrayLit _ | Ir.Cast _
+  | Ir.Update _ ->
+      expr_str e
+  | Ir.Bin _ | Ir.Not _ | Ir.Neg _ | Ir.If _ | Ir.Let _ | Ir.For _ ->
+      "(" ^ expr_str e ^ ")"
+
+let emit_fn (f : Ir.fn) =
+  let params =
+    String.concat ", "
+      (List.map
+         (fun (p : Ir.param) -> Printf.sprintf "%s: %s" p.pname (ty_str p.pty))
+         f.params)
+  in
+  Printf.sprintf "fn %s(%s) -> %s {\n%s\n}\n" f.fname params (ty_str f.ret)
+    (String.concat "\n" (let_lines "  " f.body))
+
+let emit (p : Ir.program) =
+  String.concat "\n" (List.map emit_fn p.fns)

@@ -1,0 +1,32 @@
+type ty = Bits of int | Array of ty * int
+
+type expr =
+  | Var of string
+  | Lit of { width : int; value : int }
+  | Bin of Hw.Netlist.binop * expr * expr
+  | Not of expr
+  | Neg of expr
+  | Cast of expr * int * [ `Signed | `Unsigned ]
+  | If of expr * expr * expr
+  | Index of expr * expr
+  | Update of expr * expr * expr
+  | ArrayLit of expr list
+  | Let of string * expr * expr
+  | Call of string * expr list
+  | For of { var : string; count : int; acc : string; init : expr; body : expr }
+
+type param = { pname : string; pty : ty }
+type fn = { fname : string; params : param list; ret : ty; body : expr }
+type program = { fns : fn list; top : string }
+
+let find_fn p name = List.find (fun f -> f.fname = name) p.fns
+
+let rec ty_equal a b =
+  match (a, b) with
+  | Bits x, Bits y -> x = y
+  | Array (t, n), Array (u, m) -> n = m && ty_equal t u
+  | Bits _, Array _ | Array _, Bits _ -> false
+
+let rec pp_ty ppf = function
+  | Bits w -> Format.fprintf ppf "bits[%d]" w
+  | Array (t, n) -> Format.fprintf ppf "%a[%d]" pp_ty t n

@@ -1,0 +1,42 @@
+(** A dataflow-oriented functional language (the repository's DSLX stand-in,
+    the input language of XLS).
+
+    Programs are first-order pure functions over fixed-width bit vectors
+    and fixed-size arrays.  Loops are counted folds ({!constructor-For}),
+    fully unrolled at elaboration; all widths are explicit (casts included),
+    as in DSLX.  The compiler ({!Lower}) elaborates the top function to a
+    combinational circuit; {!Hw.Pipeline} then retimes it into the
+    requested number of stages — the single knob the paper sweeps for
+    XLS. *)
+
+type ty = Bits of int | Array of ty * int
+
+type expr =
+  | Var of string
+  | Lit of { width : int; value : int }
+  | Bin of Hw.Netlist.binop * expr * expr
+      (** width-strict, like DSLX; shifts take a constant amount *)
+  | Not of expr
+  | Neg of expr
+  | Cast of expr * int * [ `Signed | `Unsigned ]
+      (** [e as sN]/[e as uN]: sign- or zero-extends/truncates *)
+  | If of expr * expr * expr
+  | Index of expr * expr
+      (** array indexing; a non-static index elaborates to a selector *)
+  | Update of expr * expr * expr
+      (** functional array update; a non-static index becomes write muxes *)
+  | ArrayLit of expr list
+  | Let of string * expr * expr
+  | Call of string * expr list
+  | For of { var : string; count : int; acc : string; init : expr; body : expr }
+      (** [for (var, acc) in 0..count { body }(init)] — a counted fold *)
+
+type param = { pname : string; pty : ty }
+type fn = { fname : string; params : param list; ret : ty; body : expr }
+type program = { fns : fn list; top : string }
+
+val find_fn : program -> string -> fn
+(** @raise Not_found *)
+
+val ty_equal : ty -> ty -> bool
+val pp_ty : Format.formatter -> ty -> unit

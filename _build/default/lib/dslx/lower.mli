@@ -1,0 +1,15 @@
+(** Elaboration of {!Ir} programs to combinational circuits.
+
+    The top function's parameters become input ports and its result becomes
+    output ports; arrays are flattened element-wise ([name_0], [name_1],
+    ...).  Calls are inlined, [For] loops unrolled, loop indices evaluated
+    statically; a dynamic array index elaborates to a selection tree and a
+    dynamic update to per-element write muxes. *)
+
+val circuit : Ir.program -> Hw.Netlist.t
+(** Elaborates [program.top].  @raise Failure on an ill-typed program (run
+    {!Typecheck.check_program} first for a proper diagnosis). *)
+
+val interpret : Ir.program -> int list -> int list
+(** Software evaluation of the top function on flattened unsigned inputs —
+    the language's reference semantics, used to validate elaboration. *)

@@ -1,0 +1,124 @@
+let ( let* ) = Result.bind
+
+let rec infer (p : Ir.program) env (e : Ir.expr) : (Ir.ty, string) result =
+  match e with
+  | Ir.Var x -> (
+      match List.assoc_opt x env with
+      | Some t -> Ok t
+      | None -> Error (Printf.sprintf "unbound variable %s" x))
+  | Ir.Lit { width; _ } ->
+      if width >= 1 && width <= Hw.Bits.max_width then Ok (Ir.Bits width)
+      else Error (Printf.sprintf "literal width %d out of range" width)
+  | Ir.Bin (op, a, b) -> (
+      let* ta = infer p env a in
+      let* tb = infer p env b in
+      match (ta, tb) with
+      | Ir.Bits wa, Ir.Bits wb -> (
+          match op with
+          | Hw.Netlist.Eq | Hw.Netlist.Ne | Hw.Netlist.Lt _ | Hw.Netlist.Le _
+            ->
+              if wa = wb then Ok (Ir.Bits 1)
+              else Error (Printf.sprintf "comparison widths %d vs %d" wa wb)
+          | Hw.Netlist.Shl | Hw.Netlist.Shr | Hw.Netlist.Sra -> Ok (Ir.Bits wa)
+          | Hw.Netlist.Add | Hw.Netlist.Sub | Hw.Netlist.Mul | Hw.Netlist.And
+          | Hw.Netlist.Or | Hw.Netlist.Xor ->
+              if wa = wb then Ok (Ir.Bits wa)
+              else Error (Printf.sprintf "operand widths %d vs %d" wa wb))
+      | _ -> Error "operator applied to arrays")
+  | Ir.Not a | Ir.Neg a -> (
+      let* t = infer p env a in
+      match t with
+      | Ir.Bits _ -> Ok t
+      | Ir.Array _ -> Error "unary operator applied to an array")
+  | Ir.Cast (a, w, _) -> (
+      let* t = infer p env a in
+      match t with
+      | Ir.Bits _ ->
+          if w >= 1 && w <= Hw.Bits.max_width then Ok (Ir.Bits w)
+          else Error "cast width out of range"
+      | Ir.Array _ -> Error "cast applied to an array")
+  | Ir.If (c, t, f) -> (
+      let* tc = infer p env c in
+      match tc with
+      | Ir.Bits 1 ->
+          let* tt = infer p env t in
+          let* tf = infer p env f in
+          if Ir.ty_equal tt tf then Ok tt else Error "if arms differ in type"
+      | _ -> Error "if condition must be bits[1]")
+  | Ir.Index (arr, idx) -> (
+      let* ta = infer p env arr in
+      let* ti = infer p env idx in
+      match (ta, ti) with
+      | Ir.Array (elt, _), Ir.Bits _ -> Ok elt
+      | _ -> Error "indexing a non-array (or non-scalar index)")
+  | Ir.Update (arr, idx, v) -> (
+      let* ta = infer p env arr in
+      let* ti = infer p env idx in
+      let* tv = infer p env v in
+      match (ta, ti) with
+      | Ir.Array (elt, _), Ir.Bits _ ->
+          if Ir.ty_equal elt tv then Ok ta
+          else Error "update value type differs from element type"
+      | _ -> Error "updating a non-array")
+  | Ir.ArrayLit [] -> Error "empty array literal"
+  | Ir.ArrayLit (e0 :: rest) ->
+      let* t0 = infer p env e0 in
+      let* () =
+        List.fold_left
+          (fun acc e ->
+            let* () = acc in
+            let* t = infer p env e in
+            if Ir.ty_equal t t0 then Ok ()
+            else Error "array literal elements differ in type")
+          (Ok ()) rest
+      in
+      Ok (Ir.Array (t0, 1 + List.length rest))
+  | Ir.Let (x, v, body) ->
+      let* tv = infer p env v in
+      infer p ((x, tv) :: env) body
+  | Ir.Call (name, args) -> (
+      match List.find_opt (fun (f : Ir.fn) -> f.fname = name) p.fns with
+      | None -> Error (Printf.sprintf "unknown function %s" name)
+      | Some f ->
+          if List.length args <> List.length f.params then
+            Error (Printf.sprintf "%s: arity mismatch" name)
+          else
+            let* () =
+              List.fold_left2
+                (fun acc arg (prm : Ir.param) ->
+                  let* () = acc in
+                  let* t = infer p env arg in
+                  if Ir.ty_equal t prm.pty then Ok ()
+                  else
+                    Error
+                      (Format.asprintf "%s: argument %s expects %a" name
+                         prm.pname Ir.pp_ty prm.pty))
+                (Ok ()) args f.params
+            in
+            Ok f.ret)
+  | Ir.For { var; count; acc; init; body } ->
+      if count < 1 then Error "for count must be positive"
+      else
+        let* ti = infer p env init in
+        let env' = (var, Ir.Bits 32) :: (acc, ti) :: env in
+        let* tb = infer p env' body in
+        if Ir.ty_equal tb ti then Ok ti
+        else Error "for body type differs from accumulator type"
+
+let check_fn p (f : Ir.fn) =
+  let env = List.map (fun (prm : Ir.param) -> (prm.pname, prm.pty)) f.params in
+  let* t = infer p env f.body in
+  if Ir.ty_equal t f.ret then Ok t
+  else Error (Format.asprintf "%s: body type differs from declared %a" f.fname Ir.pp_ty f.ret)
+
+let check_program p =
+  let* () =
+    List.fold_left
+      (fun acc f ->
+        let* () = acc in
+        match check_fn p f with Ok _ -> Ok () | Error e -> Error e)
+      (Ok ()) p.Ir.fns
+  in
+  match List.find_opt (fun (f : Ir.fn) -> f.fname = p.Ir.top) p.Ir.fns with
+  | Some _ -> Ok ()
+  | None -> Error (Printf.sprintf "top function %s not defined" p.Ir.top)

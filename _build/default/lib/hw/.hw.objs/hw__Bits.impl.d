@@ -1,0 +1,1 @@
+lib/hw/bits.ml: Format Int Printf

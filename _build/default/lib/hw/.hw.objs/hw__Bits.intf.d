@@ -1,0 +1,1 @@
+lib/hw/bits.mli: Format

@@ -1,0 +1,1 @@
+lib/hw/builder.ml: Array Bits Hashtbl List Netlist Option Printf

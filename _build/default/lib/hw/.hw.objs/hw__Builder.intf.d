@@ -1,0 +1,1 @@
+lib/hw/builder.mli: Bits Netlist

@@ -1,0 +1,1 @@
+lib/hw/equiv.ml: Format List Netlist Random Sim

@@ -1,0 +1,1 @@
+lib/hw/equiv.mli: Format Netlist

@@ -1,0 +1,1 @@
+lib/hw/instantiate.ml: Array Bits Builder List Netlist Option Printf

@@ -1,0 +1,1 @@
+lib/hw/instantiate.mli: Builder Netlist

@@ -1,0 +1,1 @@
+lib/hw/netlist.ml: Array Bits Format Hashtbl List Option Printf Queue String

@@ -1,0 +1,1 @@
+lib/hw/pipeline.ml: Array Builder Device Float Hashtbl List Netlist Option Printf Timing

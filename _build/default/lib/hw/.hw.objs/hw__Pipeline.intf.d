@@ -1,0 +1,1 @@
+lib/hw/pipeline.mli: Device Netlist

@@ -1,0 +1,1 @@
+lib/hw/sim.ml: Array Bits Hashtbl List Netlist

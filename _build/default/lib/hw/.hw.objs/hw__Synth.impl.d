@@ -1,0 +1,1 @@
+lib/hw/synth.ml: Device Format List Netlist Printf Techmap Timing

@@ -1,0 +1,1 @@
+lib/hw/synth.mli: Device Format Netlist

@@ -1,0 +1,1 @@
+lib/hw/techmap.ml: Array Bits Device List Netlist

@@ -1,0 +1,1 @@
+lib/hw/techmap.mli: Device Netlist

@@ -1,0 +1,1 @@
+lib/hw/timing.ml: Array Device Float Format List Netlist Techmap

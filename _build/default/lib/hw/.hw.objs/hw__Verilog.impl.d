@@ -1,0 +1,1 @@
+lib/hw/verilog.ml: Array Bits Buffer Hashtbl List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/hw/waves.ml: Array Buffer Char Hashtbl List Netlist Printf Sim String

@@ -1,0 +1,1 @@
+lib/hw/waves.mli: Sim

@@ -1,0 +1,110 @@
+type t = { value : int; width : int }
+
+let max_width = 62
+
+let mask width = if width >= 62 then -1 lsr 2 else (1 lsl width) - 1
+
+let create ~width v =
+  if width < 1 || width > max_width then
+    invalid_arg (Printf.sprintf "Bits.create: width %d out of [1..%d]" width max_width);
+  { value = v land mask width; width }
+
+let zero width = create ~width 0
+let one width = create ~width 1
+let ones width = create ~width (-1)
+let width t = t.width
+let to_int t = t.value
+
+let to_signed_int t =
+  if t.width = max_width then t.value
+  else if t.value land (1 lsl (t.width - 1)) <> 0 then t.value - (1 lsl t.width)
+  else t.value
+
+let bit t i =
+  if i < 0 || i >= t.width then invalid_arg "Bits.bit: index out of range";
+  t.value land (1 lsl i) <> 0
+
+let msb t = bit t (t.width - 1)
+
+let check_same a b =
+  if a.width <> b.width then
+    invalid_arg (Printf.sprintf "Bits: width mismatch (%d vs %d)" a.width b.width)
+
+let add a b = check_same a b; create ~width:a.width (a.value + b.value)
+let sub a b = check_same a b; create ~width:a.width (a.value - b.value)
+
+let mul a b =
+  check_same a b;
+  (* Avoid overflow of the OCaml int product for wide operands by working
+     on the low bits only: the result is taken modulo [2^width] anyway. *)
+  if a.width <= 31 then create ~width:a.width (a.value * b.value)
+  else begin
+    let m = mask a.width in
+    let lo_a = a.value land 0xFFFF and hi_a = a.value lsr 16 in
+    let lo = lo_a * b.value in
+    let hi = (hi_a * b.value) lsl 16 in
+    create ~width:a.width ((lo + hi) land m)
+  end
+
+let neg a = create ~width:a.width (-a.value)
+let lognot a = create ~width:a.width (lnot a.value)
+let logand a b = check_same a b; create ~width:a.width (a.value land b.value)
+let logor a b = check_same a b; create ~width:a.width (a.value lor b.value)
+let logxor a b = check_same a b; create ~width:a.width (a.value lxor b.value)
+
+let shift_left a n =
+  let s = n.value in
+  if s >= a.width then zero a.width else create ~width:a.width (a.value lsl s)
+
+let shift_right_logical a n =
+  let s = n.value in
+  if s >= a.width then zero a.width else create ~width:a.width (a.value lsr s)
+
+let shift_right_arith a n =
+  let s = min n.value (a.width - 1) in
+  create ~width:a.width (to_signed_int a asr s)
+
+let of_bool b = if b then one 1 else zero 1
+let eq a b = check_same a b; of_bool (a.value = b.value)
+let ne a b = check_same a b; of_bool (a.value <> b.value)
+
+let lt ~signed a b =
+  check_same a b;
+  if signed then of_bool (to_signed_int a < to_signed_int b)
+  else of_bool (a.value < b.value)
+
+let le ~signed a b =
+  check_same a b;
+  if signed then of_bool (to_signed_int a <= to_signed_int b)
+  else of_bool (a.value <= b.value)
+
+let slice t ~hi ~lo =
+  if lo < 0 || hi >= t.width || hi < lo then
+    invalid_arg (Printf.sprintf "Bits.slice: [%d:%d] of width %d" hi lo t.width);
+  create ~width:(hi - lo + 1) (t.value lsr lo)
+
+let concat hi lo =
+  let width = hi.width + lo.width in
+  if width > max_width then invalid_arg "Bits.concat: result too wide";
+  create ~width ((hi.value lsl lo.width) lor lo.value)
+
+let uext t w = create ~width:w t.value
+let sext t w = create ~width:w (to_signed_int t)
+let equal a b = a.width = b.width && a.value = b.value
+
+let compare a b =
+  match Int.compare a.width b.width with
+  | 0 -> Int.compare a.value b.value
+  | c -> c
+
+let pp ppf t = Format.fprintf ppf "%d'd%d" t.width t.value
+let to_string t = Format.asprintf "%a" pp t
+
+let width_for_signed_range lo hi =
+  let rec fit w =
+    if w >= max_width then max_width
+    else
+      let half = 1 lsl (w - 1) in
+      if lo >= -half && hi < half then w else fit (w + 1)
+  in
+  fit 1

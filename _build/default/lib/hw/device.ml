@@ -1,0 +1,41 @@
+type t = {
+  device_name : string;
+  lut_capacity : int;
+  ff_capacity : int;
+  dsp_capacity : int;
+  io_capacity : int;
+  lut_delay : float;
+  carry_per_bit : float;
+  carry_base : float;
+  dsp_delay : float;
+  clk_to_q : float;
+  setup : float;
+  dsp_a_width : int;
+  dsp_b_width : int;
+}
+
+let xcvu9p =
+  {
+    device_name = "xcvu9p-flgb2104-2-e";
+    lut_capacity = 1_182_240;
+    ff_capacity = 2_364_480;
+    dsp_capacity = 6_840;
+    io_capacity = 702;
+    lut_delay = 0.30;
+    carry_per_bit = 0.010;
+    carry_base = 0.35;
+    dsp_delay = 2.5;
+    clk_to_q = 0.15;
+    setup = 0.10;
+    dsp_a_width = 27;
+    dsp_b_width = 18;
+  }
+
+let utilization t ~luts ~ffs ~dsps =
+  let frac used cap = float_of_int used /. float_of_int cap in
+  List.fold_left max 0.
+    [
+      frac luts t.lut_capacity;
+      frac ffs t.ff_capacity;
+      frac dsps t.dsp_capacity;
+    ]

@@ -1,0 +1,29 @@
+(** FPGA device model.
+
+    Resource capacities follow the paper's target part (Xilinx Virtex
+    UltraScale+ XCVU9P-FLGB2104-2-E); the delay/cost entries are a
+    calibrated UltraScale+-style model used by {!Techmap} and {!Timing}. *)
+
+type t = {
+  device_name : string;
+  lut_capacity : int;
+  ff_capacity : int;
+  dsp_capacity : int;
+  io_capacity : int;
+  (* Timing model, nanoseconds. *)
+  lut_delay : float;       (** one LUT level including local routing *)
+  carry_per_bit : float;   (** incremental carry-chain delay per bit *)
+  carry_base : float;      (** carry-chain entry/exit cost *)
+  dsp_delay : float;       (** combinational multiplier through a DSP slice *)
+  clk_to_q : float;
+  setup : float;
+  (* DSP eligibility. *)
+  dsp_a_width : int;       (** maximum A-port width (27 on DSP48E2) *)
+  dsp_b_width : int;       (** maximum B-port width (18 on DSP48E2) *)
+}
+
+val xcvu9p : t
+(** The paper's device: 1,182,240 LUTs; 2,364,480 FFs; 6,840 DSPs; 702 I/O. *)
+
+val utilization : t -> luts:int -> ffs:int -> dsps:int -> float
+(** Fraction of the dominant resource consumed, in [0, 1+]. *)

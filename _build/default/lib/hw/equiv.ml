@@ -1,0 +1,45 @@
+type result =
+  | Equivalent
+  | Mismatch of { cycle : int; port : string; a : int; b : int }
+
+let check ?(cycles = 64) ?(seed = 42) ?(settle = 0) (ca : Netlist.t)
+    (cb : Netlist.t) =
+  let ports c =
+    List.map (fun (nm, u) -> (nm, (Netlist.node c u).Netlist.width)) c.Netlist.inputs
+  in
+  if ports ca <> ports cb then
+    invalid_arg "Equiv.check: input ports differ";
+  let outs c =
+    List.map (fun (nm, u) -> (nm, (Netlist.node c u).Netlist.width)) c.Netlist.outputs
+  in
+  if outs ca <> outs cb then invalid_arg "Equiv.check: output ports differ";
+  let sa = Sim.create ca and sb = Sim.create cb in
+  let rng = Random.State.make [| seed |] in
+  let result = ref Equivalent in
+  (try
+     for cycle = 0 to cycles - 1 do
+       List.iter
+         (fun (nm, w) ->
+           let v = Random.State.int rng (1 lsl min w 30) in
+           Sim.set sa nm v;
+           Sim.set sb nm v)
+         (ports ca);
+       if cycle >= settle then
+         List.iter
+           (fun (nm, _) ->
+             let a = Sim.get sa nm and b = Sim.get sb nm in
+             if a <> b then begin
+               result := Mismatch { cycle; port = nm; a; b };
+               raise Exit
+             end)
+           (outs ca);
+       Sim.step sa;
+       Sim.step sb
+     done
+   with Exit -> ());
+  !result
+
+let pp_result ppf = function
+  | Equivalent -> Format.fprintf ppf "equivalent"
+  | Mismatch { cycle; port; a; b } ->
+      Format.fprintf ppf "mismatch at cycle %d on %s: %d vs %d" cycle port a b

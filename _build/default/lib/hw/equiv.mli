@@ -1,0 +1,18 @@
+(** Random-simulation equivalence checking.
+
+    Drives two circuits with identical pseudo-random input streams for a
+    number of clock cycles and compares every output each cycle.  This is
+    the workhorse behind the emit/parse round-trip tests and the
+    transformation-validation tests (pipelining, stamping, option
+    sweeps). *)
+
+type result = Equivalent | Mismatch of { cycle : int; port : string; a : int; b : int }
+
+val check :
+  ?cycles:int -> ?seed:int -> ?settle:int -> Netlist.t -> Netlist.t -> result
+(** The circuits must have identical input and output port names/widths
+    ([settle] initial cycles are driven but not compared — use it for
+    circuits whose pipeline depths differ).
+    @raise Invalid_argument on port mismatches. *)
+
+val pp_result : Format.formatter -> result -> unit

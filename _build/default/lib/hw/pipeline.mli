@@ -1,0 +1,15 @@
+(** Automatic pipelining of combinational circuits.
+
+    Splits a purely combinational circuit into [stages] delay-balanced
+    stages and inserts register ranks between them (including a rank on the
+    outputs), the scheduling XLS performs for its pipelined codegen.  A
+    path from any input to any output crosses exactly [stages] registers,
+    so the result has a latency of [stages] cycles at an initiation
+    interval of one. *)
+
+val retime : ?device:Device.t -> stages:int -> Netlist.t -> Netlist.t
+(** @raise Invalid_argument if [stages < 1] or the circuit has registers. *)
+
+val stage_of_nodes : ?device:Device.t -> stages:int -> Netlist.t -> int array
+(** The stage (1-based) assigned to each node — exposed for inspection and
+    tests. *)

@@ -1,0 +1,39 @@
+(** Cycle-accurate two-phase simulation of {!Netlist} circuits.
+
+    The simulator evaluates the combinational fabric in topological order and
+    updates all registers atomically on {!step}.  Values are exchanged as
+    OCaml [int]s in the unsigned representation of the node's width. *)
+
+type t
+
+val create : Netlist.t -> t
+(** Builds evaluation tables.  The circuit must already be valid. *)
+
+val circuit : t -> Netlist.t
+
+val reset : t -> unit
+(** Loads every register with its [init] value.  Inputs keep their current
+    values (initially 0). *)
+
+val set : t -> string -> int -> unit
+(** [set sim port v] drives input [port] with [v] (masked to the port width;
+    negative values are taken as two's complement).
+    @raise Not_found on an unknown input name. *)
+
+val get : t -> string -> int
+(** Unsigned value of an output port, after settling the fabric. *)
+
+val get_signed : t -> string -> int
+
+val step : t -> unit
+(** One rising clock edge: settle, then latch all registers. *)
+
+val step_n : t -> int -> unit
+
+val peek : t -> Netlist.uid -> int
+(** Unsigned value of an arbitrary node, after settling. *)
+
+val peek_signed : t -> Netlist.uid -> int
+
+val cycle_count : t -> int
+(** Number of {!step}s since creation or the last {!reset}. *)

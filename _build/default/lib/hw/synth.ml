@@ -1,0 +1,59 @@
+type report = {
+  circuit_name : string;
+  fmax_mhz : float;
+  period_ns : float;
+  logic_levels : int;
+  luts : int;
+  ffs : int;
+  dsps : int;
+  luts_nodsp : int;
+  ffs_nodsp : int;
+  ios : int;
+  area : int;
+  critical_path : string list;
+}
+
+let run ?(device = Device.xcvu9p) c =
+  let timing = Timing.analyze ~use_dsp:true device c in
+  let with_dsp = Techmap.circuit_cost device ~use_dsp:true c in
+  let no_dsp = Techmap.circuit_cost device ~use_dsp:false c in
+  {
+    circuit_name = c.Netlist.circuit_name;
+    fmax_mhz = timing.Timing.fmax_mhz;
+    period_ns = timing.Timing.period_ns;
+    logic_levels = timing.Timing.logic_levels;
+    luts = with_dsp.Techmap.luts;
+    ffs = with_dsp.Techmap.ffs;
+    dsps = with_dsp.Techmap.dsps;
+    luts_nodsp = no_dsp.Techmap.luts;
+    ffs_nodsp = no_dsp.Techmap.ffs;
+    ios = Techmap.io_bits c;
+    area = no_dsp.Techmap.luts + no_dsp.Techmap.ffs;
+    critical_path =
+      List.map (fun p -> p.Timing.point_desc) timing.Timing.critical_path;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%s:@ fmax = %.2f MHz (period %.2f ns, %d logic levels)@ \
+     N_LUT=%d N_FF=%d N_DSP=%d N_IO=%d@ \
+     N*_LUT=%d N*_FF=%d A=%d@]"
+    r.circuit_name r.fmax_mhz r.period_ns r.logic_levels r.luts r.ffs r.dsps
+    r.ios r.luts_nodsp r.ffs_nodsp r.area
+
+let check_fits (dev : Device.t) r =
+  let checks =
+    [
+      ("LUT", r.luts_nodsp, dev.Device.lut_capacity);
+      ("FF", r.ffs_nodsp, dev.Device.ff_capacity);
+      ("DSP", r.dsps, dev.Device.dsp_capacity);
+      ("IO", r.ios, dev.Device.io_capacity);
+    ]
+  in
+  let over = List.filter (fun (_, used, cap) -> used > cap) checks in
+  match over with
+  | [] -> Ok ()
+  | (name, used, cap) :: _ ->
+      Error
+        (Printf.sprintf "%s: %s over capacity (%d > %d)" r.circuit_name name
+           used cap)

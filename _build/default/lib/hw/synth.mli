@@ -1,0 +1,30 @@
+(** Synthesis driver: runs technology mapping and static timing on a circuit
+    and assembles the report the paper's evaluation consumes.
+
+    Mirrors the paper's procedure: frequency and throughput come from a
+    normal synthesis run (DSP inference enabled); the normalized area
+    [A = N*_LUT + N*_FF] comes from a second mapping with DSPs disabled
+    (Vivado's [maxdsp=0]). *)
+
+type report = {
+  circuit_name : string;
+  fmax_mhz : float;
+  period_ns : float;
+  logic_levels : int;
+  luts : int;          (** N_LUT, DSP inference enabled *)
+  ffs : int;           (** N_FF *)
+  dsps : int;          (** N_DSP *)
+  luts_nodsp : int;    (** N*_LUT, maxdsp=0 *)
+  ffs_nodsp : int;     (** N*_FF *)
+  ios : int;           (** N_IO *)
+  area : int;          (** A = N*_LUT + N*_FF *)
+  critical_path : string list;
+}
+
+val run : ?device:Device.t -> Netlist.t -> report
+(** Synthesizes for {!Device.xcvu9p} unless another device is given. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val check_fits : Device.t -> report -> (unit, string) result
+(** Errors if the design exceeds the device's LUT/FF/DSP/IO capacity. *)

@@ -1,0 +1,127 @@
+type cost = { luts : int; ffs : int; dsps : int }
+
+let zero_cost = { luts = 0; ffs = 0; dsps = 0 }
+
+let ( ++ ) a b =
+  { luts = a.luts + b.luts; ffs = a.ffs + b.ffs; dsps = a.dsps + b.dsps }
+
+let luts n = { zero_cost with luts = n }
+let ffs n = { zero_cost with ffs = n }
+let dsps n = { zero_cost with dsps = n }
+
+(* Canonical signed digit recoding: rewrite runs of ones (e.g. 0111 -> 100-1)
+   so the number of non-zero digits — hence adders/subtractors — is minimal. *)
+let csd_nonzero_digits value =
+  let v = abs value in
+  let count = ref 0 in
+  let v = ref v in
+  while !v <> 0 do
+    if !v land 1 = 1 then begin
+      incr count;
+      (* A digit is +1 or -1; choosing -1 when the next bits form a run of
+         ones (v mod 4 = 3) shortens the remaining representation. *)
+      if !v land 3 = 3 then v := !v + 1 else v := !v - 1
+    end;
+    v := !v asr 1
+  done;
+  !count
+
+let csd_adders value =
+  match abs value with
+  | 0 | 1 -> 0
+  | v -> max 0 (csd_nonzero_digits v - 1)
+
+(* Chase constants through extensions and slices so front ends that wrap
+   literals before use still get shift-add costing. *)
+let rec const_value (c : Netlist.t) (nd : Netlist.node) =
+  match nd.kind with
+  | Netlist.Const b -> Some (Bits.to_signed_int b)
+  | Netlist.Sext a -> const_value c (Netlist.node c a)
+  | Netlist.Uext a -> (
+      match (Netlist.node c a).kind with
+      | Netlist.Const b -> Some (Bits.to_int b)
+      | _ -> None)
+  | _ -> None
+
+let const_mul_operand (c : Netlist.t) (nd : Netlist.node) =
+  match nd.kind with
+  | Netlist.Binop (Netlist.Mul, a, b) -> (
+      match const_value c (Netlist.node c a) with
+      | Some v -> Some v
+      | None -> const_value c (Netlist.node c b))
+  | _ -> None
+
+let is_pow2_or_zero v =
+  let v = abs v in
+  v = 0 || v land (v - 1) = 0
+
+(* A LUT6 implements any 6-input function, or two functions of up to five
+   shared inputs.  Two-input bitwise ops therefore pack two bits per LUT. *)
+let bitwise_luts w = (w + 1) / 2
+
+let dsp_blocks (dev : Device.t) wa wb =
+  let ceil_div a b = (a + b - 1) / b in
+  ceil_div wa dev.dsp_a_width * ceil_div wb dev.dsp_b_width
+
+let variable_shift_levels w =
+  let rec levels k acc = if k >= w then acc else levels (2 * k) (acc + 1) in
+  levels 1 0
+
+let node_cost (dev : Device.t) ~use_dsp (c : Netlist.t) (nd : Netlist.node) =
+  let w = nd.width in
+  match nd.kind with
+  | Netlist.Input _ | Netlist.Const _ | Netlist.Slice _ | Netlist.Concat _
+  | Netlist.Uext _ | Netlist.Sext _ ->
+      zero_cost
+  | Netlist.Unop (Netlist.Not, _) ->
+      (* Inverters are absorbed into downstream LUT init vectors. *)
+      zero_cost
+  | Netlist.Mem_read (m, _) ->
+      (* Distributed (LUT) RAM: a RAM64x1 per bit plus output muxing for
+         deeper memories; write logic is absorbed in the same slices. *)
+      let mem = c.mems.(m) in
+      let per_bit = (mem.Netlist.mem_size + 63) / 64 in
+      luts (mem.Netlist.mem_width * per_bit)
+  | Netlist.Unop (Netlist.Neg, _) -> luts w
+  | Netlist.Reg _ -> ffs w
+  | Netlist.Mux _ -> luts (bitwise_luts w)
+  | Netlist.Binop (op, a, b) -> (
+      let wa = (Netlist.node c a).width and wb = (Netlist.node c b).width in
+      match op with
+      | Netlist.And | Netlist.Or | Netlist.Xor -> luts (bitwise_luts w)
+      | Netlist.Add | Netlist.Sub -> luts w
+      | Netlist.Lt _ | Netlist.Le _ -> luts wa
+      | Netlist.Eq | Netlist.Ne ->
+          (* Pairwise XNOR packing plus an AND-reduce tree. *)
+          luts (bitwise_luts wa + ((wa + 7) / 8))
+      | Netlist.Shl | Netlist.Shr | Netlist.Sra ->
+          (match const_value c (Netlist.node c b) with
+          | Some _ -> zero_cost (* constant shifts are wiring *)
+          | None -> luts (w * variable_shift_levels w / 2))
+      | Netlist.Mul -> (
+          match const_mul_operand c nd with
+          | Some v when is_pow2_or_zero v -> zero_cost
+          | Some v ->
+              let adders = csd_adders v in
+              if use_dsp && w >= 10 && adders >= 3 then
+                dsps
+                  (dsp_blocks dev (min w dev.dsp_a_width)
+                     (min w dev.dsp_b_width))
+              else
+                (* Shift-add network; the 2/3 factor models the sharing a
+                   multiple-constant-multiplication pass and ternary
+                   (carry-save) adders recover in real synthesis. *)
+                luts (((adders * w * 2) + 2) / 3)
+          | None ->
+              if use_dsp then dsps (dsp_blocks dev wa wb)
+              else luts (wa * wb)))
+
+let circuit_cost dev ~use_dsp (c : Netlist.t) =
+  Array.fold_left
+    (fun acc nd -> acc ++ node_cost dev ~use_dsp c nd)
+    zero_cost c.nodes
+
+let io_bits (c : Netlist.t) =
+  let port_width (_, u) = (Netlist.node c u).width in
+  let sum l = List.fold_left (fun acc p -> acc + port_width p) 0 l in
+  sum c.inputs + sum c.outputs + 2

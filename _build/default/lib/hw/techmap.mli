@@ -1,0 +1,36 @@
+(** Technology mapping cost model.
+
+    Maps each netlist node onto FPGA primitives (LUT6 fabric, carry chains,
+    flip-flops, DSP slices) and returns per-node and per-circuit resource
+    counts.  Multiplications by constants are recognized and costed as
+    canonical-signed-digit shift-add networks, the way logic synthesis
+    implements them; [use_dsp = false] models Vivado's [maxdsp=0] setting,
+    which the paper uses to obtain the normalized area
+    [A = N*_LUT + N*_FF]. *)
+
+type cost = { luts : int; ffs : int; dsps : int }
+
+val zero_cost : cost
+val ( ++ ) : cost -> cost -> cost
+
+val node_cost : Device.t -> use_dsp:bool -> Netlist.t -> Netlist.node -> cost
+(** Resources consumed by one node. *)
+
+val circuit_cost : Device.t -> use_dsp:bool -> Netlist.t -> cost
+(** Sum over all nodes. *)
+
+val io_bits : Netlist.t -> int
+(** Number of device I/O pins the circuit needs: the sum of all port widths
+    plus clock and reset. *)
+
+val csd_adders : int -> int
+(** Number of adders in the canonical-signed-digit shift-add network for
+    multiplication by the given (signed) constant: one fewer than the number
+    of non-zero CSD digits, at least 0. *)
+
+val const_mul_operand : Netlist.t -> Netlist.node -> int option
+(** If the node is a multiplication with a constant operand, the constant's
+    signed value. *)
+
+val const_value : Netlist.t -> Netlist.node -> int option
+(** The node's constant value, chasing through sign/zero extensions. *)

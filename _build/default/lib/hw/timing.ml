@@ -1,0 +1,121 @@
+type path_point = { point_uid : Netlist.uid; point_desc : string }
+
+type result = {
+  period_ns : float;
+  fmax_mhz : float;
+  critical_path : path_point list;
+  logic_levels : int;
+}
+
+let adder_delay (dev : Device.t) w =
+  dev.carry_base +. (dev.carry_per_bit *. float_of_int w)
+
+let node_delay (dev : Device.t) ~use_dsp (c : Netlist.t) (nd : Netlist.node) =
+  let w = nd.width in
+  match nd.kind with
+  | Netlist.Input _ | Netlist.Const _ | Netlist.Slice _ | Netlist.Concat _
+  | Netlist.Uext _ | Netlist.Sext _ | Netlist.Reg _
+  | Netlist.Unop (Netlist.Not, _) ->
+      0.
+  | Netlist.Mem_read _ -> 2. *. dev.lut_delay
+  | Netlist.Unop (Netlist.Neg, _) -> adder_delay dev w
+  | Netlist.Mux _ -> dev.lut_delay
+  | Netlist.Binop (op, a, b) -> (
+      let wa = (Netlist.node c a).width in
+      match op with
+      | Netlist.And | Netlist.Or | Netlist.Xor -> dev.lut_delay
+      | Netlist.Add | Netlist.Sub -> adder_delay dev w
+      | Netlist.Lt _ | Netlist.Le _ -> adder_delay dev wa
+      | Netlist.Eq | Netlist.Ne -> 2. *. dev.lut_delay
+      | Netlist.Shl | Netlist.Shr | Netlist.Sra ->
+          (match Techmap.const_value c (Netlist.node c b) with
+          | Some _ -> 0.
+          | None ->
+              let rec levels k acc = if k >= w then acc else levels (2 * k) (acc + 1) in
+              float_of_int (levels 1 0) *. dev.lut_delay)
+      | Netlist.Mul -> (
+          match Techmap.const_mul_operand c nd with
+          | Some v when v = 0 || abs v land (abs v - 1) = 0 -> 0.
+          | Some v ->
+              let adders = Techmap.csd_adders v in
+              if use_dsp && w >= 10 && adders >= 3 then dev.dsp_delay
+              else
+                let rec levels k acc =
+                  if k >= adders + 1 then acc else levels (2 * k) (acc + 1)
+                in
+                float_of_int (max 1 (levels 1 0)) *. adder_delay dev w
+          | None ->
+              if use_dsp then dev.dsp_delay
+              else
+                (* LUT multiplier: partial-product rows folded through a
+                   carry-save tree; depth grows with log of the width. *)
+                let rec levels k acc = if k >= w then acc else levels (2 * k) (acc + 1) in
+                float_of_int (1 + levels 1 0) *. adder_delay dev w))
+
+let analyze ?(use_dsp = true) (dev : Device.t) (c : Netlist.t) =
+  let n = Netlist.num_nodes c in
+  let arrival = Array.make n 0. in
+  let pred = Array.make n (-1) in
+  let order = Netlist.comb_order c in
+  let delay = Array.make n 0. in
+  Array.iter
+    (fun (nd : Netlist.node) -> delay.(nd.uid) <- node_delay dev ~use_dsp c nd)
+    c.nodes;
+  Array.iter
+    (fun u ->
+      let nd = Netlist.node c u in
+      let base =
+        match nd.kind with
+        | Netlist.Reg _ -> dev.clk_to_q
+        | Netlist.Input _ -> 0.
+        | _ ->
+            List.fold_left
+              (fun acc op ->
+                if arrival.(op) > acc then begin
+                  pred.(u) <- op;
+                  arrival.(op)
+                end
+                else acc)
+              0. (Netlist.operands nd)
+      in
+      arrival.(u) <- base +. delay.(u))
+    order;
+  (* Endpoints: register D pins and primary outputs. *)
+  let worst = ref 0. and worst_end = ref (-1) in
+  let consider uid v =
+    if v > !worst then begin
+      worst := v;
+      worst_end := uid
+    end
+  in
+  Array.iter
+    (fun (nd : Netlist.node) ->
+      match nd.kind with
+      | Netlist.Reg { d; _ } -> consider d (arrival.(d) +. dev.setup)
+      | _ -> ())
+    c.nodes;
+  List.iter (fun (_, u) -> consider u (arrival.(u) +. dev.setup)) c.outputs;
+  (* clk-to-q is charged at the launching register, setup at the endpoint;
+     clamp to a 1 ns floor (no practical design closes beyond 1 GHz here). *)
+  let period = Float.max !worst 1.0 in
+  (* Walk the predecessor chain back from the worst endpoint. *)
+  let rec walk uid acc =
+    if uid < 0 then acc
+    else
+      let nd = Netlist.node c uid in
+      let desc =
+        Format.asprintf "n%d %a (%.2fns)" uid Netlist.pp_kind nd.kind
+          delay.(uid)
+      in
+      walk pred.(uid) ({ point_uid = uid; point_desc = desc } :: acc)
+  in
+  let path = if !worst_end >= 0 then walk !worst_end [] else [] in
+  let levels =
+    List.length (List.filter (fun p -> delay.(p.point_uid) > 0.) path)
+  in
+  {
+    period_ns = period;
+    fmax_mhz = 1000. /. period;
+    critical_path = path;
+    logic_levels = levels;
+  }

@@ -1,0 +1,23 @@
+(** Static timing analysis over the mapped netlist.
+
+    Computes the longest register-to-register (or port-to-port) path using
+    the {!Device} delay model, the resulting minimum clock period and
+    maximum frequency.  Delays mirror the {!Techmap} implementation choices
+    (carry chains for adds/compares, CSD shift-add networks or DSP slices
+    for multiplies). *)
+
+type path_point = { point_uid : Netlist.uid; point_desc : string }
+
+type result = {
+  period_ns : float;       (** minimum achievable clock period *)
+  fmax_mhz : float;
+  critical_path : path_point list;  (** source first *)
+  logic_levels : int;      (** nodes with non-zero delay on the path *)
+}
+
+val node_delay : Device.t -> use_dsp:bool -> Netlist.t -> Netlist.node -> float
+(** Propagation delay through one node, nanoseconds. *)
+
+val analyze : ?use_dsp:bool -> Device.t -> Netlist.t -> result
+(** [use_dsp] defaults to [true] (normal synthesis; the paper disables DSPs
+    only for area normalization, not for timing). *)

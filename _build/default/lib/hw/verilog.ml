@@ -1,0 +1,167 @@
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+(* Choose a unique Verilog identifier per node: the debug name when free,
+   otherwise the name suffixed with the uid, otherwise n<uid>. *)
+let build_names (c : Netlist.t) =
+  let used = Hashtbl.create 64 in
+  let keywords =
+    [ "module"; "input"; "output"; "wire"; "reg"; "assign"; "always"; "begin";
+      "end"; "if"; "else"; "posedge"; "signed"; "clk"; "rst" ]
+  in
+  List.iter (fun k -> Hashtbl.replace used k ()) keywords;
+  let names = Array.make (Netlist.num_nodes c) "" in
+  let claim uid candidate =
+    let nm =
+      if Hashtbl.mem used candidate then Printf.sprintf "%s_%d" candidate uid
+      else candidate
+    in
+    Hashtbl.replace used nm ();
+    names.(uid) <- nm
+  in
+  (* Ports first so they keep their declared names. *)
+  List.iter (fun (nm, u) -> claim u (sanitize nm)) c.inputs;
+  Array.iter
+    (fun (nd : Netlist.node) ->
+      if names.(nd.uid) = "" then
+        match nd.name with
+        | Some nm -> claim nd.uid (sanitize nm)
+        | None -> claim nd.uid (Printf.sprintf "n%d" nd.uid))
+    c.nodes;
+  names
+
+let has_regs (c : Netlist.t) =
+  Array.exists Netlist.is_reg c.nodes || Array.length c.mems > 0
+
+let emit (c : Netlist.t) =
+  let names = build_names c in
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let n uid = names.(uid) in
+  let width uid = (Netlist.node c uid).width in
+  let seq = has_regs c in
+  let ports =
+    (if seq then [ "clk"; "rst" ] else [])
+    @ List.map (fun (nm, _) -> sanitize nm) c.inputs
+    @ List.map (fun (nm, _) -> sanitize nm) c.outputs
+  in
+  pr "module %s (\n" (sanitize c.circuit_name);
+  pr "%s\n" (String.concat ",\n" (List.map (fun p -> "  " ^ p) ports));
+  pr ");\n";
+  if seq then begin
+    pr "  input wire clk;\n";
+    pr "  input wire rst;\n"
+  end;
+  List.iter
+    (fun (nm, u) ->
+      if width u = 1 then pr "  input wire %s;\n" (sanitize nm)
+      else pr "  input wire [%d:0] %s;\n" (width u - 1) (sanitize nm))
+    c.inputs;
+  List.iter
+    (fun (nm, u) ->
+      if width u = 1 then pr "  output wire %s;\n" (sanitize nm)
+      else pr "  output wire [%d:0] %s;\n" (width u - 1) (sanitize nm))
+    c.outputs;
+  let signed s = Printf.sprintf "$signed(%s)" s in
+  Array.iter
+    (fun (nd : Netlist.node) ->
+      let decl kw =
+        if nd.width = 1 then pr "  %s %s" kw (n nd.uid)
+        else pr "  %s [%d:0] %s" kw (nd.width - 1) (n nd.uid)
+      in
+      match nd.kind with
+      | Netlist.Input _ -> ()
+      | Netlist.Reg _ -> decl "reg"; pr ";\n"
+      | Netlist.Const b ->
+          decl "wire";
+          pr " = %d'd%d;\n" (Bits.width b) (Bits.to_int b)
+      | Netlist.Unop (op, a) ->
+          decl "wire";
+          let sym = match op with Netlist.Not -> "~" | Netlist.Neg -> "-" in
+          pr " = %s%s;\n" sym (n a)
+      | Netlist.Binop (op, a, b) ->
+          decl "wire";
+          let plain sym = pr " = %s %s %s;\n" (n a) sym (n b) in
+          let signed2 sym =
+            pr " = %s %s %s;\n" (signed (n a)) sym (signed (n b))
+          in
+          (match op with
+          | Netlist.Add -> plain "+"
+          | Netlist.Sub -> plain "-"
+          | Netlist.Mul -> plain "*"
+          | Netlist.And -> plain "&"
+          | Netlist.Or -> plain "|"
+          | Netlist.Xor -> plain "^"
+          | Netlist.Shl -> plain "<<"
+          | Netlist.Shr -> plain ">>"
+          | Netlist.Sra -> pr " = %s >>> %s;\n" (signed (n a)) (n b)
+          | Netlist.Eq -> plain "=="
+          | Netlist.Ne -> plain "!="
+          | Netlist.Lt Netlist.Unsigned -> plain "<"
+          | Netlist.Le Netlist.Unsigned -> plain "<="
+          | Netlist.Lt Netlist.Signed -> signed2 "<"
+          | Netlist.Le Netlist.Signed -> signed2 "<=")
+      | Netlist.Mux (s, a, b) ->
+          decl "wire";
+          pr " = %s ? %s : %s;\n" (n s) (n a) (n b)
+      | Netlist.Slice (a, hi, lo) ->
+          decl "wire";
+          if hi = lo then pr " = %s[%d];\n" (n a) hi
+          else pr " = %s[%d:%d];\n" (n a) hi lo
+      | Netlist.Concat (a, b) ->
+          decl "wire";
+          pr " = {%s, %s};\n" (n a) (n b)
+      | Netlist.Uext a ->
+          decl "wire";
+          pr " = {%d'd0, %s};\n" (nd.width - width a) (n a)
+      | Netlist.Sext a ->
+          decl "wire";
+          pr " = {{%d{%s[%d]}}, %s};\n" (nd.width - width a) (n a)
+            (width a - 1) (n a)
+      | Netlist.Mem_read (m, a) ->
+          decl "wire";
+          pr " = %s[%s];\n" (sanitize c.mems.(m).Netlist.mem_name) (n a))
+    c.nodes;
+  (* Memories. *)
+  Array.iter
+    (fun (m : Netlist.mem) ->
+      pr "  reg [%d:0] %s [0:%d];\n" (m.Netlist.mem_width - 1)
+        (sanitize m.Netlist.mem_name) (m.Netlist.mem_size - 1);
+      List.iter
+        (fun (w : Netlist.write_port) ->
+          pr "  always @(posedge clk) begin\n";
+          pr "    if (%s) %s[%s] <= %s;\n" (n w.Netlist.w_enable)
+            (sanitize m.Netlist.mem_name) (n w.Netlist.w_addr)
+            (n w.Netlist.w_data);
+          pr "  end\n")
+        m.Netlist.mem_writes)
+    c.mems;
+  (* Register update processes. *)
+  Array.iter
+    (fun (nd : Netlist.node) ->
+      match nd.kind with
+      | Netlist.Reg { d; enable; init } ->
+          pr "  always @(posedge clk) begin\n";
+          pr "    if (rst) %s <= %d'd%d;\n" (n nd.uid) nd.width
+            (Bits.to_int init);
+          (match enable with
+          | Some e -> pr "    else if (%s) %s <= %s;\n" (n e) (n nd.uid) (n d)
+          | None -> pr "    else %s <= %s;\n" (n nd.uid) (n d));
+          pr "  end\n"
+      | _ -> ())
+    c.nodes;
+  List.iter
+    (fun (nm, u) -> pr "  assign %s = %s;\n" (sanitize nm) (n u))
+    c.outputs;
+  pr "endmodule\n";
+  Buffer.contents buf
+
+let port_names (c : Netlist.t) =
+  (if has_regs c then [ "clk"; "rst" ] else [])
+  @ List.map (fun (nm, _) -> sanitize nm) c.inputs
+  @ List.map (fun (nm, _) -> sanitize nm) c.outputs

@@ -1,0 +1,12 @@
+(** Verilog-2001 emission of {!Netlist} circuits.
+
+    Produces a flat synthesizable module: one [assign] per combinational
+    node, one [always @(posedge clk)] block per register.  Circuits with at
+    least one register get [clk] and [rst] ports; [rst] is a synchronous
+    reset loading each register's [init] value. *)
+
+val emit : Netlist.t -> string
+
+val port_names : Netlist.t -> string list
+(** All port names of the emitted module, in order (clk/rst first when
+    present). *)

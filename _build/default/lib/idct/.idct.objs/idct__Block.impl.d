@@ -1,0 +1,1 @@
+lib/idct/block.ml: Array Format

@@ -1,0 +1,1 @@
+lib/idct/block.mli: Format

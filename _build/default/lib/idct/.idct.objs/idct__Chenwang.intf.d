@@ -1,0 +1,1 @@
+lib/idct/chenwang.mli: Block

@@ -1,0 +1,1 @@
+lib/idct/ieee1180.ml: Array Block Float Format List Printf Reference

@@ -1,0 +1,1 @@
+lib/idct/ieee1180.mli: Block Format

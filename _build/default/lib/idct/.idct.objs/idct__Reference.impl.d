@@ -1,0 +1,1 @@
+lib/idct/reference.ml: Array Block Float

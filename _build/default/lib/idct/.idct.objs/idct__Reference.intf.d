@@ -1,0 +1,1 @@
+lib/idct/reference.mli: Block

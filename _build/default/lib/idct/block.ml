@@ -1,0 +1,63 @@
+type t = int array
+
+let size = 8
+let create () = Array.make (size * size) 0
+
+let get b ~row ~col = b.((row * size) + col)
+let set b ~row ~col v = b.((row * size) + col) <- v
+let copy = Array.copy
+let map2 f a b = Array.init (size * size) (fun i -> f a.(i) b.(i))
+let equal a b = a = b
+
+let row b r = Array.init size (fun c -> get b ~row:r ~col:c)
+let col b c = Array.init size (fun r -> get b ~row:r ~col:c)
+let set_row b r vals = Array.iteri (fun c v -> set b ~row:r ~col:c v) vals
+let set_col b c vals = Array.iteri (fun r v -> set b ~row:r ~col:c v) vals
+
+let transpose b =
+  Array.init (size * size) (fun i -> b.((i mod size * size) + (i / size)))
+
+let of_rows rows =
+  if Array.length rows <> size || Array.exists (fun r -> Array.length r <> size) rows
+  then invalid_arg "Block.of_rows: need 8 rows of 8";
+  Array.init (size * size) (fun i -> rows.(i / size).(i mod size))
+
+let input_bits = 12
+let output_bits = 9
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+let clamp_input v = clamp (-2048) 2047 v
+let clamp_output v = clamp (-256) 255 v
+
+let pp ppf b =
+  Format.fprintf ppf "@[<v>";
+  for r = 0 to size - 1 do
+    for c = 0 to size - 1 do
+      Format.fprintf ppf "%5d " (get b ~row:r ~col:c)
+    done;
+    if r < size - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"
+
+module Rand = struct
+  type state = { mutable randx : int }
+
+  let create ?(seed = 1) () = { randx = seed }
+
+  (* IEEE 1180-1990 Annex A generator: 32-bit LCG, take bits 8..31 scaled to
+     a double in [0,1), bucket into L+H+1 integer values. *)
+  let next_unit s =
+    s.randx <- ((s.randx * 1103515245) + 12345) land 0xFFFFFFFF;
+    let top = (s.randx land 0x7FFFFFFE) lsr 1 in
+    (* 31-bit value scaled to [0,1). *)
+    float_of_int top /. 2147483648.0
+
+  let uniform s ~lo ~hi =
+    let span = hi - lo + 1 in
+    let x = next_unit s in
+    let v = lo + int_of_float (x *. float_of_int span) in
+    if v > hi then hi else v
+
+  let block s ~lo ~hi =
+    Array.init (size * size) (fun _ -> uniform s ~lo ~hi)
+end

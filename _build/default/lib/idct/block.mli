@@ -1,0 +1,59 @@
+(** 8x8 integer blocks: the data unit of the IDCT benchmark.
+
+    Blocks are flat 64-element arrays in row-major order.  Inputs to the
+    IDCT are 12-bit signed DCT coefficients; outputs are 9-bit signed
+    samples. *)
+
+type t = int array
+
+val size : int
+(** 8 *)
+
+val create : unit -> t
+(** All-zero block. *)
+
+val get : t -> row:int -> col:int -> int
+val set : t -> row:int -> col:int -> int -> unit
+val copy : t -> t
+val map2 : (int -> int -> int) -> t -> t -> t
+val equal : t -> t -> bool
+
+val row : t -> int -> int array
+(** Copy of one row (8 elements). *)
+
+val col : t -> int -> int array
+val set_row : t -> int -> int array -> unit
+val set_col : t -> int -> int array -> unit
+val transpose : t -> t
+
+val of_rows : int array array -> t
+(** @raise Invalid_argument unless given 8 rows of 8. *)
+
+val input_bits : int
+(** 12 — coefficient width. *)
+
+val output_bits : int
+(** 9 — sample width. *)
+
+val clamp_input : int -> int
+(** Clamp to the 12-bit signed coefficient range [-2048, 2047]. *)
+
+val clamp_output : int -> int
+(** Clamp to the 9-bit signed sample range [-256, 255]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 IEEE 1180-1990 pseudo-random block generator}
+
+    The standard prescribes its own linear-congruential generator so that
+    all implementations are tested on identical data. *)
+
+module Rand : sig
+  type state
+
+  val create : ?seed:int -> unit -> state
+  val uniform : state -> lo:int -> hi:int -> int
+  (** Uniform on [lo, hi] as specified by IEEE 1180 (L+H+1 bucketing). *)
+
+  val block : state -> lo:int -> hi:int -> t
+end

@@ -1,0 +1,113 @@
+let w1 = 2841
+let w2 = 2676
+let w3 = 2408
+let w5 = 1609
+let w6 = 1108
+let w7 = 565
+
+let iclip v = if v < -256 then -256 else if v > 255 then 255 else v
+
+(* The original C short-circuits rows whose AC coefficients are all zero;
+   the general datapath computes the same values (the DC shortcut is an
+   algebraic identity), so the hardware-oriented model below always runs the
+   full butterfly.  See test_idct.ml for the equivalence check. *)
+
+let idct_row blk =
+  let x0 = (blk.(0) lsl 11) + 128 in
+  let x1 = blk.(4) lsl 11 in
+  let x2 = blk.(6) in
+  let x3 = blk.(2) in
+  let x4 = blk.(1) in
+  let x5 = blk.(7) in
+  let x6 = blk.(5) in
+  let x7 = blk.(3) in
+  (* first stage *)
+  let x8 = w7 * (x4 + x5) in
+  let x4 = x8 + ((w1 - w7) * x4) in
+  let x5 = x8 - ((w1 + w7) * x5) in
+  let x8 = w3 * (x6 + x7) in
+  let x6 = x8 - ((w3 - w5) * x6) in
+  let x7 = x8 - ((w3 + w5) * x7) in
+  (* second stage *)
+  let x8 = x0 + x1 in
+  let x0 = x0 - x1 in
+  let x1 = w6 * (x3 + x2) in
+  let x2 = x1 - ((w2 + w6) * x2) in
+  let x3 = x1 + ((w2 - w6) * x3) in
+  let x1 = x4 + x6 in
+  let x4 = x4 - x6 in
+  let x6 = x5 + x7 in
+  let x5 = x5 - x7 in
+  (* third stage *)
+  let x7 = x8 + x3 in
+  let x8 = x8 - x3 in
+  let x3 = x0 + x2 in
+  let x0 = x0 - x2 in
+  let x2 = ((181 * (x4 + x5)) + 128) asr 8 in
+  let x4 = ((181 * (x4 - x5)) + 128) asr 8 in
+  (* fourth stage *)
+  [|
+    (x7 + x1) asr 8;
+    (x3 + x2) asr 8;
+    (x0 + x4) asr 8;
+    (x8 + x6) asr 8;
+    (x8 - x6) asr 8;
+    (x0 - x4) asr 8;
+    (x3 - x2) asr 8;
+    (x7 - x1) asr 8;
+  |]
+
+let idct_col blk =
+  let x0 = (blk.(0) lsl 8) + 8192 in
+  let x1 = blk.(4) lsl 8 in
+  let x2 = blk.(6) in
+  let x3 = blk.(2) in
+  let x4 = blk.(1) in
+  let x5 = blk.(7) in
+  let x6 = blk.(5) in
+  let x7 = blk.(3) in
+  (* first stage *)
+  let x8 = (w7 * (x4 + x5)) + 4 in
+  let x4 = (x8 + ((w1 - w7) * x4)) asr 3 in
+  let x5 = (x8 - ((w1 + w7) * x5)) asr 3 in
+  let x8 = (w3 * (x6 + x7)) + 4 in
+  let x6 = (x8 - ((w3 - w5) * x6)) asr 3 in
+  let x7 = (x8 - ((w3 + w5) * x7)) asr 3 in
+  (* second stage *)
+  let x8 = x0 + x1 in
+  let x0 = x0 - x1 in
+  let x1 = (w6 * (x3 + x2)) + 4 in
+  let x2 = (x1 - ((w2 + w6) * x2)) asr 3 in
+  let x3 = (x1 + ((w2 - w6) * x3)) asr 3 in
+  let x1 = x4 + x6 in
+  let x4 = x4 - x6 in
+  let x6 = x5 + x7 in
+  let x5 = x5 - x7 in
+  (* third stage *)
+  let x7 = x8 + x3 in
+  let x8 = x8 - x3 in
+  let x3 = x0 + x2 in
+  let x0 = x0 - x2 in
+  let x2 = ((181 * (x4 + x5)) + 128) asr 8 in
+  let x4 = ((181 * (x4 - x5)) + 128) asr 8 in
+  (* fourth stage *)
+  [|
+    iclip ((x7 + x1) asr 14);
+    iclip ((x3 + x2) asr 14);
+    iclip ((x0 + x4) asr 14);
+    iclip ((x8 + x6) asr 14);
+    iclip ((x8 - x6) asr 14);
+    iclip ((x0 - x4) asr 14);
+    iclip ((x3 - x2) asr 14);
+    iclip ((x7 - x1) asr 14);
+  |]
+
+let idct blk =
+  let b = Block.copy blk in
+  for r = 0 to Block.size - 1 do
+    Block.set_row b r (idct_row (Block.row b r))
+  done;
+  for c = 0 to Block.size - 1 do
+    Block.set_col b c (idct_col (Block.col b c))
+  done;
+  b

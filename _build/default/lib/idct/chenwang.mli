@@ -1,0 +1,28 @@
+(** Fixed-point 8x8 IDCT after Chen–Wang, as used by the MPEG-2 reference
+    decoder (ISO/IEC 13818-4 [mpeg2decode], function [Fast_IDCT]).
+
+    Every hardware design in this repository implements exactly this
+    arithmetic; the functions here are the bit-true software model they are
+    checked against.  Constants [w1..w7] are [2048 * cos(k*pi/16)] rounded,
+    e.g. [w1 = 2841 = 2048*sqrt(2)*cos(pi/16)]. *)
+
+val w1 : int
+val w2 : int
+val w3 : int
+val w5 : int
+val w6 : int
+val w7 : int
+
+val iclip : int -> int
+(** Output clamp to [-256, 255] ([iclp] array of the C original, expressed
+    as a function — the source modification the paper applies for HLS). *)
+
+val idct_row : int array -> int array
+(** One row pass over 8 values (12-bit inputs on the first pass). *)
+
+val idct_col : int array -> int array
+(** One column pass over 8 values; applies rounding and {!iclip}. *)
+
+val idct : Block.t -> Block.t
+(** Full 2-D transform: 8 row passes then 8 column passes, in place on a
+    copy. *)

@@ -1,0 +1,97 @@
+type stats = {
+  blocks : int;
+  peak_error : int;
+  worst_pmse : float;
+  omse : float;
+  worst_pme : float;
+  ome : float;
+  zero_in_zero_out : bool;
+}
+
+type verdict = { passed : bool; failures : string list }
+
+type range = { lo : int; hi : int; sign : int }
+
+let standard_ranges =
+  [
+    { lo = -256; hi = 255; sign = 1 };
+    { lo = -256; hi = 255; sign = -1 };
+    { lo = -5; hi = 5; sign = 1 };
+    { lo = -5; hi = 5; sign = -1 };
+    { lo = -300; hi = 300; sign = 1 };
+    { lo = -300; hi = 300; sign = -1 };
+  ]
+
+let n2 = Block.size * Block.size
+
+let measure ?(blocks = 10000) ?(seed = 1) range dut =
+  let rng = Block.Rand.create ~seed () in
+  let sq_err = Array.make n2 0.0 in
+  let sum_err = Array.make n2 0.0 in
+  let peak = ref 0 in
+  for _ = 1 to blocks do
+    let samples = Block.Rand.block rng ~lo:range.lo ~hi:range.hi in
+    let samples =
+      if range.sign < 0 then Array.map (fun v -> -v) samples else samples
+    in
+    (* IEEE 1180 clamps the random samples to the 9-bit range before the
+       forward transform (relevant for the (-300,300) condition). *)
+    let samples = Array.map Block.clamp_output samples in
+    let coeffs = Reference.fdct samples in
+    let want = Reference.idct coeffs in
+    let got = dut coeffs in
+    for i = 0 to n2 - 1 do
+      let e = got.(i) - want.(i) in
+      if abs e > !peak then peak := abs e;
+      sq_err.(i) <- sq_err.(i) +. float_of_int (e * e);
+      sum_err.(i) <- sum_err.(i) +. float_of_int e
+    done
+  done;
+  let fb = float_of_int blocks in
+  let pmse = Array.map (fun s -> s /. fb) sq_err in
+  let pme = Array.map (fun s -> abs_float (s /. fb)) sum_err in
+  let zero =
+    let z = Block.create () in
+    Block.equal (dut z) z
+  in
+  {
+    blocks;
+    peak_error = !peak;
+    worst_pmse = Array.fold_left Float.max 0.0 pmse;
+    omse = Array.fold_left ( +. ) 0.0 pmse /. float_of_int n2;
+    worst_pme = Array.fold_left Float.max 0.0 pme;
+    ome =
+      abs_float (Array.fold_left ( +. ) 0.0 sum_err /. (fb *. float_of_int n2));
+    zero_in_zero_out = zero;
+  }
+
+let judge s =
+  let checks =
+    [
+      (s.peak_error <= 1, Printf.sprintf "peak error %d > 1" s.peak_error);
+      (s.worst_pmse <= 0.06, Printf.sprintf "pmse %.4f > 0.06" s.worst_pmse);
+      (s.omse <= 0.02, Printf.sprintf "omse %.4f > 0.02" s.omse);
+      (s.worst_pme <= 0.015, Printf.sprintf "pme %.4f > 0.015" s.worst_pme);
+      (s.ome <= 0.0015, Printf.sprintf "ome %.5f > 0.0015" s.ome);
+      (s.zero_in_zero_out, "zero input does not give zero output");
+    ]
+  in
+  let failures =
+    List.filter_map (fun (ok, msg) -> if ok then None else Some msg) checks
+  in
+  { passed = failures = []; failures }
+
+let run ?blocks dut =
+  List.map
+    (fun r ->
+      let s = measure ?blocks r dut in
+      (r, s, judge s))
+    standard_ranges
+
+let compliant ?blocks dut =
+  List.for_all (fun (_, _, v) -> v.passed) (run ?blocks dut)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "blocks=%d peak=%d pmse=%.4f omse=%.4f pme=%.4f ome=%.5f zero=%b" s.blocks
+    s.peak_error s.worst_pmse s.omse s.worst_pme s.ome s.zero_in_zero_out

@@ -1,0 +1,39 @@
+(** IEEE Std 1180-1990 accuracy test for 8x8 IDCT implementations.
+
+    The procedure (Annex A): generate pseudo-random sample blocks in a given
+    range, push them through a double-precision forward DCT (rounded,
+    clamped to 12 bits) to obtain coefficient blocks, then compare the
+    implementation under test against the double-precision reference IDCT
+    over many blocks, accumulating per-position error statistics. *)
+
+type stats = {
+  blocks : int;
+  peak_error : int;              (** max |e| over all pixels — limit 1 *)
+  worst_pmse : float;            (** worst per-position mean square error — limit 0.06 *)
+  omse : float;                  (** overall mean square error — limit 0.02 *)
+  worst_pme : float;             (** worst per-position |mean error| — limit 0.015 *)
+  ome : float;                   (** overall |mean error| — limit 0.0015 *)
+  zero_in_zero_out : bool;
+}
+
+type verdict = { passed : bool; failures : string list }
+
+type range = { lo : int; hi : int; sign : int }
+(** One test condition: inputs uniform on [lo, hi], multiplied by [sign]. *)
+
+val standard_ranges : range list
+(** The six conditions of the standard: (-256,255), (-5,5), (-300,300),
+    each with sign +1 and -1. *)
+
+val measure :
+  ?blocks:int -> ?seed:int -> range -> (Block.t -> Block.t) -> stats
+(** [measure range dut] runs [blocks] (default 10000) random blocks. *)
+
+val judge : stats -> verdict
+
+val run : ?blocks:int -> (Block.t -> Block.t) -> (range * stats * verdict) list
+(** Full compliance run over {!standard_ranges}. *)
+
+val compliant : ?blocks:int -> (Block.t -> Block.t) -> bool
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,57 @@
+let n = Block.size
+
+(* basis.(u).(x) = C(u)/2 * cos((2x+1) u pi / 16) *)
+let basis =
+  Array.init n (fun u ->
+      Array.init n (fun x ->
+          let cu = if u = 0 then 1.0 /. sqrt 2.0 else 1.0 in
+          cu /. 2.0
+          *. cos (float_of_int ((2 * x) + 1) *. float_of_int u *. Float.pi /. 16.0)))
+
+let idct_exact blk =
+  let out = Array.make (n * n) 0.0 in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          acc :=
+            !acc
+            +. (float_of_int (Block.get blk ~row:u ~col:v)
+               *. basis.(u).(x)
+               *. basis.(v).(y))
+        done
+      done;
+      out.((x * n) + y) <- !acc
+    done
+  done;
+  out
+
+let round_half_away x = if x >= 0.0 then floor (x +. 0.5) else ceil (x -. 0.5)
+
+let idct blk =
+  let exact = idct_exact blk in
+  Array.map (fun v -> Block.clamp_output (int_of_float (round_half_away v))) exact
+
+let fdct_exact blk =
+  let out = Array.make (n * n) 0.0 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for x = 0 to n - 1 do
+        for y = 0 to n - 1 do
+          acc :=
+            !acc
+            +. (float_of_int (Block.get blk ~row:x ~col:y)
+               *. basis.(u).(x)
+               *. basis.(v).(y))
+        done
+      done;
+      out.((u * n) + v) <- !acc
+    done
+  done;
+  out
+
+let fdct blk =
+  let exact = fdct_exact blk in
+  Array.map (fun v -> Block.clamp_input (int_of_float (round_half_away v))) exact

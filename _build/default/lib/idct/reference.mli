@@ -1,0 +1,19 @@
+(** Double-precision 8x8 DCT-II / DCT-III (IDCT) reference.
+
+    This is the accuracy yardstick of IEEE 1180-1990: the separable
+    cosine-basis transform evaluated in double precision, with outputs
+    rounded to the nearest integer and clamped to the 9-bit sample range. *)
+
+val idct_exact : Block.t -> float array
+(** Unrounded inverse transform of a coefficient block (row-major 64). *)
+
+val idct : Block.t -> Block.t
+(** Reference IDCT: {!idct_exact}, rounded to nearest, clamped to
+    [-256, 255]. *)
+
+val fdct_exact : Block.t -> float array
+(** Unrounded forward transform of a sample block. *)
+
+val fdct : Block.t -> Block.t
+(** Forward DCT rounded to nearest and clamped to the 12-bit coefficient
+    range — used by the IEEE 1180 procedure to produce test coefficients. *)

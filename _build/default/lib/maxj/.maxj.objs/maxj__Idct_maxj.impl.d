@@ -1,0 +1,1 @@
+lib/maxj/idct_maxj.ml: Array Bits Builder Hw Idct Instantiate Kernel Lazy List Manager Printf Sim String

@@ -1,0 +1,1 @@
+lib/maxj/idct_maxj.mli: Hw Idct Manager

@@ -1,0 +1,1 @@
+lib/maxj/kernel.ml: Array Bits Builder Device Hw List Netlist Pipeline Printf String Timing

@@ -1,0 +1,1 @@
+lib/maxj/kernel.mli: Hw

@@ -1,0 +1,1 @@
+lib/maxj/manager.ml: Float Hw Kernel

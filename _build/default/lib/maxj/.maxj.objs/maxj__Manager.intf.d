@@ -1,0 +1,1 @@
+lib/maxj/manager.mli: Hw

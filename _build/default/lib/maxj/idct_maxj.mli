@@ -1,0 +1,25 @@
+(** The two MaxJ IDCT kernels of the paper.
+
+    [initial_system] inputs and outputs a whole 8x8 matrix every tick; the
+    kernel is deeply pipelined to the stream clock and the system
+    throughput is bound by PCIe bandwidth, not by the fabric.
+
+    [opt_system] receives one row per tick and keeps intermediate results
+    in on-chip stream holds (double-banked transpose buffer); it trades
+    throughput (now frequency-bound, one matrix per eight ticks) for a
+    much smaller kernel. *)
+
+val initial_kernel : unit -> Hw.Netlist.t
+val initial_system : unit -> Manager.system
+val initial_listing : unit -> string
+
+val opt_kernel : unit -> Hw.Netlist.t
+val opt_system : unit -> Manager.system
+val opt_listing : unit -> string
+
+val simulate_initial : Idct.Block.t list -> Idct.Block.t list
+(** Bit-true check of the matrix-per-tick kernel. *)
+
+val simulate_opt : Idct.Block.t list -> Idct.Block.t list
+(** Bit-true check of the row-per-tick kernel (reassembles the column
+    stream). *)

@@ -1,0 +1,48 @@
+(** Streaming dataflow kernels (the repository's MaxJ/MaxCompiler
+    stand-in).
+
+    A kernel describes the computation applied to data streams on every
+    tick; state appears only as counters and enabled holds.  Compilation
+    deep-pipelines feed-forward kernels to the compiler's target clock
+    period, the behaviour the paper observes (47-stage pipeline at
+    403 MHz).  Every construction call is recorded, and the recording is
+    pretty-printed as a MaxJ-like listing for the LOC metric. *)
+
+type t
+type stream
+
+val create : string -> t
+val input : t -> string -> int -> stream
+val const : t -> width:int -> int -> stream
+val add : t -> stream -> stream -> stream
+val sub : t -> stream -> stream -> stream
+val mulc : t -> int -> stream -> stream
+(** Multiplication by a compile-time constant (DSP-friendly). *)
+
+val shl : t -> stream -> int -> stream
+val asr_ : t -> stream -> int -> stream
+val cast : t -> stream -> int -> stream
+(** Signed resize. *)
+
+val clamp : t -> lo:int -> hi:int -> stream -> stream
+val mux : t -> stream -> stream -> stream -> stream
+
+val counter : t -> modulo:int -> stream
+(** Free-running tick counter modulo [modulo] (a power of two). *)
+
+val hold : t -> enable:stream -> stream -> stream
+(** Register sampling the stream when [enable] is high (Maxeler's
+    stream-hold; the opt kernel's on-chip buffer is built from these). *)
+
+val output : t -> string -> stream -> unit
+
+val finalize : ?pipeline:bool -> t -> Hw.Netlist.t
+(** [pipeline = true] (default) retimes a feed-forward kernel to the
+    compiler's target clock (kernels with holds/counters are emitted as
+    constructed).  Returns the kernel circuit (plain ports, no AXI). *)
+
+val listing : t -> string
+(** MaxJ-like source, from the construction recording. *)
+
+val pipeline_depth : Hw.Netlist.t -> int
+(** Register ranks between inputs and outputs (the kernel latency). *)

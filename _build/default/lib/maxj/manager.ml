@@ -1,0 +1,44 @@
+let pcie_gbytes_per_s = 15.75
+let pcie_pins = 59
+let max_stream_clock_mhz = 403.13
+
+type system = {
+  kernel : Hw.Netlist.t;
+  ticks_per_op : int;
+  bits_per_op : int;
+  depth : int;
+}
+
+let build ?depth ~kernel ~ticks_per_op () =
+  {
+    kernel;
+    ticks_per_op;
+    (* A matrix is 64 coefficients padded to 16 bits on the link. *)
+    bits_per_op = 64 * 16;
+    depth =
+      (match depth with
+      | Some d -> d
+      | None -> Kernel.pipeline_depth kernel);
+  }
+
+type report = {
+  fmax_mhz : float;
+  throughput_mops : float;
+  pcie_bound : bool;
+  latency_ticks : int;
+}
+
+let evaluate s =
+  let t = Hw.Timing.analyze Hw.Device.xcvu9p s.kernel in
+  let fmax = Float.min t.Hw.Timing.fmax_mhz max_stream_clock_mhz in
+  let compute_mops = fmax /. float_of_int s.ticks_per_op in
+  let pcie_mops =
+    pcie_gbytes_per_s *. 1e9 /. (float_of_int s.bits_per_op /. 8.) /. 1e6
+  in
+  let throughput = Float.min compute_mops pcie_mops in
+  {
+    fmax_mhz = fmax;
+    throughput_mops = throughput;
+    pcie_bound = pcie_mops < compute_mops;
+    latency_ticks = s.depth + (2 * s.ticks_per_op);
+  }

@@ -1,0 +1,38 @@
+(** System-level model of the Maxeler manager.
+
+    MaxCompiler builds the whole accelerator: the kernel plus a manager
+    that moves data over PCIe.  The paper therefore evaluates MaxJ designs
+    against the PCIe 3.0 x16 link (about 16 GB/s) rather than AXI-Stream,
+    and reports the interface pin count instead of stream ports. *)
+
+val pcie_gbytes_per_s : float
+(** 15.75 GB/s — PCIe 3.0 x16 payload bandwidth. *)
+
+val pcie_pins : int
+(** 59, the paper's N_IO for MaxJ designs (x16 lanes, both directions,
+    plus reference clock and control). *)
+
+val max_stream_clock_mhz : float
+(** 403.13 MHz — the highest stream clock the tool closes on the paper's
+    device. *)
+
+type system = {
+  kernel : Hw.Netlist.t;
+  ticks_per_op : int;          (** kernel ticks consumed per 8x8 matrix *)
+  bits_per_op : int;           (** PCIe payload per matrix (both ways max) *)
+  depth : int;                 (** kernel pipeline depth, ticks *)
+}
+
+val build :
+  ?depth:int -> kernel:Hw.Netlist.t -> ticks_per_op:int -> unit -> system
+(** [depth] overrides the computed pipeline depth (required for kernels
+    with feedback state, where rank analysis does not apply). *)
+
+type report = {
+  fmax_mhz : float;            (** min(kernel fmax, stream clock cap) *)
+  throughput_mops : float;     (** min(compute rate, PCIe rate) *)
+  pcie_bound : bool;
+  latency_ticks : int;
+}
+
+val evaluate : system -> report

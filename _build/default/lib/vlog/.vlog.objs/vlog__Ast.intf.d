@@ -1,0 +1,1 @@
+lib/vlog/ast.mli:

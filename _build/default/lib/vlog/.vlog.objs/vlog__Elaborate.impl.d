@@ -1,0 +1,1 @@
+lib/vlog/elaborate.ml: Ast Builder Hashtbl Hw Instantiate List Netlist Option Parse Printf

@@ -1,0 +1,1 @@
+lib/vlog/elaborate.mli: Ast Hw

@@ -1,0 +1,1 @@
+lib/vlog/parse.ml: Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/vlog/parse.mli: Ast

@@ -1,0 +1,36 @@
+
+
+type expr =
+  | Id of string
+  | Number of { width : int option; value : int }
+  | Unary of [ `Neg | `Not ] * expr
+  | Binary of binop * expr * expr
+  | Ternary of expr * expr * expr
+  | Index of string * expr           
+  | Range of string * int * int      
+  | Concat of expr list
+  | Repeat of int * expr             
+  | Signed of expr                   
+
+and binop =
+  | Plus | Minus | Times
+  | Shl | Shr | Ashr
+  | BAnd | BOr | BXor
+  | LAnd | LOr
+  | Lt | Le | Gt | Ge | EqEq | Neq
+
+type stmt =
+  | Nonblocking of string * expr     
+  | If of expr * stmt list * stmt list
+
+type item =
+  | Decl of { kind : [ `Wire | `Reg ]; width : int; names : string list }
+  | Port_decl of { dir : [ `In | `Out ]; width : int; names : string list }
+  | Assign of string * expr
+  | Always of stmt list              
+  | Instance of { module_name : string; instance_name : string;
+                  connections : (string * expr) list }
+
+type module_def = { name : string; ports : string list; items : item list }
+
+type design = module_def list

@@ -1,0 +1,43 @@
+(** AST of the structural Verilog subset (the paper's baseline language).
+
+    The subset covers synthesizable RTL as used by the baseline designs:
+    module ports, [wire]/[reg] declarations with ranges, continuous
+    assignments, [always @(posedge clk)] processes with [if]/[else] and
+    non-blocking assignments, and module instantiation with named port
+    connections.  See {!Parse} for the concrete syntax and {!Elaborate}
+    for the width rules. *)
+
+type expr =
+  | Id of string
+  | Number of { width : int option; value : int }
+  | Unary of [ `Neg | `Not ] * expr
+  | Binary of binop * expr * expr
+  | Ternary of expr * expr * expr
+  | Index of string * expr           (** [x[i]] with a constant index *)
+  | Range of string * int * int      (** [x[h:l]] *)
+  | Concat of expr list
+  | Repeat of int * expr             (** [{n{x}}] *)
+  | Signed of expr                   (** [$signed(x)] *)
+
+and binop =
+  | Plus | Minus | Times
+  | Shl | Shr | Ashr
+  | BAnd | BOr | BXor
+  | LAnd | LOr
+  | Lt | Le | Gt | Ge | EqEq | Neq
+
+type stmt =
+  | Nonblocking of string * expr     (** [q <= e] *)
+  | If of expr * stmt list * stmt list
+
+type item =
+  | Decl of { kind : [ `Wire | `Reg ]; width : int; names : string list }
+  | Port_decl of { dir : [ `In | `Out ]; width : int; names : string list }
+  | Assign of string * expr
+  | Always of stmt list              (** [always @(posedge clk)] body *)
+  | Instance of { module_name : string; instance_name : string;
+                  connections : (string * expr) list }
+
+type module_def = { name : string; ports : string list; items : item list }
+
+type design = module_def list

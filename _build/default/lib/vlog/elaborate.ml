@@ -1,0 +1,335 @@
+open Hw
+
+type value = { s : Builder.s; signed_ : bool }
+
+type wire_state = Visiting | Done of value
+
+type menv = {
+  b : Builder.t;
+  design : Ast.design;
+  submodules : (string, Netlist.t) Hashtbl.t;   (* shared across the design *)
+  widths : (string, int) Hashtbl.t;             (* declared widths *)
+  drivers : (string, Ast.expr) Hashtbl.t;       (* wires driven by assign *)
+  state : (string, wire_state) Hashtbl.t;
+  values : (string, value) Hashtbl.t;           (* inputs, regs, instance outs *)
+}
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let width_of env name =
+  match Hashtbl.find_opt env.widths name with
+  | Some w -> w
+  | None -> fail "vlog: undeclared identifier %s" name
+
+let resize env v w =
+  let s =
+    if Builder.width v.s = w then v.s
+    else if Builder.width v.s > w then Builder.slice env.b v.s ~hi:(w - 1) ~lo:0
+    else if v.signed_ then Builder.sext env.b v.s w
+    else Builder.uext env.b v.s w
+  in
+  { v with s }
+
+let rec eval env (e : Ast.expr) : value =
+  match e with
+  | Ast.Id name -> lookup env name
+  | Ast.Number { width; value } ->
+      let w = Option.value width ~default:32 in
+      { s = Builder.const env.b ~width:w value; signed_ = false }
+  | Ast.Signed e -> { (eval env e) with signed_ = true }
+  | Ast.Unary (`Neg, e) ->
+      let v = eval env e in
+      { s = Builder.neg env.b v.s; signed_ = v.signed_ }
+  | Ast.Unary (`Not, e) ->
+      let v = eval env e in
+      { s = Builder.not_ env.b v.s; signed_ = v.signed_ }
+  | Ast.Index (name, idx) -> (
+      let v = lookup env name in
+      match eval_const idx with
+      | Some i -> { s = Builder.bit env.b v.s i; signed_ = false }
+      | None ->
+          (* dynamic bit select: (x >> i)[0] *)
+          let i = eval env idx in
+          let shifted = Builder.shr env.b v.s i.s in
+          { s = Builder.bit env.b shifted 0; signed_ = false })
+  | Ast.Range (name, hi, lo) ->
+      let v = lookup env name in
+      { s = Builder.slice env.b v.s ~hi ~lo; signed_ = false }
+  | Ast.Concat es ->
+      let vs = List.map (fun e -> (eval env e).s) es in
+      { s = Builder.concat_list env.b vs; signed_ = false }
+  | Ast.Repeat (n, e) ->
+      let v = (eval env e).s in
+      { s = Builder.concat_list env.b (List.init n (fun _ -> v)); signed_ = false }
+  | Ast.Ternary (c, t, f) ->
+      let c = to_bool env (eval env c) in
+      let vt = eval env t and vf = eval env f in
+      let w = max (Builder.width vt.s) (Builder.width vf.s) in
+      let signed_ = vt.signed_ && vf.signed_ in
+      let ext v = (resize env { v with signed_ = v.signed_ } w).s in
+      { s = Builder.mux env.b c (ext vt) (ext vf); signed_ }
+  | Ast.Binary (op, x, y) -> (
+      let vx = eval env x and vy = eval env y in
+      let both_signed = vx.signed_ && vy.signed_ in
+      let w = max (Builder.width vx.s) (Builder.width vy.s) in
+      let ext v =
+        if Builder.width v.s = w then v.s
+        else if v.signed_ && both_signed then Builder.sext env.b v.s w
+        else if Builder.width v.s < w then
+          if both_signed then Builder.sext env.b v.s w
+          else Builder.uext env.b v.s w
+        else v.s
+      in
+      let arith f = { s = f env.b (ext vx) (ext vy); signed_ = both_signed } in
+      let cmp f = { s = f env.b ~signed:both_signed (ext vx) (ext vy); signed_ = false } in
+      match op with
+      | Ast.Plus -> arith Builder.add
+      | Ast.Minus -> arith Builder.sub
+      | Ast.Times -> arith Builder.mul
+      | Ast.BAnd -> arith Builder.and_
+      | Ast.BOr -> arith Builder.or_
+      | Ast.BXor -> arith Builder.xor_
+      | Ast.Shl -> { s = Builder.shl env.b vx.s vy.s; signed_ = vx.signed_ }
+      | Ast.Shr -> { s = Builder.shr env.b vx.s vy.s; signed_ = false }
+      | Ast.Ashr -> { s = Builder.sra env.b vx.s vy.s; signed_ = vx.signed_ }
+      | Ast.Lt -> cmp Builder.lt
+      | Ast.Le -> cmp Builder.le
+      | Ast.Gt -> cmp Builder.gt
+      | Ast.Ge -> cmp Builder.ge
+      | Ast.EqEq -> { s = Builder.eq env.b (ext vx) (ext vy); signed_ = false }
+      | Ast.Neq -> { s = Builder.ne env.b (ext vx) (ext vy); signed_ = false }
+      | Ast.LAnd ->
+          let bx = to_bool env vx and by = to_bool env vy in
+          { s = Builder.and_ env.b bx by; signed_ = false }
+      | Ast.LOr ->
+          let bx = to_bool env vx and by = to_bool env vy in
+          { s = Builder.or_ env.b bx by; signed_ = false })
+
+and to_bool env v =
+  if Builder.width v.s = 1 then v.s
+  else Builder.ne env.b v.s (Builder.zero env.b (Builder.width v.s))
+
+and eval_const (e : Ast.expr) =
+  match e with Ast.Number { value; _ } -> Some value | _ -> None
+
+and lookup env name =
+  match Hashtbl.find_opt env.values name with
+  | Some v -> v
+  | None -> (
+      match Hashtbl.find_opt env.state name with
+      | Some (Done v) -> v
+      | Some Visiting -> fail "vlog: combinational loop through wire %s" name
+      | None -> (
+          match Hashtbl.find_opt env.drivers name with
+          | Some e ->
+              Hashtbl.replace env.state name Visiting;
+              let v = resize env (eval env e) (width_of env name) in
+              let v = { v with signed_ = false } in
+              Hashtbl.replace env.state name (Done v);
+              v
+          | None -> fail "vlog: wire %s has no driver" name))
+
+(* ---------------- always blocks ---------------- *)
+
+(* Flatten a process into guarded assignments in textual order. *)
+let rec flatten_stmts env guard (stmts : Ast.stmt list) acc =
+  List.fold_left
+    (fun acc st ->
+      match st with
+      | Ast.Nonblocking (q, e) -> (q, guard, e) :: acc
+      | Ast.If (c, th, el) ->
+          let cv = to_bool env (eval env c) in
+          let gt =
+            match guard with
+            | None -> Some cv
+            | Some g -> Some (Builder.and_ env.b g cv)
+          in
+          let nc = Builder.not_ env.b cv in
+          let gf =
+            match guard with
+            | None -> Some nc
+            | Some g -> Some (Builder.and_ env.b g nc)
+          in
+          flatten_stmts env gf el (flatten_stmts env gt th acc))
+    acc stmts
+
+(* ---------------- module elaboration ---------------- *)
+
+let find_module design name =
+  match List.find_opt (fun (m : Ast.module_def) -> m.Ast.name = name) design with
+  | Some m -> m
+  | None -> fail "vlog: unknown module %s" name
+
+let rec elaborate_module design submodules (m : Ast.module_def) : Netlist.t =
+  let b = Builder.create m.Ast.name in
+  let env =
+    {
+      b;
+      design;
+      submodules;
+      widths = Hashtbl.create 64;
+      drivers = Hashtbl.create 64;
+      state = Hashtbl.create 64;
+      values = Hashtbl.create 64;
+    }
+  in
+  let inputs = ref [] and outputs = ref [] and regs = ref [] in
+  (* Pass 1: declarations. *)
+  List.iter
+    (fun (item : Ast.item) ->
+      match item with
+      | Ast.Port_decl { dir; width; names } ->
+          List.iter
+            (fun n ->
+              Hashtbl.replace env.widths n width;
+              match dir with
+              | `In ->
+                  if n <> "clk" && n <> "rst" then inputs := n :: !inputs
+              | `Out -> outputs := n :: !outputs)
+            names
+      | Ast.Decl { kind; width; names } ->
+          List.iter
+            (fun n ->
+              Hashtbl.replace env.widths n width;
+              if kind = `Reg then regs := n :: !regs)
+            names
+      | Ast.Assign _ | Ast.Always _ | Ast.Instance _ -> ())
+    m.Ast.items;
+  (* Port order from the header. *)
+  List.iter
+    (fun p ->
+      if List.mem p !inputs then
+        Hashtbl.replace env.values p
+          { s = Builder.input b p (width_of env p); signed_ = false })
+    m.Ast.ports;
+  (* Reset values from the [if (rst)] idiom, collected syntactically so
+     registers can be created with the right init. *)
+  let reset_values = Hashtbl.create 16 in
+  List.iter
+    (fun (item : Ast.item) ->
+      match item with
+      | Ast.Always [ Ast.If (Ast.Id "rst", th, _) ] ->
+          List.iter
+            (fun st ->
+              match st with
+              | Ast.Nonblocking (q, Ast.Number { value; _ }) ->
+                  Hashtbl.replace reset_values q value
+              | Ast.Nonblocking _ | Ast.If _ ->
+                  fail "vlog: reset branch must assign constants")
+            th
+      | _ -> ())
+    m.Ast.items;
+  (* Registers are created before anything reads them. *)
+  let reg_sigs = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let init = Option.value ~default:0 (Hashtbl.find_opt reset_values r) in
+      let q = Builder.reg b ~init ~width:(width_of env r) r in
+      Hashtbl.replace reg_sigs r q;
+      Hashtbl.replace env.values r { s = q; signed_ = false })
+    !regs;
+  (* Pass 2a: record every continuous-assignment driver first, so later
+     items can refer to wires declared anywhere in the module. *)
+  List.iter
+    (fun (item : Ast.item) ->
+      match item with
+      | Ast.Assign (name, e) ->
+          if Hashtbl.mem env.drivers name then
+            fail "vlog: wire %s driven twice" name;
+          Hashtbl.replace env.drivers name e
+      | _ -> ())
+    m.Ast.items;
+  (* Pass 2b: elaborate instances and processes. *)
+  List.iter
+    (fun (item : Ast.item) ->
+      match item with
+      | Ast.Assign _ -> ()
+      | Ast.Instance { module_name; instance_name; connections } ->
+          let sub =
+            match Hashtbl.find_opt submodules module_name with
+            | Some c -> c
+            | None ->
+                let c =
+                  elaborate_module design submodules
+                    (find_module design module_name)
+                in
+                Hashtbl.replace submodules module_name c;
+                c
+          in
+          let in_bindings =
+            List.filter_map
+              (fun (port, u) ->
+                match List.assoc_opt port connections with
+                | Some e ->
+                    let w = (Netlist.node sub u).Netlist.width in
+                    Some (port, (resize env (eval env e) w).s)
+                | None -> fail "vlog: %s: input %s unconnected" instance_name port)
+              sub.Netlist.inputs
+          in
+          let outs = Instantiate.stamp b sub ~inputs:in_bindings in
+          List.iter
+            (fun (port, s) ->
+              match List.assoc_opt port connections with
+              | Some (Ast.Id wire) ->
+                  if Hashtbl.mem env.values wire || Hashtbl.mem env.drivers wire
+                  then fail "vlog: wire %s driven twice" wire;
+                  let v = resize env { s; signed_ = false } (width_of env wire) in
+                  Hashtbl.replace env.values wire v
+              | Some _ -> fail "vlog: instance outputs must connect to wires"
+              | None -> ())
+            outs
+      | Ast.Always stmts ->
+          (* Reset idiom: if (rst) q <= <const>; else <rest>.  The reset
+             constants were folded into register inits above. *)
+          let stmts =
+            match stmts with
+            | [ Ast.If (Ast.Id "rst", _, el) ] -> el
+            | _ -> stmts
+          in
+          let assigns = List.rev (flatten_stmts env None stmts []) in
+          let by_reg = Hashtbl.create 8 in
+          List.iter
+            (fun (q, g, e) ->
+              let cur = Option.value ~default:[] (Hashtbl.find_opt by_reg q) in
+              Hashtbl.replace by_reg q (cur @ [ (g, e) ]))
+            assigns;
+          Hashtbl.iter
+            (fun q gs ->
+              let qsig =
+                match Hashtbl.find_opt reg_sigs q with
+                | Some s -> s
+                | None -> fail "vlog: %s assigned in always but not a reg" q
+              in
+              let w = width_of env q in
+              let d =
+                List.fold_left
+                  (fun acc (g, e) ->
+                    let v = (resize env (eval env e) w).s in
+                    match g with
+                    | None -> v
+                    | Some g -> Builder.mux env.b g v acc)
+                  qsig gs
+              in
+              Builder.connect b qsig d)
+            by_reg
+      | Ast.Port_decl _ | Ast.Decl _ -> ())
+    m.Ast.items;
+  (* Outputs: force elaboration of their drivers. *)
+  List.iter
+    (fun p ->
+      if List.mem p !outputs then
+        let v = lookup env p in
+        Builder.output b p (resize env v (width_of env p)).s)
+    m.Ast.ports;
+  Builder.finalize b
+
+let elaborate ?top (design : Ast.design) =
+  if design = [] then fail "vlog: empty design";
+  let top_mod =
+    match top with
+    | Some name -> find_module design name
+    | None -> List.nth design (List.length design - 1)
+  in
+  elaborate_module design (Hashtbl.create 4) top_mod
+
+let circuit_of_string ?top src = elaborate ?top (Parse.design src)

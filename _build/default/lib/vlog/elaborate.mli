@@ -1,0 +1,27 @@
+(** Elaboration of parsed Verilog into {!Hw.Netlist} circuits.
+
+    Width/sign rules (a documented simplification of IEEE 1364):
+    - identifiers carry their declared width and are unsigned unless
+      wrapped in [$signed];
+    - sized literals have their size, unsized ones 32 bits;
+    - arithmetic/bitwise binaries extend both operands to the larger width
+      (sign-extending only when both sides are signed) and keep that width;
+    - comparisons yield one bit (signed comparison iff both operands are
+      signed); shifts keep the left width; concatenation sums widths;
+    - assignments truncate or extend to the target width.
+
+    [clk] and [rst] ports are structural: the pattern
+    [always @(posedge clk) if (rst) q <= <const>; else <body>] maps [q] to
+    a register with that reset value.  Later non-blocking assignments to
+    the same register within one process take priority, as in Verilog.
+
+    Instances of modules defined in the same source are elaborated once
+    and stamped; instance outputs must be connected to plain wires. *)
+
+val elaborate : ?top:string -> Ast.design -> Hw.Netlist.t
+(** [top] defaults to the last module.  @raise Failure on undriven or
+    multiply-driven wires, combinational loops through wires, unknown
+    modules or width errors. *)
+
+val circuit_of_string : ?top:string -> string -> Hw.Netlist.t
+(** Parse then elaborate. *)

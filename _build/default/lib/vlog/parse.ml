@@ -1,0 +1,473 @@
+exception Syntax_error of string
+
+(* ---------------- lexer ---------------- *)
+
+type token =
+  | ID of string
+  | NUM of int option * int          (* width (if sized), value *)
+  | PUNCT of string
+  | EOF
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable tok : token;
+}
+
+let error lx fmt =
+  Printf.ksprintf (fun m -> raise (Syntax_error (Printf.sprintf "line %d: %s" lx.line m))) fmt
+
+let is_id_char c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> true | _ -> false
+
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws lx =
+  if lx.pos >= String.length lx.src then ()
+  else
+    match lx.src.[lx.pos] with
+    | ' ' | '\t' | '\r' ->
+        lx.pos <- lx.pos + 1;
+        skip_ws lx
+    | '\n' ->
+        lx.pos <- lx.pos + 1;
+        lx.line <- lx.line + 1;
+        skip_ws lx
+    | '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+        while lx.pos < String.length lx.src && lx.src.[lx.pos] <> '\n' do
+          lx.pos <- lx.pos + 1
+        done;
+        skip_ws lx
+    | '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '*' ->
+        lx.pos <- lx.pos + 2;
+        let rec go () =
+          if lx.pos + 1 >= String.length lx.src then error lx "unterminated comment"
+          else if lx.src.[lx.pos] = '*' && lx.src.[lx.pos + 1] = '/' then
+            lx.pos <- lx.pos + 2
+          else begin
+            if lx.src.[lx.pos] = '\n' then lx.line <- lx.line + 1;
+            lx.pos <- lx.pos + 1;
+            go ()
+          end
+        in
+        go ();
+        skip_ws lx
+    | _ -> ()
+
+let read_digits lx base =
+  let buf = Buffer.create 8 in
+  let ok c =
+    match base with
+    | 10 -> is_digit c
+    | 16 -> is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+    | 2 -> c = '0' || c = '1'
+    | _ -> false
+  in
+  while
+    lx.pos < String.length lx.src
+    && (ok lx.src.[lx.pos] || lx.src.[lx.pos] = '_')
+  do
+    if lx.src.[lx.pos] <> '_' then Buffer.add_char buf lx.src.[lx.pos];
+    lx.pos <- lx.pos + 1
+  done;
+  if Buffer.length buf = 0 then error lx "expected digits";
+  int_of_string
+    ((match base with 16 -> "0x" | 2 -> "0b" | _ -> "") ^ Buffer.contents buf)
+
+let next_token lx =
+  skip_ws lx;
+  if lx.pos >= String.length lx.src then EOF
+  else
+    let c = lx.src.[lx.pos] in
+    if is_digit c then begin
+      let v = read_digits lx 10 in
+      skip_ws lx;
+      if lx.pos < String.length lx.src && lx.src.[lx.pos] = '\'' then begin
+        lx.pos <- lx.pos + 1;
+        let base =
+          match lx.src.[lx.pos] with
+          | 'd' | 'D' -> 10
+          | 'h' | 'H' -> 16
+          | 'b' | 'B' -> 2
+          | c -> error lx "unknown base '%c'" c
+        in
+        lx.pos <- lx.pos + 1;
+        skip_ws lx;
+        NUM (Some v, read_digits lx base)
+      end
+      else NUM (None, v)
+    end
+    else if is_id_char c then begin
+      let start = lx.pos in
+      while lx.pos < String.length lx.src && is_id_char lx.src.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      ID (String.sub lx.src start (lx.pos - start))
+    end
+    else begin
+      let two =
+        if lx.pos + 1 < String.length lx.src then
+          String.sub lx.src lx.pos 2
+        else ""
+      in
+      let three =
+        if lx.pos + 2 < String.length lx.src then
+          String.sub lx.src lx.pos 3
+        else ""
+      in
+      if three = ">>>" then begin
+        lx.pos <- lx.pos + 3;
+        PUNCT ">>>"
+      end
+      else if List.mem two [ "<="; ">="; "=="; "!="; "<<"; ">>"; "&&"; "||" ]
+      then begin
+        lx.pos <- lx.pos + 2;
+        PUNCT two
+      end
+      else begin
+        lx.pos <- lx.pos + 1;
+        PUNCT (String.make 1 c)
+      end
+    end
+
+let advance lx = lx.tok <- next_token lx
+
+let make_lexer src =
+  let lx = { src; pos = 0; line = 1; tok = EOF } in
+  advance lx;
+  lx
+
+(* ---------------- parser helpers ---------------- *)
+
+let eat_punct lx p =
+  match lx.tok with
+  | PUNCT q when q = p -> advance lx
+  | _ -> error lx "expected '%s'" p
+
+let eat_kw lx kw =
+  match lx.tok with
+  | ID i when i = kw -> advance lx
+  | _ -> error lx "expected '%s'" kw
+
+let expect_id lx =
+  match lx.tok with
+  | ID i ->
+      advance lx;
+      i
+  | _ -> error lx "expected an identifier"
+
+let at_punct lx p = match lx.tok with PUNCT q -> q = p | _ -> false
+let at_kw lx k = match lx.tok with ID i -> i = k | _ -> false
+
+let expect_const lx =
+  match lx.tok with
+  | NUM (_, v) ->
+      advance lx;
+      v
+  | _ -> error lx "expected a constant"
+
+(* ---------------- expressions ---------------- *)
+
+let rec parse_ternary lx =
+  let c = parse_lor lx in
+  if at_punct lx "?" then begin
+    advance lx;
+    let t = parse_ternary lx in
+    eat_punct lx ":";
+    let f = parse_ternary lx in
+    Ast.Ternary (c, t, f)
+  end
+  else c
+
+and binlevel lx sub table =
+  let left = ref (sub lx) in
+  let rec go () =
+    match lx.tok with
+    | PUNCT p when List.mem_assoc p table ->
+        advance lx;
+        let right = sub lx in
+        left := Ast.Binary (List.assoc p table, !left, right);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !left
+
+and parse_lor lx = binlevel lx parse_land [ ("||", Ast.LOr) ]
+and parse_land lx = binlevel lx parse_bor [ ("&&", Ast.LAnd) ]
+and parse_bor lx = binlevel lx parse_bxor [ ("|", Ast.BOr) ]
+and parse_bxor lx = binlevel lx parse_band [ ("^", Ast.BXor) ]
+and parse_band lx = binlevel lx parse_eq [ ("&", Ast.BAnd) ]
+and parse_eq lx = binlevel lx parse_rel [ ("==", Ast.EqEq); ("!=", Ast.Neq) ]
+
+and parse_rel lx =
+  binlevel lx parse_shift
+    [ ("<", Ast.Lt); ("<=", Ast.Le); (">", Ast.Gt); (">=", Ast.Ge) ]
+
+and parse_shift lx =
+  binlevel lx parse_add [ ("<<", Ast.Shl); (">>", Ast.Shr); (">>>", Ast.Ashr) ]
+
+and parse_add lx = binlevel lx parse_mul [ ("+", Ast.Plus); ("-", Ast.Minus) ]
+and parse_mul lx = binlevel lx parse_unary [ ("*", Ast.Times) ]
+
+and parse_unary lx =
+  if at_punct lx "-" then begin
+    advance lx;
+    Ast.Unary (`Neg, parse_unary lx)
+  end
+  else if at_punct lx "~" then begin
+    advance lx;
+    Ast.Unary (`Not, parse_unary lx)
+  end
+  else parse_primary lx
+
+and parse_primary lx =
+  match lx.tok with
+  | NUM (w, v) ->
+      advance lx;
+      Ast.Number { width = w; value = v }
+  | PUNCT "(" ->
+      advance lx;
+      let e = parse_ternary lx in
+      eat_punct lx ")";
+      e
+  | PUNCT "{" -> (
+      advance lx;
+      (* replication {n{x}} or concatenation {a, b, ...} *)
+      match lx.tok with
+      | NUM (None, n) when n > 0 ->
+          let save_pos = lx.pos and save_tok = lx.tok and save_line = lx.line in
+          advance lx;
+          if at_punct lx "{" then begin
+            advance lx;
+            let e = parse_ternary lx in
+            eat_punct lx "}";
+            eat_punct lx "}";
+            Ast.Repeat (n, e)
+          end
+          else begin
+            (* plain concat starting with a number: rewind *)
+            lx.pos <- save_pos;
+            lx.tok <- save_tok;
+            lx.line <- save_line;
+            parse_concat lx
+          end
+      | _ -> parse_concat lx)
+  | ID "$signed" ->
+      advance lx;
+      eat_punct lx "(";
+      let e = parse_ternary lx in
+      eat_punct lx ")";
+      Ast.Signed e
+  | ID name -> (
+      advance lx;
+      if at_punct lx "[" then begin
+        advance lx;
+        let hi = parse_ternary lx in
+        if at_punct lx ":" then begin
+          advance lx;
+          let lo = expect_const lx in
+          eat_punct lx "]";
+          match hi with
+          | Ast.Number { value; _ } -> Ast.Range (name, value, lo)
+          | _ -> error lx "part-select bounds must be constants"
+        end
+        else begin
+          eat_punct lx "]";
+          Ast.Index (name, hi)
+        end
+      end
+      else Ast.Id name)
+  | PUNCT p -> error lx "unexpected '%s' in expression" p
+  | EOF -> error lx "unexpected end of file in expression"
+
+and parse_concat lx =
+  let rec go acc =
+    let e = parse_ternary lx in
+    if at_punct lx "," then begin
+      advance lx;
+      go (e :: acc)
+    end
+    else begin
+      eat_punct lx "}";
+      List.rev (e :: acc)
+    end
+  in
+  Ast.Concat (go [])
+
+(* ---------------- statements ---------------- *)
+
+let rec parse_stmt lx : Ast.stmt list =
+  if at_kw lx "begin" then begin
+    advance lx;
+    let rec go acc =
+      if at_kw lx "end" then begin
+        advance lx;
+        List.rev acc
+      end
+      else go (List.rev_append (parse_stmt lx) acc)
+    in
+    go []
+  end
+  else if at_kw lx "if" then begin
+    advance lx;
+    eat_punct lx "(";
+    let c = parse_ternary lx in
+    eat_punct lx ")";
+    let th = parse_stmt lx in
+    let el =
+      if at_kw lx "else" then begin
+        advance lx;
+        parse_stmt lx
+      end
+      else []
+    in
+    [ Ast.If (c, th, el) ]
+  end
+  else begin
+    let target = expect_id lx in
+    eat_punct lx "<=";
+    let e = parse_ternary lx in
+    eat_punct lx ";";
+    [ Ast.Nonblocking (target, e) ]
+  end
+
+(* ---------------- module items ---------------- *)
+
+let parse_range_opt lx =
+  if at_punct lx "[" then begin
+    advance lx;
+    let hi = expect_const lx in
+    eat_punct lx ":";
+    let lo = expect_const lx in
+    eat_punct lx "]";
+    if lo <> 0 then error lx "ranges must end at 0";
+    hi + 1
+  end
+  else 1
+
+let parse_name_list lx =
+  let rec go acc =
+    let n = expect_id lx in
+    if at_punct lx "," then begin
+      advance lx;
+      go (n :: acc)
+    end
+    else begin
+      eat_punct lx ";";
+      List.rev (n :: acc)
+    end
+  in
+  go []
+
+let parse_item lx : Ast.item list =
+  if at_kw lx "input" || at_kw lx "output" then begin
+    let dir = if at_kw lx "input" then `In else `Out in
+    advance lx;
+    if at_kw lx "wire" || at_kw lx "reg" then advance lx;
+    let width = parse_range_opt lx in
+    [ Ast.Port_decl { dir; width; names = parse_name_list lx } ]
+  end
+  else if at_kw lx "wire" || at_kw lx "reg" then begin
+    let kind = if at_kw lx "wire" then `Wire else `Reg in
+    advance lx;
+    let width = parse_range_opt lx in
+    let first = expect_id lx in
+    (* wire [..] x = expr; is declaration plus continuous assignment *)
+    if at_punct lx "=" then begin
+      advance lx;
+      let e = parse_ternary lx in
+      eat_punct lx ";";
+      if kind = `Reg then error lx "reg initializers are not supported";
+      [ Ast.Decl { kind; width; names = [ first ] }; Ast.Assign (first, e) ]
+    end
+    else if at_punct lx "," then begin
+      advance lx;
+      let rest = parse_name_list lx in
+      [ Ast.Decl { kind; width; names = first :: rest } ]
+    end
+    else begin
+      eat_punct lx ";";
+      [ Ast.Decl { kind; width; names = [ first ] } ]
+    end
+  end
+  else if at_kw lx "assign" then begin
+    advance lx;
+    let name = expect_id lx in
+    eat_punct lx "=";
+    let e = parse_ternary lx in
+    eat_punct lx ";";
+    [ Ast.Assign (name, e) ]
+  end
+  else if at_kw lx "always" then begin
+    advance lx;
+    eat_punct lx "@";
+    eat_punct lx "(";
+    eat_kw lx "posedge";
+    let _clk = expect_id lx in
+    eat_punct lx ")";
+    [ Ast.Always (parse_stmt lx) ]
+  end
+  else begin
+    (* module instance: Name inst (.port(expr), ...); *)
+    let module_name = expect_id lx in
+    let instance_name = expect_id lx in
+    eat_punct lx "(";
+    let rec conns acc =
+      eat_punct lx ".";
+      let port = expect_id lx in
+      eat_punct lx "(";
+      let e = parse_ternary lx in
+      eat_punct lx ")";
+      if at_punct lx "," then begin
+        advance lx;
+        conns ((port, e) :: acc)
+      end
+      else begin
+        eat_punct lx ")";
+        eat_punct lx ";";
+        List.rev ((port, e) :: acc)
+      end
+    in
+    [ Ast.Instance { module_name; instance_name; connections = conns [] } ]
+  end
+
+let parse_module lx : Ast.module_def =
+  eat_kw lx "module";
+  let name = expect_id lx in
+  eat_punct lx "(";
+  let rec ports acc =
+    let p = expect_id lx in
+    if at_punct lx "," then begin
+      advance lx;
+      ports (p :: acc)
+    end
+    else begin
+      eat_punct lx ")";
+      eat_punct lx ";";
+      List.rev (p :: acc)
+    end
+  in
+  let ports = ports [] in
+  let rec items acc =
+    if at_kw lx "endmodule" then begin
+      advance lx;
+      List.rev acc
+    end
+    else items (List.rev_append (parse_item lx) acc)
+  in
+  { Ast.name; ports; items = items [] }
+
+let design src =
+  let lx = make_lexer src in
+  let rec go acc =
+    match lx.tok with
+    | EOF -> List.rev acc
+    | _ -> go (parse_module lx :: acc)
+  in
+  go []
+
+let expr_of_string src =
+  let lx = make_lexer src in
+  parse_ternary lx

@@ -1,0 +1,22 @@
+(** Lexer and recursive-descent parser for the Verilog subset.
+
+    Supported syntax (IEEE 1364 flavour):
+    - [module name (a, b, ...); ... endmodule]
+    - [input]/[output]/[wire]/[reg] declarations with [[msb:lsb]] ranges
+    - [assign name = expr;]
+    - [always @(posedge clk) begin ... end] with [if]/[else] and
+      non-blocking assignments
+    - module instances with named connections [.port(expr)]
+    - expressions: [?:], logical/bitwise operators, comparisons, shifts
+      ([>>>] arithmetic), [+ - *], unary [- ~], sized literals ([12'd42],
+      [8'hFF], [4'b1010]), bit/part selects, concatenation, replication
+      and [$signed(e)].
+
+    Comments ([//] and [/* */]) are skipped. *)
+
+exception Syntax_error of string
+(** Carries a line-number diagnostic. *)
+
+val design : string -> Ast.design
+val expr_of_string : string -> Ast.expr
+(** For tests. *)

@@ -1,0 +1,1 @@
+test/test_axis.ml: Alcotest Array Axis Builder Chisel Hw Idct List

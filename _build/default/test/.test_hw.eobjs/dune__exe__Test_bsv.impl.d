@@ -1,0 +1,1 @@
+test/test_bsv.ml: Alcotest Array Axis Bsv Hw Idct List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_chisel.ml: Alcotest Axis Chisel Hw Idct List QCheck QCheck_alcotest

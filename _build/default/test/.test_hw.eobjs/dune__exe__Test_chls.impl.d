@@ -1,0 +1,1 @@
+test/test_chls.ml: Alcotest Array Axis Chls Hashtbl Idct List Option

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Axis Chls Dslx Hw Idct List QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_dslx.ml: Alcotest Array Axis Dslx Hw Idct List Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Bits Builder Device Hw Instantiate List Netlist Printf QCheck QCheck_alcotest Random Result Sim String Synth Techmap Timing Verilog Vlog

@@ -1,0 +1,1 @@
+test/test_hw_extra.ml: Alcotest Bits Builder Device Equiv Format Hw List Netlist QCheck QCheck_alcotest Result Sim String Synth Techmap Waves

@@ -1,0 +1,1 @@
+test/test_idct.ml: Alcotest Array Idct List QCheck QCheck_alcotest

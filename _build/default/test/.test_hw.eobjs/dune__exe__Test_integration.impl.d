@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Axis Chls Core Design Dslx Hw Idct Lazy List Registry String

@@ -1,0 +1,1 @@
+test/test_listings.ml: Alcotest Bsv Chls Core Dslx Hw Lazy List Printf QCheck QCheck_alcotest Random String Vlog

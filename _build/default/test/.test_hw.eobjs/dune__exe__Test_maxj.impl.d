@@ -1,0 +1,1 @@
+test/test_maxj.ml: Alcotest Array Hw Idct List Maxj String

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Axis Bsv Core Dslx Float Hw Idct List Maxj Printf

@@ -1,0 +1,1 @@
+test/test_second_kernel.ml: Alcotest Array Axis Chls Core Dslx Idct List Printf

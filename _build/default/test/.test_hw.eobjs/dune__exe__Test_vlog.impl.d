@@ -1,0 +1,1 @@
+test/test_vlog.ml: Alcotest Array Core Hw Idct List Printf String Vlog

@@ -1,0 +1,192 @@
+(* Tests for the AXI-Stream substrate: protocol monitor, adapters under
+   back-pressure and input gaps, latency/periodicity measurement. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let sample ~cycle ~valid ~ready ~last data =
+  { Axis.Monitor.cycle; valid; ready; last; data = Array.make 8 data }
+
+let eight_beats ?(start = 0) () =
+  List.init 8 (fun i ->
+      sample ~cycle:(start + i) ~valid:true ~ready:true ~last:(i = 7) i)
+
+let test_monitor_clean () =
+  check int "no violations" 0 (List.length (Axis.Monitor.check (eight_beats ())))
+
+let test_monitor_stability () =
+  let trace =
+    [
+      sample ~cycle:0 ~valid:true ~ready:false ~last:false 1;
+      sample ~cycle:1 ~valid:true ~ready:true ~last:false 2 (* data changed *);
+    ]
+  in
+  let v = Axis.Monitor.check trace in
+  check bool "detects unstable data" true
+    (List.exists
+       (fun (x : Axis.Monitor.violation) ->
+         x.rule = "m_data changed while a beat was stalled")
+       v)
+
+let test_monitor_drop_valid () =
+  let trace =
+    [
+      sample ~cycle:0 ~valid:true ~ready:false ~last:false 1;
+      sample ~cycle:1 ~valid:false ~ready:false ~last:false 1;
+    ]
+  in
+  check bool "detects dropped valid" true
+    (Axis.Monitor.check trace
+    |> List.exists (fun (x : Axis.Monitor.violation) ->
+           x.rule = "m_valid deasserted while a beat was stalled"))
+
+let test_monitor_framing () =
+  let bad =
+    List.init 8 (fun i ->
+        (* last on beat 5 instead of 8 *)
+        sample ~cycle:i ~valid:true ~ready:true ~last:(i = 4) i)
+  in
+  check bool "detects bad framing" true (Axis.Monitor.check bad <> [])
+
+(* A trivial pass-through kernel for adapter tests: out = clip of input. *)
+let passthrough_kernel b mid =
+  Array.map
+    (fun s ->
+      let open Hw in
+      Builder.slice b (Builder.sext b s 16) ~hi:8 ~lo:0)
+    mid
+
+let passthrough_expected blk =
+  Array.map
+    (fun v ->
+      let x = v land 0x1FF in
+      if x land 0x100 <> 0 then x - 0x200 else x)
+    blk
+
+let mats n =
+  let rng = Idct.Block.Rand.create ~seed:3 () in
+  List.init n (fun _ -> Idct.Block.Rand.block rng ~lo:(-100) ~hi:100)
+
+let test_wrap_matrix_kernel_basic () =
+  let c =
+    Axis.Adapter.wrap_matrix_kernel ~name:"pt" ~latency:0
+      ~kernel:passthrough_kernel ()
+  in
+  let inputs = mats 5 in
+  let r = Axis.Driver.run c inputs in
+  check int "latency 17" 17 r.Axis.Driver.latency;
+  check int "periodicity 8" 8 r.Axis.Driver.periodicity;
+  check int "clean protocol" 0 (List.length r.Axis.Driver.violations);
+  List.iter2
+    (fun got input ->
+      check bool "payload" true
+        (Idct.Block.equal got (passthrough_expected input)))
+    r.Axis.Driver.outputs inputs
+
+let test_wrap_matrix_kernel_backpressure () =
+  let c =
+    Axis.Adapter.wrap_matrix_kernel ~name:"pt" ~latency:0
+      ~kernel:passthrough_kernel ()
+  in
+  let inputs = mats 4 in
+  (* sink accepts only every third cycle *)
+  let r = Axis.Driver.run ~ready_pattern:(fun t -> t mod 3 = 0) c inputs in
+  check int "clean under backpressure" 0 (List.length r.Axis.Driver.violations);
+  List.iter2
+    (fun got input ->
+      check bool "payload under backpressure" true
+        (Idct.Block.equal got (passthrough_expected input)))
+    r.Axis.Driver.outputs inputs
+
+let test_wrap_matrix_kernel_gaps () =
+  let c =
+    Axis.Adapter.wrap_matrix_kernel ~name:"pt" ~latency:0
+      ~kernel:passthrough_kernel ()
+  in
+  let inputs = mats 3 in
+  let r = Axis.Driver.run ~input_gap:5 c inputs in
+  check int "gapped stream is clean" 0 (List.length r.Axis.Driver.violations);
+  check int "gap shows in periodicity" 13 r.Axis.Driver.periodicity
+
+let test_wrap_row_col_structure () =
+  let mode = Chisel.Idct_gen.verilog_mode in
+  let c = Chisel.Idct_gen.design_rowcol mode ~name:"rc" in
+  let inputs =
+    List.map Idct.Reference.fdct (mats 5)
+  in
+  let r = Axis.Driver.run c inputs in
+  check int "latency 24" 24 r.Axis.Driver.latency;
+  check int "periodicity 8" 8 r.Axis.Driver.periodicity;
+  let expected = List.map Idct.Chenwang.idct inputs in
+  check bool "bit true" true
+    (List.for_all2 Idct.Block.equal r.Axis.Driver.outputs expected)
+
+let test_wrap_row_col_backpressure () =
+  let mode = Chisel.Idct_gen.verilog_mode in
+  let c = Chisel.Idct_gen.design_rowcol mode ~name:"rc" in
+  let inputs = List.map Idct.Reference.fdct (mats 3) in
+  let r = Axis.Driver.run ~ready_pattern:(fun t -> t mod 2 = 0) c inputs in
+  let expected = List.map Idct.Chenwang.idct inputs in
+  check bool "bit true under backpressure" true
+    (List.for_all2 Idct.Block.equal r.Axis.Driver.outputs expected);
+  check int "protocol clean" 0 (List.length r.Axis.Driver.violations)
+
+let test_pipelined_kernel_wrap () =
+  (* A latency-3 kernel through the pipelined hand-off path. *)
+  let kernel b mid =
+    let open Hw in
+    Array.map
+      (fun s ->
+        let r1 = Builder.reg_next b s in
+        let r2 = Builder.reg_next b r1 in
+        let r3 = Builder.reg_next b r2 in
+        Builder.slice b (Builder.sext b r3 16) ~hi:8 ~lo:0)
+      mid
+  in
+  let c = Axis.Adapter.wrap_matrix_kernel ~name:"lat3" ~latency:3 ~kernel () in
+  let inputs = mats 4 in
+  let r = Axis.Driver.run c inputs in
+  check int "latency 17+3" 20 r.Axis.Driver.latency;
+  List.iter2
+    (fun got input ->
+      check bool "payload through pipe" true
+        (Idct.Block.equal got (passthrough_expected input)))
+    r.Axis.Driver.outputs inputs
+
+let test_driver_timeout () =
+  (* A circuit that never produces output must raise, not hang. *)
+  let b = Hw.Builder.create "dead" in
+  let p = Axis.Stream.declare_inputs b in
+  ignore p;
+  Axis.Stream.expose_outputs b
+    ~s_ready:(Hw.Builder.one b 1)
+    ~m_valid:(Hw.Builder.zero b 1)
+    ~m_last:(Hw.Builder.zero b 1)
+    ~m_data:(Array.init 8 (fun _ -> Hw.Builder.zero b 9));
+  let c = Hw.Builder.finalize b in
+  match Axis.Driver.run ~timeout:200 c (mats 1) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected timeout"
+
+let () =
+  Alcotest.run "axis"
+    [
+      ( "monitor",
+        [
+          Alcotest.test_case "clean trace" `Quick test_monitor_clean;
+          Alcotest.test_case "stability violation" `Quick test_monitor_stability;
+          Alcotest.test_case "dropped valid" `Quick test_monitor_drop_valid;
+          Alcotest.test_case "framing" `Quick test_monitor_framing;
+        ] );
+      ( "adapters",
+        [
+          Alcotest.test_case "matrix kernel basics" `Quick test_wrap_matrix_kernel_basic;
+          Alcotest.test_case "back-pressure" `Quick test_wrap_matrix_kernel_backpressure;
+          Alcotest.test_case "input gaps" `Quick test_wrap_matrix_kernel_gaps;
+          Alcotest.test_case "row/col engine" `Quick test_wrap_row_col_structure;
+          Alcotest.test_case "row/col back-pressure" `Quick test_wrap_row_col_backpressure;
+          Alcotest.test_case "pipelined kernel" `Quick test_pipelined_kernel_wrap;
+          Alcotest.test_case "driver timeout" `Quick test_driver_timeout;
+        ] );
+    ]

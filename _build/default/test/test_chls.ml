@@ -1,0 +1,333 @@
+(* Tests for the C HLS flow: interpreter, transformations, scheduler
+   resource constraints, FSM generation, memories and the tool profiles. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+open Chls.Ast
+
+(* ---------------- interpreter ---------------- *)
+
+let test_interp_basics () =
+  let p =
+    {
+      funcs =
+        [
+          {
+            fname = "f";
+            params = [ PScalar ("x", int_t) ];
+            ret = Some int_t;
+            locals = [ ("t", int_t) ];
+            arrays = [];
+            body =
+              [
+                Assign ("t", Bin (Mul, Var "x", Int 3));
+                Return (Bin (Add, Var "t", Int 1));
+              ];
+          };
+        ];
+      top = "f";
+    }
+  in
+  check (Alcotest.option int) "3x+1" (Some 22) (interp p "f" ~args:[ `Int 7 ])
+
+let test_interp_short_truncation () =
+  let p =
+    {
+      funcs =
+        [
+          {
+            fname = "f";
+            params = [ PArray ("a", short_t, 2) ];
+            ret = None;
+            locals = [];
+            arrays = [];
+            body = [ Store ("a", Int 0, Int 0x12345) ];
+          };
+        ];
+      top = "f";
+    }
+  in
+  let arr = [| 0; 0 |] in
+  ignore (interp p "f" ~args:[ `Arr arr ]);
+  check int "short truncates" 0x2345 arr.(0)
+
+let test_interp_idct_matches_chenwang () =
+  let rng = Idct.Block.Rand.create ~seed:61 () in
+  for _ = 1 to 50 do
+    let blk = Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255) in
+    check bool "bit-true" true
+      (Idct.Block.equal (Chls.Idct_c.run blk) (Idct.Chenwang.idct blk))
+  done
+
+(* ---------------- transformations ---------------- *)
+
+let test_unroll_folds_indices () =
+  let opts =
+    {
+      Chls.Transform.inline_calls = true;
+      unroll = true;
+      partition = [ "blk" ];
+      call_sync_cycles = 0;
+    }
+  in
+  let proc = Chls.Transform.lower opts Chls.Idct_c.program in
+  (* fully unrolled: one straight-line region with only constant indices *)
+  check int "one region" 1 (List.length proc.Chls.Transform.regions);
+  let rec const_indices_only (e : expr) =
+    match e with
+    | Int _ | Var _ -> true
+    | Load (_, Int _) -> true
+    | Load _ -> false
+    | Bin (_, a, b) -> const_indices_only a && const_indices_only b
+    | Neg a -> const_indices_only a
+    | Cond (a, b, c) ->
+        const_indices_only a && const_indices_only b && const_indices_only c
+    | Call (_, args) -> List.for_all const_indices_only args
+  in
+  match proc.Chls.Transform.regions with
+  | [ Chls.Transform.RStraight block ] ->
+      check bool "all indices static" true
+        (List.for_all
+           (fun st ->
+             match st with
+             | Assign (_, e) -> const_indices_only e
+             | Store (_, Int _, e) -> const_indices_only e
+             | _ -> false)
+           block)
+  | _ -> Alcotest.fail "expected one straight region"
+
+let test_if_conversion () =
+  let p =
+    {
+      funcs =
+        [
+          {
+            fname = "f";
+            params = [ PArray ("a", short_t, 4) ];
+            ret = None;
+            locals = [ ("t", int_t) ];
+            arrays = [];
+            body =
+              [
+                Assign ("t", Load ("a", Int 0));
+                If
+                  ( Bin (Gt, Var "t", Int 10),
+                    [ Store ("a", Int 1, Int 1) ],
+                    [ Store ("a", Int 1, Int 2) ] );
+              ];
+          };
+        ];
+      top = "f";
+    }
+  in
+  (* semantics preserved through lowering + FSM *)
+  let circuit =
+    Chls.Tool.sequential_circuit ~name:"ifc" Chls.Schedule.default_config
+      Chls.Transform.default_options
+      {
+        funcs =
+          [
+            {
+              fname = "top";
+              params = [ PArray ("blk", short_t, 64) ];
+              ret = None;
+              locals = [ ("t", int_t) ];
+              arrays = [];
+              body =
+                [
+                  Assign ("t", Load ("blk", Int 0));
+                  If
+                    ( Bin (Gt, Var "t", Int 10),
+                      [ Store ("blk", Int 1, Int 1) ],
+                      [ Store ("blk", Int 1, Int 2) ] );
+                ];
+            };
+          ];
+        top = "top";
+      }
+  in
+  ignore p;
+  let run first =
+    let input = Idct.Block.create () in
+    input.(0) <- first;
+    let r = Axis.Driver.run circuit [ input ] in
+    (List.hd r.Axis.Driver.outputs).(1)
+  in
+  check int "then branch" 1 (run 50);
+  check int "else branch" 2 (run 3)
+
+(* ---------------- scheduler ---------------- *)
+
+let loads_per_step (blk : Chls.Schedule.block) arr =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun (o : Chls.Schedule.op) ->
+      match o.Chls.Schedule.kind with
+      | Chls.Schedule.KLoad a when a = arr ->
+          Hashtbl.replace tbl o.Chls.Schedule.step
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl o.Chls.Schedule.step))
+      | _ -> ())
+    blk.Chls.Schedule.ops;
+  Hashtbl.fold (fun _ v acc -> max v acc) tbl 0
+
+let schedule_idct cfg =
+  Chls.Schedule.schedule cfg
+    (Chls.Transform.lower Chls.Transform.default_options Chls.Idct_c.program)
+
+let rec first_block = function
+  | Chls.Schedule.SBlock b :: _ -> Some b
+  | Chls.Schedule.SLoop { body; _ } :: rest -> (
+      match first_block body with Some b -> Some b | None -> first_block rest)
+  | _ :: rest -> first_block rest
+  | [] -> None
+
+let test_memory_port_limits () =
+  let one = schedule_idct { Chls.Schedule.default_config with read_ports = 1 } in
+  let two = schedule_idct { Chls.Schedule.default_config with read_ports = 2 } in
+  (match (first_block one.Chls.Schedule.regions, first_block two.Chls.Schedule.regions) with
+  | Some b1, Some b2 ->
+      check bool "1 port respected" true (loads_per_step b1 "blk" <= 1);
+      check bool "2 ports respected" true (loads_per_step b2 "blk" <= 2)
+  | _ -> Alcotest.fail "no block found");
+  check bool "more ports, fewer cycles" true
+    (Chls.Schedule.total_cycles two < Chls.Schedule.total_cycles one)
+
+let test_chaining_budget () =
+  let slow = schedule_idct { Chls.Schedule.default_config with chain_ns = 3.0 } in
+  let fast = schedule_idct { Chls.Schedule.default_config with chain_ns = 9.0 } in
+  check bool "longer chains, fewer cycles" true
+    (Chls.Schedule.total_cycles fast < Chls.Schedule.total_cycles slow)
+
+let test_waw_order_kept () =
+  (* x assigned twice: the commits must be strictly ordered. *)
+  let proc =
+    Chls.Transform.lower Chls.Transform.default_options
+      {
+        funcs =
+          [
+            {
+              fname = "f";
+              params = [ PArray ("blk", short_t, 64) ];
+              ret = None;
+              locals = [ ("x", int_t) ];
+              arrays = [];
+              body =
+                [
+                  Assign ("x", Int 1);
+                  Assign ("x", Bin (Add, Var "x", Int 2));
+                  Store ("blk", Int 0, Var "x");
+                ];
+            };
+          ];
+        top = "f";
+      }
+  in
+  let s = Chls.Schedule.schedule Chls.Schedule.default_config proc in
+  match first_block s.Chls.Schedule.regions with
+  | Some b ->
+      let defs =
+        Array.to_list b.Chls.Schedule.ops
+        |> List.filter_map (fun (o : Chls.Schedule.op) ->
+               match o.Chls.Schedule.kind with
+               | Chls.Schedule.KDefVar "x" -> Some o.Chls.Schedule.step
+               | _ -> None)
+      in
+      (match defs with
+      | [ s1; s2 ] -> check bool "strictly ordered" true (s1 < s2)
+      | _ -> Alcotest.fail "expected two defs")
+  | None -> Alcotest.fail "no block"
+
+(* ---------------- end-to-end FSM configurations ---------------- *)
+
+let mats n =
+  let rng = Idct.Block.Rand.create ~seed:71 () in
+  List.init n (fun _ ->
+      Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255))
+
+let bit_true circuit =
+  let inputs = mats 2 in
+  let r = Axis.Driver.run ~timeout:20000 circuit inputs in
+  List.for_all2 Idct.Block.equal r.Axis.Driver.outputs
+    (List.map Idct.Chenwang.idct inputs)
+
+let test_bambu_configs_bit_true () =
+  (* A representative slice of the 42-point grid. *)
+  List.iter
+    (fun (c : Chls.Tool.bambu_config) ->
+      check bool (Chls.Tool.describe_bambu c) true
+        (bit_true (Chls.Tool.bambu_circuit c)))
+    [
+      Chls.Tool.bambu_initial;
+      Chls.Tool.bambu_optimized;
+      { preset = "AREA"; sdc = false; chain_effort = 0 };
+      { preset = "BALANCED-MP"; sdc = true; chain_effort = 2 };
+    ]
+
+let test_vhls_configs_bit_true () =
+  List.iter
+    (fun c ->
+      check bool (Chls.Tool.describe_vhls c) true
+        (bit_true (Chls.Tool.vhls_circuit c)))
+    Chls.Tool.vhls_ladder
+
+let test_bambu_mp_faster () =
+  let cyc c =
+    (Axis.Driver.run ~timeout:20000 (Chls.Tool.bambu_circuit c) (mats 2))
+      .Axis.Driver.periodicity
+  in
+  check bool "PERFORMANCE-MP beats the default preset" true
+    (cyc Chls.Tool.bambu_optimized < cyc Chls.Tool.bambu_initial)
+
+let test_vhls_pipeline_periodicity () =
+  let r =
+    Axis.Driver.run (Chls.Tool.vhls_circuit Chls.Tool.vhls_optimized) (mats 3)
+  in
+  check int "II=8 achieved" 8 r.Axis.Driver.periodicity;
+  check bool "latency near the paper's 26" true
+    (abs (r.Axis.Driver.latency - 26) <= 3)
+
+let test_vhls_pushbutton_slow () =
+  let r =
+    Axis.Driver.run ~timeout:20000
+      (Chls.Tool.vhls_circuit Chls.Tool.vhls_initial)
+      (mats 2)
+  in
+  (* non-inlined units with synchronization overhead: hundreds of cycles *)
+  check bool "sequential and slow" true (r.Axis.Driver.periodicity > 300)
+
+let test_grid_sizes () =
+  check int "42 Bambu configurations" 42 (List.length Chls.Tool.bambu_grid);
+  check int "pragma ladder" 5 (List.length Chls.Tool.vhls_ladder)
+
+let () =
+  Alcotest.run "chls"
+    [
+      ( "interpreter",
+        [
+          Alcotest.test_case "basics" `Quick test_interp_basics;
+          Alcotest.test_case "short truncation" `Quick test_interp_short_truncation;
+          Alcotest.test_case "idct = Chen-Wang" `Quick test_interp_idct_matches_chenwang;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "unroll folds indices" `Quick test_unroll_folds_indices;
+          Alcotest.test_case "if-conversion" `Slow test_if_conversion;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "memory ports" `Quick test_memory_port_limits;
+          Alcotest.test_case "chaining budget" `Quick test_chaining_budget;
+          Alcotest.test_case "write-after-write order" `Quick test_waw_order_kept;
+          Alcotest.test_case "option grids" `Quick test_grid_sizes;
+        ] );
+      ( "fsm",
+        [
+          Alcotest.test_case "bambu configs bit-true" `Slow test_bambu_configs_bit_true;
+          Alcotest.test_case "vivado-hls configs bit-true" `Slow test_vhls_configs_bit_true;
+          Alcotest.test_case "multi-port is faster" `Slow test_bambu_mp_faster;
+          Alcotest.test_case "II=8 pipeline" `Slow test_vhls_pipeline_periodicity;
+          Alcotest.test_case "push-button is slow" `Slow test_vhls_pushbutton_slow;
+        ] );
+    ]

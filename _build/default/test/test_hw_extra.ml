@@ -1,0 +1,207 @@
+(* Additional substrate tests: constant-shift helpers, comparison sugar,
+   the equivalence checker, VCD waves, device capacity and report sanity. *)
+
+open Hw
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ---------------- builder op sugar vs Bits semantics ---------------- *)
+
+let const_shift_props =
+  let gen = QCheck.(triple (int_range 2 24) int (int_range 0 30)) in
+  let build f w v n =
+    let b = Builder.create "p" in
+    let x = Builder.const b ~width:w v in
+    Builder.output b "o" (f b x n);
+    let sim = Sim.create (Builder.finalize b) in
+    Sim.get sim "o"
+  in
+  [
+    QCheck.Test.make ~name:"shl_const = Bits.shift_left" ~count:200 gen
+      (fun (w, v, n) ->
+        build Builder.shl_const w v n
+        = Bits.to_int (Bits.shift_left (Bits.create ~width:w v) (Bits.create ~width:6 (min n 63))));
+    QCheck.Test.make ~name:"shr_const = Bits.shift_right_logical" ~count:200 gen
+      (fun (w, v, n) ->
+        build Builder.shr_const w v n
+        = Bits.to_int
+            (Bits.shift_right_logical (Bits.create ~width:w v) (Bits.create ~width:6 (min n 63))));
+    QCheck.Test.make ~name:"sra_const = Bits.shift_right_arith" ~count:200 gen
+      (fun (w, v, n) ->
+        build Builder.sra_const w v n
+        = Bits.to_int
+            (Bits.shift_right_arith (Bits.create ~width:w v) (Bits.create ~width:6 (min n 63))));
+  ]
+
+let test_cmp_sugar () =
+  let b = Builder.create "cmp" in
+  let x = Builder.input b "x" 8 and y = Builder.input b "y" 8 in
+  Builder.output b "gt" (Builder.gt b ~signed:true x y);
+  Builder.output b "ge" (Builder.ge b ~signed:true x y);
+  let sim = Sim.create (Builder.finalize b) in
+  Sim.set sim "x" 0xFF (* -1 *);
+  Sim.set sim "y" 1;
+  check int "-1 > 1 signed" 0 (Sim.get sim "gt");
+  Sim.set sim "y" 0xFE (* -2 *);
+  check int "-1 > -2" 1 (Sim.get sim "gt");
+  Sim.set sim "y" 0xFF;
+  check int "-1 >= -1" 1 (Sim.get sim "ge")
+
+let test_concat_list () =
+  let b = Builder.create "cl" in
+  let parts = List.map (fun v -> Builder.const b ~width:4 v) [ 0xA; 0xB; 0xC ] in
+  Builder.output b "o" (Builder.concat_list b parts);
+  let sim = Sim.create (Builder.finalize b) in
+  check int "abc" 0xABC (Sim.get sim "o")
+
+let test_mux_list_narrow_select () =
+  let b = Builder.create "ml" in
+  let sel = Builder.input b "s" 1 in
+  (match Builder.mux_list b sel (List.init 4 (fun i -> Builder.const b ~width:4 i)) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected select-width failure")
+
+(* ---------------- equivalence checker ---------------- *)
+
+let adder w name =
+  let b = Builder.create name in
+  let x = Builder.input b "x" w and y = Builder.input b "y" w in
+  Builder.output b "s" (Builder.add b x y);
+  Builder.finalize b
+
+let test_equiv_accepts () =
+  match Equiv.check (adder 8 "a") (adder 8 "b") with
+  | Equiv.Equivalent -> ()
+  | r -> Alcotest.fail (Format.asprintf "unexpected %a" Equiv.pp_result r)
+
+let test_equiv_detects () =
+  let broken =
+    let b = Builder.create "broken" in
+    let x = Builder.input b "x" 8 and y = Builder.input b "y" 8 in
+    Builder.output b "s" (Builder.sub b x y);
+    Builder.finalize b
+  in
+  (match Equiv.check (adder 8 "a") broken with
+  | Equiv.Mismatch { port = "s"; _ } -> ()
+  | Equiv.Mismatch _ | Equiv.Equivalent -> Alcotest.fail "expected mismatch on s")
+
+let test_equiv_port_check () =
+  match Equiv.check (adder 8 "a") (adder 9 "b") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected port width rejection"
+
+let test_equiv_settle () =
+  (* A 1-deep pipeline of the adder is equivalent after one settle cycle
+     when inputs are held... it is not cycle-identical, and Equiv with
+     settle=0 must catch that. *)
+  let piped =
+    let b = Builder.create "p" in
+    let x = Builder.input b "x" 8 and y = Builder.input b "y" 8 in
+    Builder.output b "s" (Builder.reg_next b (Builder.add b x y));
+    Builder.finalize b
+  in
+  (match Equiv.check (adder 8 "a") piped with
+  | Equiv.Mismatch _ -> ()
+  | Equiv.Equivalent -> Alcotest.fail "registered adder is not cycle-identical")
+
+(* ---------------- waves ---------------- *)
+
+let test_vcd () =
+  let b = Builder.create "wave" in
+  let q = Builder.reg b ~width:4 "count" in
+  Builder.connect b q (Builder.add b q (Builder.one b 4));
+  Builder.output b "o" q;
+  let sim = Sim.create (Builder.finalize b) in
+  let w = Waves.create sim in
+  Waves.run w 5;
+  let vcd = Waves.to_string w in
+  check bool "has timescale" true (contains vcd "$timescale");
+  check bool "declares count" true (contains vcd "count $end");
+  check bool "has time 5" true (contains vcd "#5");
+  check bool "records 0101 at some point" true (contains vcd "b0101 ");
+  check int "sim advanced" 5 (Sim.cycle_count sim)
+
+(* ---------------- device / synth ---------------- *)
+
+let test_capacity_check () =
+  let tiny =
+    { Device.xcvu9p with Device.lut_capacity = 10; device_name = "tiny" }
+  in
+  let big =
+    let b = Builder.create "big" in
+    let x = Builder.input b "x" 32 and y = Builder.input b "y" 32 in
+    Builder.output b "o" (Builder.mul b x y);
+    Builder.finalize b
+  in
+  let r = Synth.run ~device:tiny big in
+  check bool "over capacity detected" true
+    (Result.is_error (Synth.check_fits tiny r));
+  check bool "fits the real device" true
+    (Result.is_ok (Synth.check_fits Device.xcvu9p r))
+
+let test_utilization () =
+  let u = Device.utilization Device.xcvu9p ~luts:1_182_240 ~ffs:0 ~dsps:0 in
+  check bool "full LUTs = 1.0" true (abs_float (u -. 1.0) < 1e-9);
+  let u2 = Device.utilization Device.xcvu9p ~luts:0 ~ffs:0 ~dsps:6840 in
+  check bool "full DSPs = 1.0" true (abs_float (u2 -. 1.0) < 1e-9)
+
+let test_io_bits () =
+  let b = Builder.create "io" in
+  let x = Builder.input b "x" 12 in
+  Builder.output b "o" (Builder.reg_next b x);
+  let c = Builder.finalize b in
+  check int "12 in + 12 out + clk + rst" 26 (Techmap.io_bits c)
+
+let test_netlist_stats () =
+  let b = Builder.create "st" in
+  let x = Builder.input b "x" 8 in
+  Builder.output b "o" (Builder.add b x (Builder.reg_next b x));
+  let stats = Netlist.stats (Builder.finalize b) in
+  check int "one add" 1 (List.assoc "add" stats);
+  check int "one reg" 1 (List.assoc "reg" stats);
+  check int "one input" 1 (List.assoc "input" stats)
+
+let test_mem_read_costed_as_lutram () =
+  let b = Builder.create "ram" in
+  let m = Builder.mem b "ram" ~size:64 ~width:16 in
+  let a = Builder.input b "a" 6 in
+  Builder.mem_write b m ~enable:(Builder.input b "we" 1) ~addr:a
+    ~data:(Builder.input b "d" 16);
+  Builder.output b "q" (Builder.mem_read b m a);
+  let r = Synth.run (Builder.finalize b) in
+  check bool "a 64x16 LUTRAM costs tens of LUTs, not thousands" true
+    (r.Synth.luts > 0 && r.Synth.luts < 100);
+  check int "no flip-flops for the array" 0 r.Synth.ffs
+
+let () =
+  Alcotest.run "hw-extra"
+    [
+      ( "builder-sugar",
+        Alcotest.test_case "signed gt/ge" `Quick test_cmp_sugar
+        :: Alcotest.test_case "concat_list" `Quick test_concat_list
+        :: Alcotest.test_case "mux_list narrow select" `Quick test_mux_list_narrow_select
+        :: List.map QCheck_alcotest.to_alcotest const_shift_props );
+      ( "equiv",
+        [
+          Alcotest.test_case "accepts equals" `Quick test_equiv_accepts;
+          Alcotest.test_case "detects difference" `Quick test_equiv_detects;
+          Alcotest.test_case "port discipline" `Quick test_equiv_port_check;
+          Alcotest.test_case "cycle-exact by default" `Quick test_equiv_settle;
+        ] );
+      ("waves", [ Alcotest.test_case "vcd output" `Quick test_vcd ]);
+      ( "device",
+        [
+          Alcotest.test_case "capacity check" `Quick test_capacity_check;
+          Alcotest.test_case "utilization" `Quick test_utilization;
+          Alcotest.test_case "io bits" `Quick test_io_bits;
+          Alcotest.test_case "netlist stats" `Quick test_netlist_stats;
+          Alcotest.test_case "LUTRAM cost" `Quick test_mem_read_costed_as_lutram;
+        ] );
+    ]

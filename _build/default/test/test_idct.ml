@@ -1,0 +1,161 @@
+(* Tests for the IDCT benchmark library: blocks, reference transforms,
+   the fixed-point Chen-Wang model and the IEEE 1180-1990 harness. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let test_block_ops () =
+  let b = Idct.Block.create () in
+  Idct.Block.set b ~row:2 ~col:3 42;
+  check int "get/set" 42 (Idct.Block.get b ~row:2 ~col:3);
+  check int "row extraction" 42 (Idct.Block.row b 2).(3);
+  check int "col extraction" 42 (Idct.Block.col b 3).(2);
+  let t = Idct.Block.transpose b in
+  check int "transpose" 42 (Idct.Block.get t ~row:3 ~col:2);
+  check bool "transpose involutive" true
+    (Idct.Block.equal b (Idct.Block.transpose t))
+
+let test_clamps () =
+  check int "input clamp hi" 2047 (Idct.Block.clamp_input 5000);
+  check int "input clamp lo" (-2048) (Idct.Block.clamp_input (-5000));
+  check int "output clamp hi" 255 (Idct.Block.clamp_output 300);
+  check int "output clamp lo" (-256) (Idct.Block.clamp_output (-300))
+
+let test_rand_deterministic () =
+  let a = Idct.Block.Rand.create ~seed:1 () in
+  let b = Idct.Block.Rand.create ~seed:1 () in
+  check bool "same seed, same stream" true
+    (Idct.Block.equal (Idct.Block.Rand.block a ~lo:(-256) ~hi:255)
+       (Idct.Block.Rand.block b ~lo:(-256) ~hi:255))
+
+let test_rand_range () =
+  let s = Idct.Block.Rand.create () in
+  for _ = 1 to 1000 do
+    let v = Idct.Block.Rand.uniform s ~lo:(-5) ~hi:5 in
+    check bool "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_dc_only () =
+  (* A DC-only coefficient block reconstructs to a flat block. *)
+  let blk = Idct.Block.create () in
+  Idct.Block.set blk ~row:0 ~col:0 64;
+  let out = Idct.Chenwang.idct blk in
+  let first = out.(0) in
+  check int "dc level" 8 first;
+  check bool "flat" true (Array.for_all (fun v -> v = first) out)
+
+let test_zero_in_zero_out () =
+  let out = Idct.Chenwang.idct (Idct.Block.create ()) in
+  check bool "all zero" true (Array.for_all (fun v -> v = 0) out)
+
+let test_matches_reference_closely () =
+  (* The fixed-point result stays within one LSB of the real-valued IDCT. *)
+  let rng = Idct.Block.Rand.create ~seed:5 () in
+  for _ = 1 to 200 do
+    let coeffs = Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255) in
+    let fixed = Idct.Chenwang.idct coeffs in
+    let real = Idct.Reference.idct coeffs in
+    Array.iteri
+      (fun i v -> check bool "within 1" true (abs (v - real.(i)) <= 1))
+      fixed
+  done
+
+let test_row_dc_shortcut_identity () =
+  (* The C reference short-circuits all-AC-zero rows; the full butterfly
+     must compute the identical value (the reason hardware can drop it). *)
+  for dc = -2048 to 2047 do
+    if dc mod 17 = 0 then begin
+      let row = Array.make 8 0 in
+      row.(0) <- dc;
+      let out = Idct.Chenwang.idct_row row in
+      Array.iter (fun v -> check int "shortcut identity" (dc * 8) v) out
+    end
+  done
+
+let test_col_dc_shortcut_identity () =
+  for dc = -2048 to 2047 do
+    if dc mod 29 = 0 then begin
+      let col = Array.make 8 0 in
+      col.(0) <- dc;
+      let out = Idct.Chenwang.idct_col col in
+      let expect = Idct.Chenwang.iclip ((dc + 32) asr 6) in
+      Array.iter (fun v -> check int "col shortcut identity" expect v) out
+    end
+  done
+
+let test_ieee1180_pass () =
+  List.iter
+    (fun (_, _, (v : Idct.Ieee1180.verdict)) ->
+      check bool "compliant" true v.passed)
+    (Idct.Ieee1180.run ~blocks:500 Idct.Chenwang.idct)
+
+let test_ieee1180_detects_bad () =
+  (* An implementation with a systematic bias must fail. *)
+  let biased blk = Array.map (fun v -> Idct.Block.clamp_output (v + 1)) (Idct.Chenwang.idct blk) in
+  check bool "biased fails" false (Idct.Ieee1180.compliant ~blocks:100 biased);
+  (* An implementation computing the forward transform must fail hard. *)
+  check bool "wrong transform fails" false
+    (Idct.Ieee1180.compliant ~blocks:20 (fun blk -> Idct.Reference.fdct blk))
+
+let test_ieee1180_zero_rule () =
+  let sneaky blk =
+    let out = Idct.Chenwang.idct blk in
+    if Array.for_all (fun v -> v = 0) blk then Array.map (fun _ -> 1) out else out
+  in
+  let _, s, v = List.hd (Idct.Ieee1180.run ~blocks:50 sneaky) in
+  check bool "zero rule violated" false s.Idct.Ieee1180.zero_in_zero_out;
+  check bool "fails" false v.Idct.Ieee1180.passed
+
+let idct_props =
+  [
+    QCheck.Test.make ~name:"linearity in DC" ~count:200
+      QCheck.(int_range (-200) 200)
+      (fun dc ->
+        let blk = Idct.Block.create () in
+        Idct.Block.set blk ~row:0 ~col:0 (8 * dc);
+        let out = Idct.Chenwang.idct blk in
+        Array.for_all (fun v -> v = Idct.Block.clamp_output dc) out);
+    QCheck.Test.make ~name:"output always in 9-bit range" ~count:200
+      QCheck.(int_range 0 10000)
+      (fun seed ->
+        let rng = Idct.Block.Rand.create ~seed () in
+        let blk = Idct.Block.Rand.block rng ~lo:(-2048) ~hi:2047 in
+        let out = Idct.Chenwang.idct blk in
+        Array.for_all (fun v -> v >= -256 && v <= 255) out);
+    QCheck.Test.make ~name:"fdct then idct round-trips" ~count:100
+      QCheck.(int_range 0 10000)
+      (fun seed ->
+        let rng = Idct.Block.Rand.create ~seed () in
+        let samples = Idct.Block.Rand.block rng ~lo:(-255) ~hi:255 in
+        let back = Idct.Chenwang.idct (Idct.Reference.fdct samples) in
+        (* IEEE-grade accuracy: within 1 of the original samples *)
+        Array.for_all2 (fun a b -> abs (a - b) <= 1) samples back);
+  ]
+
+let () =
+  Alcotest.run "idct"
+    [
+      ( "block",
+        [
+          Alcotest.test_case "ops" `Quick test_block_ops;
+          Alcotest.test_case "clamps" `Quick test_clamps;
+          Alcotest.test_case "rand deterministic" `Quick test_rand_deterministic;
+          Alcotest.test_case "rand range" `Quick test_rand_range;
+        ] );
+      ( "chenwang",
+        [
+          Alcotest.test_case "dc only" `Quick test_dc_only;
+          Alcotest.test_case "zero in zero out" `Quick test_zero_in_zero_out;
+          Alcotest.test_case "close to real-valued" `Quick test_matches_reference_closely;
+          Alcotest.test_case "row dc shortcut identity" `Quick test_row_dc_shortcut_identity;
+          Alcotest.test_case "col dc shortcut identity" `Quick test_col_dc_shortcut_identity;
+        ] );
+      ( "ieee1180",
+        [
+          Alcotest.test_case "reference passes" `Slow test_ieee1180_pass;
+          Alcotest.test_case "detects bias" `Quick test_ieee1180_detects_bad;
+          Alcotest.test_case "zero rule" `Quick test_ieee1180_zero_rule;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest idct_props);
+    ]

@@ -1,0 +1,218 @@
+(* Tests for the Verilog front end: lexer/parser, width rules, processes,
+   instances, and the baseline IDCT sources. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let eval_expr ?(inputs = []) src =
+  (* Wrap an expression into a module and evaluate it. *)
+  let decls =
+    String.concat "\n"
+      (List.map (fun (n, w, _) -> Printf.sprintf "  input [%d:0] %s;" (w - 1) n) inputs)
+  in
+  let ports = String.concat "" (List.map (fun (n, _, _) -> n ^ ", ") inputs) in
+  let m =
+    Printf.sprintf "module t (%so);\n%s\n  output [31:0] o;\n  assign o = %s;\nendmodule"
+      ports decls src
+  in
+  let c = Vlog.Elaborate.circuit_of_string m in
+  let sim = Hw.Sim.create c in
+  List.iter (fun (n, _, v) -> Hw.Sim.set sim n v) inputs;
+  Hw.Sim.get sim "o"
+
+let test_literals () =
+  check int "plain" 42 (eval_expr "42");
+  check int "sized dec" 42 (eval_expr "12'd42");
+  check int "hex" 0xFF (eval_expr "8'hFF");
+  check int "binary" 0b1010 (eval_expr "4'b1010");
+  check int "underscores" 0xAB (eval_expr "8'hA_B")
+
+let test_operators () =
+  check int "precedence * over +" 7 (eval_expr "1 + 2 * 3");
+  check int "parens" 9 (eval_expr "(1 + 2) * 3");
+  check int "shifts" 40 (eval_expr "5 << 3");
+  check int "ternary" 2 (eval_expr "0 ? 1 : 2");
+  check int "eq" 1 (eval_expr "3 == 3");
+  check int "logical and" 1 (eval_expr "2 && 3");
+  check int "bitwise and" 2 (eval_expr "2 & 3");
+  check int "unary not" 0xFFFFFFFD (eval_expr "~32'd2" land 0xFFFFFFFF)
+
+let test_signed_rules () =
+  (* unsigned comparison by default, signed when both sides are $signed *)
+  check int "unsigned lt" 1
+    (eval_expr ~inputs:[ ("x", 8, 0x80) ] "x < 8'd255" land 1);
+  check int "signed lt" 1
+    (eval_expr ~inputs:[ ("x", 8, 0x80) ] "$signed(x) < $signed(8'd1)" land 1);
+  check int "ashr" 0xFE
+    (eval_expr ~inputs:[ ("x", 8, 0xF8) ] "$signed(x) >>> 2" land 0xFF)
+
+let test_concat_repeat () =
+  check int "concat" 0xAB (eval_expr "{4'hA, 4'hB}");
+  check int "repeat" 0xFF (eval_expr "{8{1'b1}}");
+  check int "sign extend idiom" 0xFFF8
+    (eval_expr ~inputs:[ ("x", 4, 8) ] "{{12{x[3]}}, x}" land 0xFFFF)
+
+let test_part_select () =
+  check int "range" 0xB (eval_expr ~inputs:[ ("x", 8, 0xAB) ] "x[3:0]");
+  check int "bit" 1 (eval_expr ~inputs:[ ("x", 8, 0x80) ] "x[7]")
+
+let test_syntax_errors () =
+  let bad src =
+    match Vlog.Parse.design src with
+    | exception Vlog.Parse.Syntax_error _ -> true
+    | _ -> false
+  in
+  check bool "missing semicolon" true (bad "module m (a); input a endmodule");
+  check bool "unterminated comment" true (bad "module m (a); /* input a; endmodule");
+  check bool "bad base" true (bad "module m (a); input a; assign a = 3'q2; endmodule")
+
+let test_register_process () =
+  let src =
+    {|module m (clk, rst, en, q);
+  input clk, rst, en;
+  output [3:0] q;
+  reg [3:0] q;
+  always @(posedge clk)
+    if (rst) q <= 4'd9;
+    else if (en) q <= q + 4'd1;
+endmodule|}
+  in
+  let c = Vlog.Elaborate.circuit_of_string src in
+  let sim = Hw.Sim.create c in
+  check int "reset value applied as init" 9 (Hw.Sim.get sim "q");
+  Hw.Sim.set sim "en" 1;
+  Hw.Sim.step_n sim 3;
+  check int "counts" 12 (Hw.Sim.get sim "q");
+  Hw.Sim.set sim "en" 0;
+  Hw.Sim.step_n sim 3;
+  check int "holds" 12 (Hw.Sim.get sim "q")
+
+let test_last_assignment_wins () =
+  let src =
+    {|module m (clk, rst, q);
+  input clk, rst;
+  output [3:0] q;
+  reg [3:0] q;
+  always @(posedge clk) begin
+    q <= 4'd1;
+    q <= 4'd2;
+  end
+endmodule|}
+  in
+  let sim = Hw.Sim.create (Vlog.Elaborate.circuit_of_string src) in
+  Hw.Sim.step sim;
+  check int "verilog last-write-wins" 2 (Hw.Sim.get sim "q")
+
+let test_instance () =
+  let src =
+    {|module addc (x, y);
+  input [7:0] x;
+  output [7:0] y;
+  assign y = x + 8'd3;
+endmodule
+module top (a, b);
+  input [7:0] a;
+  output [7:0] b;
+  wire [7:0] t;
+  addc u1 (.x(a), .y(t));
+  addc u2 (.x(t), .y(b));
+endmodule|}
+  in
+  let sim = Hw.Sim.create (Vlog.Elaborate.circuit_of_string ~top:"top" src) in
+  Hw.Sim.set sim "a" 10;
+  check int "two instances" 16 (Hw.Sim.get sim "b")
+
+let test_undriven_detect () =
+  (* output driven by undeclared/undriven wire must fail *)
+  let src =
+    {|module m (o);
+  output [3:0] o;
+  wire [3:0] w;
+  assign o = w;
+endmodule|}
+  in
+  match Vlog.Elaborate.circuit_of_string src with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected undriven failure"
+
+let test_comb_loop_detect () =
+  let src =
+    {|module m (o);
+  output [3:0] o;
+  wire [3:0] a, b;
+  assign a = b + 4'd1;
+  assign b = a + 4'd1;
+  assign o = a;
+endmodule|}
+  in
+  match Vlog.Elaborate.circuit_of_string src with
+  | exception Failure msg ->
+      check bool "mentions loop" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected combinational loop failure"
+
+(* The baseline sources themselves. *)
+
+let test_idct_sources_parse () =
+  List.iter
+    (fun (name, src) ->
+      match Vlog.Parse.design src with
+      | modules ->
+          check bool (name ^ " parses to modules") true (List.length modules >= 2))
+    [
+      ("initial", Core.Verilog_designs.initial_source);
+      ("row8col", Core.Verilog_designs.row8col_source);
+      ("rowcol", Core.Verilog_designs.rowcol_source);
+    ]
+
+let test_idct_units_bit_true () =
+  (* Drive the parsed idct_row module directly against the software model. *)
+  let c =
+    Vlog.Elaborate.circuit_of_string ~top:"idct_row"
+      Core.Verilog_designs.initial_source
+  in
+  let sim = Hw.Sim.create c in
+  let rng = Idct.Block.Rand.create ~seed:11 () in
+  for _ = 1 to 50 do
+    let row = Array.init 8 (fun _ -> Idct.Block.Rand.uniform rng ~lo:(-2048) ~hi:2047) in
+    Array.iteri (fun i v -> Hw.Sim.set sim (Printf.sprintf "i%d" i) v) row;
+    let expect = Idct.Chenwang.idct_row row in
+    Array.iteri
+      (fun i want ->
+        let got = Hw.Sim.get sim (Printf.sprintf "o%d" i) in
+        let got = if got land 0x8000 <> 0 then got - 0x10000 else got in
+        check int (Printf.sprintf "o%d" i) (want land 0xFFFF |> fun v ->
+          if v land 0x8000 <> 0 then v - 0x10000 else v) got)
+      expect
+  done
+
+let () =
+  Alcotest.run "vlog"
+    [
+      ( "expressions",
+        [
+          Alcotest.test_case "literals" `Quick test_literals;
+          Alcotest.test_case "operators" `Quick test_operators;
+          Alcotest.test_case "signedness" `Quick test_signed_rules;
+          Alcotest.test_case "concat/repeat" `Quick test_concat_repeat;
+          Alcotest.test_case "part select" `Quick test_part_select;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "syntax errors" `Quick test_syntax_errors;
+          Alcotest.test_case "undriven wire" `Quick test_undriven_detect;
+          Alcotest.test_case "combinational loop" `Quick test_comb_loop_detect;
+        ] );
+      ( "modules",
+        [
+          Alcotest.test_case "register process" `Quick test_register_process;
+          Alcotest.test_case "last assignment wins" `Quick test_last_assignment_wins;
+          Alcotest.test_case "instances" `Quick test_instance;
+        ] );
+      ( "idct sources",
+        [
+          Alcotest.test_case "all parse" `Quick test_idct_sources_parse;
+          Alcotest.test_case "row unit bit-true" `Quick test_idct_units_bit_true;
+        ] );
+    ]
