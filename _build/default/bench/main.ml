@@ -190,6 +190,131 @@ let extension_second_kernel () =
     \ favours HC even more, since the HLS designs stay memory-bound)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Simulation engines: compiled (Hw.Compile, behind Hw.Sim) vs the      *)
+(* retained reference interpreter (Hw.Interp)                           *)
+(* ------------------------------------------------------------------ *)
+
+type engine_row = {
+  er_name : string;
+  er_nodes : int;          (* netlist nodes *)
+  er_compiled : int;       (* nodes left in the compiled schedule *)
+  er_ref_cps : float;      (* reference interpreter, cycles/sec *)
+  er_comp_cps : float;     (* compiled engine, cycles/sec *)
+}
+
+let stream_circuit (d : Core.Design.t) =
+  match d.Core.Design.impl with
+  | Core.Design.Stream c -> Lazy.force c
+  | Core.Design.Pcie _ -> assert false
+
+(* Deterministic stimulus: every input wiggles every cycle, every output is
+   read every cycle and folded into a checksum, so neither engine can cheat
+   and the two checksums double as a correctness check. *)
+let drive ~set ~get ~step (c : Hw.Netlist.t) cycles =
+  let ins = List.map fst c.Hw.Netlist.inputs
+  and outs = List.map fst c.Hw.Netlist.outputs in
+  let sum = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for k = 0 to cycles - 1 do
+    List.iteri (fun i nm -> set nm ((k * 0x9E37) lxor (i * 0x79B9))) ins;
+    List.iter (fun nm -> sum := !sum lxor get nm) outs;
+    step ()
+  done;
+  (Unix.gettimeofday () -. t0, !sum)
+
+let measure_engines name c =
+  (match Hw.Equiv.crosscheck ~cycles:256 c with
+  | Hw.Equiv.Equivalent -> ()
+  | r ->
+      failwith
+        (Format.asprintf "engine crosscheck failed on %s: %a" name
+           Hw.Equiv.pp_result r));
+  (* Calibrate the cycle count on the compiled engine (~0.3 s), then run
+     the same count on both engines so the checksums are comparable. *)
+  let cycles =
+    let sim = Hw.Sim.create c in
+    let t0 = Unix.gettimeofday () in
+    let n = ref 0 in
+    while Unix.gettimeofday () -. t0 < 0.3 do
+      let dt, _ =
+        drive ~set:(Hw.Sim.set sim) ~get:(Hw.Sim.get sim)
+          ~step:(fun () -> Hw.Sim.step sim)
+          c 512
+      in
+      ignore dt;
+      n := !n + 512
+    done;
+    max 2048 !n
+  in
+  let sim = Hw.Sim.create c in
+  let comp_dt, comp_sum =
+    drive ~set:(Hw.Sim.set sim) ~get:(Hw.Sim.get sim)
+      ~step:(fun () -> Hw.Sim.step sim)
+      c cycles
+  in
+  let itp = Hw.Interp.create c in
+  let ref_dt, ref_sum =
+    drive ~set:(Hw.Interp.set itp) ~get:(Hw.Interp.get itp)
+      ~step:(fun () -> Hw.Interp.step itp)
+      c cycles
+  in
+  if comp_sum <> ref_sum then
+    failwith (Printf.sprintf "engine checksum mismatch on %s" name);
+  {
+    er_name = name;
+    er_nodes = Hw.Netlist.num_nodes c;
+    er_compiled = Hw.Compile.compiled_nodes (Hw.Compile.create c);
+    er_ref_cps = float_of_int cycles /. ref_dt;
+    er_comp_cps = float_of_int cycles /. comp_dt;
+  }
+
+let sim_engine_rows () =
+  let bambu_largest =
+    (* The larger of the two Bambu designs by node count. *)
+    let ci = stream_circuit (Core.Registry.initial Core.Design.Bambu)
+    and co = stream_circuit (Core.Registry.optimized Core.Design.Bambu) in
+    if Hw.Netlist.num_nodes ci >= Hw.Netlist.num_nodes co then
+      ("bambu_initial", ci)
+    else ("bambu_optimized", co)
+  in
+  let verilog =
+    ("verilog_initial", stream_circuit (Core.Registry.initial Core.Design.Verilog))
+  in
+  List.map (fun (name, c) -> measure_engines name c) [ verilog; bambu_largest ]
+
+let render_engine_rows rows =
+  Printf.printf "%-18s %8s %9s %14s %14s %9s\n" "design" "nodes" "compiled"
+    "ref cyc/s" "compiled cyc/s" "speedup";
+  List.iter
+    (fun r ->
+      Printf.printf "%-18s %8d %9d %14.0f %14.0f %8.2fx\n" r.er_name
+        r.er_nodes r.er_compiled r.er_ref_cps r.er_comp_cps
+        (r.er_comp_cps /. r.er_ref_cps))
+    rows
+
+let write_engine_json path rows =
+  let oc = open_out path in
+  output_string oc "{\n  \"bench\": \"sim_engines\",\n  \"designs\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"nodes\": %d, \"compiled_nodes\": %d, \
+         \"reference_cps\": %.1f, \"compiled_cps\": %.1f, \"speedup\": %.3f}%s\n"
+        r.er_name r.er_nodes r.er_compiled r.er_ref_cps r.er_comp_cps
+        (r.er_comp_cps /. r.er_ref_cps)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "(wrote %s)\n%!" path
+
+let sim_engines () =
+  section "Simulation engines: compiled (Hw.Sim) vs reference interpreter";
+  let rows = sim_engine_rows () in
+  render_engine_rows rows;
+  write_engine_json "BENCH_sim.json" rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrate                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -259,14 +384,23 @@ let bechamel_suite () =
     tests
 
 let () =
-  table1 ();
-  table2 ();
-  fig1 ();
-  ablation_verilog ();
-  ablation_maxj ();
-  ablation_chls ();
-  ablation_scheduler ();
-  ablation_bsv_options ();
-  extension_second_kernel ();
-  bechamel_suite ();
-  section "done"
+  (* [--json] runs only the engine comparison and records BENCH_sim.json —
+     the fast path CI and future PRs use for a perf trajectory. *)
+  if Array.exists (( = ) "--json") Sys.argv then begin
+    sim_engines ();
+    section "done"
+  end
+  else begin
+    table1 ();
+    table2 ();
+    fig1 ();
+    ablation_verilog ();
+    ablation_maxj ();
+    ablation_chls ();
+    ablation_scheduler ();
+    ablation_bsv_options ();
+    extension_second_kernel ();
+    sim_engines ();
+    bechamel_suite ();
+    section "done"
+  end

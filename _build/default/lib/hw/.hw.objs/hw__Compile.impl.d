@@ -1,0 +1,1 @@
+lib/hw/compile.ml: Array Bits Bytes Hashtbl Interp List Netlist Option

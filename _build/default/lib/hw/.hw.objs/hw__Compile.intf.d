@@ -1,0 +1,1 @@
+lib/hw/compile.mli: Netlist

@@ -1,1 +1,1 @@
-lib/hw/equiv.ml: Format List Netlist Random Sim
+lib/hw/equiv.ml: Array Compile Format Interp List Netlist Printf Random Sim

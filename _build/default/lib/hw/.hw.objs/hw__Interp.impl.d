@@ -1,0 +1,1 @@
+lib/hw/interp.ml: Array Bits Hashtbl List Netlist

@@ -1,1 +1,1 @@
-lib/hw/sim.ml: Array Bits Hashtbl List Netlist
+lib/hw/sim.ml: Compile

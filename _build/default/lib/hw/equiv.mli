@@ -15,4 +15,14 @@ val check :
     circuits whose pipeline depths differ).
     @raise Invalid_argument on port mismatches. *)
 
+val crosscheck : ?cycles:int -> ?seed:int -> Netlist.t -> result
+(** Drives ONE circuit through both simulation engines — the reference
+    interpreter ({!Interp}) and the compiled engine ({!Compile}, behind
+    {!Sim}) — with identical pseudo-random stimulus (including all-ones and
+    sign-bit extremes at every width).  Outputs and register state are
+    compared every cycle; at the end every node value (exercising the
+    compiled engine's dead-node fallback) and every memory word is
+    compared.  Mismatch ports are labelled ["reg n<uid>"], ["n<uid>"] or
+    ["<mem>[<addr>]"] for non-output state. *)
+
 val pp_result : Format.formatter -> result -> unit

@@ -77,6 +77,17 @@ let is_reg n = match n.kind with Reg _ -> true | _ -> false
 let find_input t name = List.assoc name t.inputs
 let find_output t name = List.assoc name t.outputs
 
+let port_error t dir ~caller name =
+  let dirname, ports =
+    match dir with
+    | `In -> ("input", t.inputs)
+    | `Out -> ("output", t.outputs)
+  in
+  invalid_arg
+    (Printf.sprintf "%s: no %s port %s (circuit %s has: %s)" caller dirname
+       name t.circuit_name
+       (String.concat ", " (List.map fst ports)))
+
 let binop_name = function
   | Add -> "add"
   | Sub -> "sub"

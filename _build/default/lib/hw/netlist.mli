@@ -90,6 +90,11 @@ val find_input : t -> string -> uid
 
 val find_output : t -> string -> uid
 
+val port_error : t -> [ `In | `Out ] -> caller:string -> string -> 'a
+(** [port_error t dir ~caller name] raises [Invalid_argument] with a message
+    naming the missing port and listing the ports the circuit does have.
+    Shared by the simulation engines' [set]/[get] lookups. *)
+
 val validate : t -> unit
 (** Checks widths, operand references and the absence of combinational
     cycles.  @raise Failure with a diagnostic on an ill-formed circuit. *)

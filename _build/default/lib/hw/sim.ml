@@ -1,192 +1,18 @@
-type t = {
-  c : Netlist.t;
-  order : Netlist.uid array;
-  values : int array;
-  masks : int array;
-  widths : int array;
-  regs : Netlist.uid array;
-  reg_next : int array;              (* scratch for atomic register update *)
-  mem_data : int array array;        (* per memory, current contents *)
-  input_ids : (string, Netlist.uid) Hashtbl.t;
-  output_ids : (string, Netlist.uid) Hashtbl.t;
-  mutable dirty : bool;
-  mutable cycles : int;
-}
+(* The simulation interface used across the system.  Since the compiled
+   engine landed this is a thin façade over {!Compile}; the semantics are
+   pinned down by {!Interp}, the retained reference interpreter, and the
+   two are cross-checked by {!Equiv.crosscheck} and the property tests. *)
 
-let mask_of_width w = if w >= 62 then -1 lsr 2 else (1 lsl w) - 1
+type t = Compile.t
 
-let create c =
-  let n = Netlist.num_nodes c in
-  let masks = Array.make n 0 in
-  let widths = Array.make n 0 in
-  Array.iter
-    (fun (nd : Netlist.node) ->
-      masks.(nd.uid) <- mask_of_width nd.width;
-      widths.(nd.uid) <- nd.width)
-    c.nodes;
-  let regs =
-    Array.of_list
-      (Array.to_list c.nodes
-      |> List.filter Netlist.is_reg
-      |> List.map (fun (nd : Netlist.node) -> nd.uid))
-  in
-  let input_ids = Hashtbl.create 16 and output_ids = Hashtbl.create 16 in
-  List.iter (fun (nm, u) -> Hashtbl.replace input_ids nm u) c.inputs;
-  List.iter (fun (nm, u) -> Hashtbl.replace output_ids nm u) c.outputs;
-  let t =
-    {
-      c;
-      order = Netlist.comb_order c;
-      mem_data =
-        Array.map (fun (m : Netlist.mem) -> Array.make m.Netlist.mem_size 0) c.mems;
-      values = Array.make n 0;
-      masks;
-      widths;
-      regs;
-      reg_next = Array.make (Array.length regs) 0;
-      input_ids;
-      output_ids;
-      dirty = true;
-      cycles = 0;
-    }
-  in
-  (* Load initial register values. *)
-  Array.iter
-    (fun u ->
-      match (Netlist.node c u).kind with
-      | Netlist.Reg { init; _ } -> t.values.(u) <- Bits.to_int init
-      | _ -> assert false)
-    regs;
-  t
-
-let circuit t = t.c
-
-let signed_of t uid v =
-  let w = t.widths.(uid) in
-  if w >= 62 then v
-  else if v land (1 lsl (w - 1)) <> 0 then v - (1 lsl w)
-  else v
-
-let eval_node t (nd : Netlist.node) =
-  let v = t.values in
-  let m = t.masks.(nd.uid) in
-  let r =
-    match nd.kind with
-    | Netlist.Input _ | Netlist.Const _ | Netlist.Reg _ ->
-        (* Inputs and register outputs are sources; constants are loaded
-           once below in [settle]'s first pass via this same match. *)
-        (match nd.kind with
-        | Netlist.Const b -> Bits.to_int b
-        | _ -> v.(nd.uid))
-    | Netlist.Unop (Netlist.Not, a) -> lnot v.(a)
-    | Netlist.Unop (Netlist.Neg, a) -> -v.(a)
-    | Netlist.Binop (op, a, b) -> (
-        let x = v.(a) and y = v.(b) in
-        match op with
-        | Netlist.Add -> x + y
-        | Netlist.Sub -> x - y
-        | Netlist.Mul ->
-            if t.widths.(a) <= 31 then x * y
-            else ((x land 0xFFFF) * y) + (((x lsr 16) * y) lsl 16)
-        | Netlist.And -> x land y
-        | Netlist.Or -> x lor y
-        | Netlist.Xor -> x lxor y
-        | Netlist.Shl -> if y >= t.widths.(a) then 0 else x lsl y
-        | Netlist.Shr -> if y >= t.widths.(a) then 0 else x lsr y
-        | Netlist.Sra ->
-            let s = min y (t.widths.(a) - 1) in
-            signed_of t a x asr s
-        | Netlist.Eq -> if x = y then 1 else 0
-        | Netlist.Ne -> if x <> y then 1 else 0
-        | Netlist.Lt Netlist.Unsigned -> if x < y then 1 else 0
-        | Netlist.Lt Netlist.Signed ->
-            if signed_of t a x < signed_of t b y then 1 else 0
-        | Netlist.Le Netlist.Unsigned -> if x <= y then 1 else 0
-        | Netlist.Le Netlist.Signed ->
-            if signed_of t a x <= signed_of t b y then 1 else 0)
-    | Netlist.Mux (s, a, b) -> if v.(s) <> 0 then v.(a) else v.(b)
-    | Netlist.Slice (a, _, lo) -> v.(a) lsr lo
-    | Netlist.Concat (a, b) -> (v.(a) lsl t.widths.(b)) lor v.(b)
-    | Netlist.Uext a -> v.(a)
-    | Netlist.Sext a -> signed_of t a v.(a)
-    | Netlist.Mem_read (mem, addr) ->
-        let contents = t.mem_data.(mem) in
-        let a = v.(addr) in
-        if a < Array.length contents then contents.(a) else 0
-  in
-  v.(nd.uid) <- r land m
-
-let settle t =
-  if t.dirty then begin
-    Array.iter (fun u -> eval_node t t.c.nodes.(u)) t.order;
-    t.dirty <- false
-  end
-
-let set t port v =
-  let u = Hashtbl.find t.input_ids port in
-  t.values.(u) <- v land t.masks.(u);
-  t.dirty <- true
-
-let get t port =
-  settle t;
-  t.values.(Hashtbl.find t.output_ids port)
-
-let get_signed t port =
-  settle t;
-  let u = Hashtbl.find t.output_ids port in
-  signed_of t u t.values.(u)
-
-let step t =
-  settle t;
-  (* Memory writes: gather first (reads of this cycle see old contents). *)
-  let mem_updates = ref [] in
-  Array.iteri
-    (fun mi (m : Netlist.mem) ->
-      List.iter
-        (fun (w : Netlist.write_port) ->
-          if t.values.(w.Netlist.w_enable) <> 0 then
-            let a = t.values.(w.Netlist.w_addr) in
-            if a < t.c.mems.(mi).Netlist.mem_size then
-              mem_updates := (mi, a, t.values.(w.Netlist.w_data)) :: !mem_updates)
-        m.Netlist.mem_writes)
-    t.c.mems;
-  Array.iteri
-    (fun i u ->
-      match (Netlist.node t.c u).kind with
-      | Netlist.Reg { d; enable; _ } ->
-          let load =
-            match enable with None -> true | Some e -> t.values.(e) <> 0
-          in
-          t.reg_next.(i) <- (if load then t.values.(d) else t.values.(u))
-      | _ -> assert false)
-    t.regs;
-  Array.iteri (fun i u -> t.values.(u) <- t.reg_next.(i)) t.regs;
-  List.iter (fun (mi, a, d) -> t.mem_data.(mi).(a) <- d) !mem_updates;
-  t.dirty <- true;
-  t.cycles <- t.cycles + 1
-
-let step_n t n =
-  for _ = 1 to n do
-    step t
-  done
-
-let reset t =
-  Array.iter (fun contents -> Array.fill contents 0 (Array.length contents) 0) t.mem_data;
-  Array.iter
-    (fun u ->
-      match (Netlist.node t.c u).kind with
-      | Netlist.Reg { init; _ } -> t.values.(u) <- Bits.to_int init
-      | _ -> assert false)
-    t.regs;
-  t.dirty <- true;
-  t.cycles <- 0
-
-let peek t uid =
-  settle t;
-  t.values.(uid)
-
-let peek_signed t uid =
-  settle t;
-  signed_of t uid t.values.(uid)
-
-let cycle_count t = t.cycles
+let create = Compile.create
+let circuit = Compile.circuit
+let reset = Compile.reset
+let set = Compile.set
+let get = Compile.get
+let get_signed = Compile.get_signed
+let step = Compile.step
+let step_n = Compile.step_n
+let peek = Compile.peek
+let peek_signed = Compile.peek_signed
+let cycle_count = Compile.cycle_count

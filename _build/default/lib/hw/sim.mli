@@ -1,8 +1,15 @@
 (** Cycle-accurate two-phase simulation of {!Netlist} circuits.
 
-    The simulator evaluates the combinational fabric in topological order and
-    updates all registers atomically on {!step}.  Values are exchanged as
-    OCaml [int]s in the unsigned representation of the node's width. *)
+    The simulator evaluates the combinational fabric in topological order
+    and updates all registers atomically on {!step}.  Values are exchanged
+    as OCaml [int]s in the unsigned representation of the node's width.
+
+    This interface is backed by the compiled engine ({!Compile}): the
+    evaluation schedule is specialized into closures at {!create} time,
+    dead combinational logic is pruned from the schedule, and settling
+    re-evaluates only the cone downstream of what changed.  The reference
+    interpreter ({!Interp}) defines the semantics; {!Equiv.crosscheck}
+    verifies the two agree cycle-by-cycle. *)
 
 type t
 
@@ -18,15 +25,19 @@ val reset : t -> unit
 val set : t -> string -> int -> unit
 (** [set sim port v] drives input [port] with [v] (masked to the port width;
     negative values are taken as two's complement).
-    @raise Not_found on an unknown input name. *)
+    @raise Invalid_argument on an unknown input name, listing the circuit's
+    input ports. *)
 
 val get : t -> string -> int
-(** Unsigned value of an output port, after settling the fabric. *)
+(** Unsigned value of an output port, after settling the fabric.
+    @raise Invalid_argument on an unknown output name. *)
 
 val get_signed : t -> string -> int
 
 val step : t -> unit
-(** One rising clock edge: settle, then latch all registers. *)
+(** One rising clock edge: settle, then latch all registers and apply
+    enabled memory writes in declared port order (on an address conflict
+    the later-declared port wins). *)
 
 val step_n : t -> int -> unit
 

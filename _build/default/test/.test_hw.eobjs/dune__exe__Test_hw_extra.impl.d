@@ -1,1 +1,1 @@
-test/test_hw_extra.ml: Alcotest Bits Builder Device Equiv Format Hw List Netlist QCheck QCheck_alcotest Result Sim String Synth Techmap Waves
+test/test_hw_extra.ml: Alcotest Array Bits Builder Device Equiv Format Hw Interp List Netlist Printf QCheck QCheck_alcotest Random Result Sim String Synth Techmap Waves

@@ -180,6 +180,190 @@ let test_mem_read_costed_as_lutram () =
     (r.Synth.luts > 0 && r.Synth.luts < 100);
   check int "no flip-flops for the array" 0 r.Synth.ffs
 
+(* ---------------- simulation engines ---------------- *)
+
+let umask w = if w >= 62 then max_int else (1 lsl w) - 1
+
+(* The full 62-bit width used to be truncated to 61 bits by the old
+   [-1 lsr 2] mask; exercise every width at the top of the native range. *)
+let test_width_boundary () =
+  List.iter
+    (fun w ->
+      let b = Builder.create (Printf.sprintf "wide%d" w) in
+      let x = Builder.input b "x" w in
+      Builder.output b "id" x;
+      Builder.output b "sum" (Builder.add b x x);
+      Builder.output b "sra" (Builder.sra_const b x 1);
+      let sim = Sim.create (Builder.finalize b) in
+      let m = umask w in
+      Sim.set sim "x" (-1);
+      check int (Printf.sprintf "w=%d all-ones" w) m (Sim.get sim "id");
+      check int
+        (Printf.sprintf "w=%d signed all-ones" w)
+        (-1) (Sim.get_signed sim "id");
+      check int (Printf.sprintf "w=%d x+x wraps" w) (m - 1) (Sim.get sim "sum");
+      check int (Printf.sprintf "w=%d sra keeps sign" w) m (Sim.get sim "sra"))
+    [ 60; 61; 62 ];
+  match Bits.create ~width:63 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "width 63 must be rejected"
+
+let test_write_port_order () =
+  let c =
+    let b = Builder.create "wconf" in
+    let m = Builder.mem b "m" ~size:8 ~width:8 in
+    let we0 = Builder.input b "we0" 1 and we1 = Builder.input b "we1" 1 in
+    let addr = Builder.input b "a" 3 in
+    Builder.mem_write b m ~enable:we0 ~addr
+      ~data:(Builder.const b ~width:8 0xAA);
+    Builder.mem_write b m ~enable:we1 ~addr
+      ~data:(Builder.const b ~width:8 0x55);
+    Builder.output b "q" (Builder.mem_read b m addr);
+    Builder.finalize b
+  in
+  let drive set step get =
+    set "we0" 1;
+    set "we1" 1;
+    set "a" 3;
+    step ();
+    get "q"
+  in
+  let sim = Sim.create c in
+  check int "compiled: later-declared port wins" 0x55
+    (drive (Sim.set sim) (fun () -> Sim.step sim) (Sim.get sim));
+  let si = Interp.create c in
+  check int "interp: later-declared port wins" 0x55
+    (drive (Interp.set si) (fun () -> Interp.step si) (Interp.get si))
+
+let test_port_errors () =
+  let sim = Sim.create (adder 8 "perr") in
+  (match Sim.set sim "zzz" 1 with
+  | exception Invalid_argument msg ->
+      check bool "names the missing input" true
+        (contains msg "no input port zzz");
+      check bool "lists the available ports" true (contains msg "has: x, y")
+  | () -> Alcotest.fail "expected Invalid_argument from set");
+  match Sim.get sim "nope" with
+  | exception Invalid_argument msg ->
+      check bool "names the missing output" true
+        (contains msg "no output port nope")
+  | _ -> Alcotest.fail "expected Invalid_argument from get"
+
+(* A shift result may be declared wider than the shifted operand; the
+   shift-out guard must compare against the result width, not the operand
+   width (which used to zero any amount >= the operand width).  [Builder]
+   never emits this shape, so construct the netlist by hand. *)
+let test_shl_wider_result () =
+  let node uid width kind = { Netlist.uid; width; kind; name = None } in
+  let c =
+    {
+      Netlist.circuit_name = "shlwide";
+      nodes =
+        [|
+          node 0 8 (Netlist.Input "x");
+          node 1 4 (Netlist.Input "n");
+          node 2 16 (Netlist.Binop (Netlist.Shl, 0, 1));
+        |];
+      mems = [||];
+      inputs = [ ("x", 0); ("n", 1) ];
+      outputs = [ ("o", 2) ];
+    }
+  in
+  let sim = Sim.create c and si = Interp.create c in
+  Sim.set sim "x" 3;
+  Sim.set sim "n" 10;
+  Interp.set si "x" 3;
+  Interp.set si "n" 10;
+  check int "compiled shl past operand width" 3072 (Sim.get sim "o");
+  check int "interp shl past operand width" 3072 (Interp.get si "o");
+  Sim.set sim "n" 15;
+  check int "shifts out the top" 0x8000 (Sim.get sim "o")
+
+(* Random closed circuits for the engine cross-check: wide and narrow
+   widths, registers with enables, a two-write-port memory, and plenty of
+   dead logic (unreferenced pool entries) to exercise the compiled
+   engine's elimination and on-demand paths. *)
+let random_circuit seed =
+  let rng = Random.State.make [| seed; 0xC1AC |] in
+  let widths = [| 1; 2; 3; 7; 8; 12; 16; 31; 32; 33; 45; 60; 61; 62 |] in
+  let pick a = a.(Random.State.int rng (Array.length a)) in
+  let b = Builder.create (Printf.sprintf "rand%d" seed) in
+  let pool = ref [] in
+  let push s = pool := s :: !pool in
+  let any () = List.nth !pool (Random.State.int rng (List.length !pool)) in
+  let coerce w s =
+    let ws = Builder.width s in
+    if ws = w then s
+    else if ws > w then Builder.slice b s ~hi:(w - 1) ~lo:0
+    else if Random.State.bool rng then Builder.uext b s w
+    else Builder.sext b s w
+  in
+  for i = 0 to 1 + Random.State.int rng 4 do
+    push (Builder.input b (Printf.sprintf "i%d" i) (pick widths))
+  done;
+  let regs =
+    List.init
+      (1 + Random.State.int rng 4)
+      (fun i ->
+        let w = pick widths in
+        let enable =
+          if Random.State.bool rng then Some (coerce 1 (any ())) else None
+        in
+        let init = Random.State.int rng (1 lsl min w 16) in
+        let q =
+          Builder.reg b ?enable ~init ~width:w (Printf.sprintf "r%d" i)
+        in
+        push q;
+        (q, w))
+  in
+  let m = Builder.mem b "m" ~size:8 ~width:16 in
+  (* two write ports on purpose: same-cycle conflicts must resolve the
+     same way (later-declared wins) in both engines *)
+  for _ = 1 to 2 do
+    Builder.mem_write b m ~enable:(coerce 1 (any ())) ~addr:(coerce 3 (any ()))
+      ~data:(coerce 16 (any ()))
+  done;
+  push (Builder.mem_read b m (coerce 3 (any ())));
+  for _ = 1 to 25 + Random.State.int rng 25 do
+    let w = pick widths in
+    let x () = coerce w (any ()) and y () = coerce w (any ()) in
+    push
+      (match Random.State.int rng 16 with
+      | 0 -> Builder.add b (x ()) (y ())
+      | 1 -> Builder.sub b (x ()) (y ())
+      | 2 -> Builder.mul b (x ()) (y ())
+      | 3 -> Builder.and_ b (x ()) (y ())
+      | 4 -> Builder.or_ b (x ()) (y ())
+      | 5 -> Builder.xor_ b (x ()) (y ())
+      | 6 -> Builder.not_ b (x ())
+      | 7 -> Builder.neg b (x ())
+      | 8 -> Builder.shl b (x ()) (coerce 6 (any ()))
+      | 9 -> Builder.shr b (x ()) (coerce 6 (any ()))
+      | 10 -> Builder.sra b (x ()) (coerce 6 (any ()))
+      | 11 -> Builder.eq b (x ()) (y ())
+      | 12 -> Builder.lt b ~signed:(Random.State.bool rng) (x ()) (y ())
+      | 13 -> Builder.le b ~signed:(Random.State.bool rng) (x ()) (y ())
+      | 14 -> Builder.mux b (coerce 1 (any ())) (x ()) (y ())
+      | _ ->
+          if w <= 30 then Builder.concat b (x ()) (y ())
+          else Builder.add b (x ()) (y ()))
+  done;
+  List.iter (fun (q, w) -> Builder.connect b q (coerce w (any ()))) regs;
+  List.iteri
+    (fun i s -> Builder.output b (Printf.sprintf "o%d" i) s)
+    (List.filteri (fun i _ -> i land 3 = 0) !pool);
+  Builder.finalize b
+
+let engine_crosscheck_prop =
+  QCheck.Test.make ~name:"compiled engine == reference interpreter"
+    ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      match Equiv.crosscheck ~cycles:1000 ~seed (random_circuit seed) with
+      | Equiv.Equivalent -> true
+      | Equiv.Mismatch _ as r ->
+          QCheck.Test.fail_reportf "%a" Equiv.pp_result r)
+
 let () =
   Alcotest.run "hw-extra"
     [
@@ -196,6 +380,14 @@ let () =
           Alcotest.test_case "cycle-exact by default" `Quick test_equiv_settle;
         ] );
       ("waves", [ Alcotest.test_case "vcd output" `Quick test_vcd ]);
+      ( "sim-engines",
+        Alcotest.test_case "width boundary 60..62" `Quick test_width_boundary
+        :: Alcotest.test_case "write ports apply in declared order" `Quick
+             test_write_port_order
+        :: Alcotest.test_case "port error messages" `Quick test_port_errors
+        :: Alcotest.test_case "shl result wider than operand" `Quick
+             test_shl_wider_result
+        :: [ QCheck_alcotest.to_alcotest engine_crosscheck_prop ] );
       ( "device",
         [
           Alcotest.test_case "capacity check" `Quick test_capacity_check;

@@ -2,7 +2,10 @@ type t = { value : int; width : int }
 
 let max_width = 62
 
-let mask width = if width >= 62 then -1 lsr 2 else (1 lsl width) - 1
+(* For the top width the mask is all 62 low bits (= [max_int] on a 64-bit
+   host, whose OCaml ints have 63 bits).  The old [-1 lsr 2] cut the mask to
+   61 bits and silently truncated 62-bit values. *)
+let mask width = if width >= 62 then max_int else (1 lsl width) - 1
 
 let create ~width v =
   if width < 1 || width > max_width then
@@ -16,8 +19,9 @@ let width t = t.width
 let to_int t = t.value
 
 let to_signed_int t =
-  if t.width = max_width then t.value
-  else if t.value land (1 lsl (t.width - 1)) <> 0 then t.value - (1 lsl t.width)
+  (* Valid for every width up to 62: at width 62, [1 lsl 62] is [min_int]
+     and the subtraction wraps modulo 2^63 to the right negative value. *)
+  if t.value land (1 lsl (t.width - 1)) <> 0 then t.value - (1 lsl t.width)
   else t.value
 
 let bit t i =
