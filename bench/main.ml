@@ -315,6 +315,67 @@ let sim_engines () =
   write_engine_json "BENCH_sim.json" rows
 
 (* ------------------------------------------------------------------ *)
+(* Evaluation engine: sequential vs domain-parallel Fig. 1 sweep        *)
+(* ------------------------------------------------------------------ *)
+
+let force_all_circuits () =
+  (* Force every lazy circuit once on this domain so construction cost
+     does not skew either timed run — both runs then measure evaluation
+     (simulation + synthesis) only. *)
+  List.iter
+    (fun tool ->
+      List.iter
+        (fun (d : Core.Design.t) ->
+          match d.Core.Design.impl with
+          | Core.Design.Stream c -> ignore (Lazy.force c)
+          | Core.Design.Pcie s -> ignore (Lazy.force s))
+        (Core.Registry.sweep tool))
+    Core.Design.all_tools
+
+let timed_fig1 jobs =
+  Core.Fig1.clear_cache ();
+  Core.Evaluate.clear_measure_cache ();
+  let t0 = Unix.gettimeofday () in
+  let series = Core.Fig1.compute ~jobs () in
+  let dt = Unix.gettimeofday () -. t0 in
+  (dt, series)
+
+let write_eval_json path ~designs ~seq_s ~par_s ~jobs =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"eval_parallel\",\n\
+    \  \"designs\": %d,\n\
+    \  \"available_cores\": %d,\n\
+    \  \"sequential_s\": %.3f,\n\
+    \  \"parallel_s\": %.3f,\n\
+    \  \"jobs\": %d,\n\
+    \  \"speedup\": %.3f\n\
+     }\n"
+    designs
+    (Domain.recommended_domain_count ())
+    seq_s par_s jobs (seq_s /. par_s);
+  close_out oc;
+  Printf.printf "(wrote %s)\n%!" path
+
+let eval_parallel () =
+  section "Evaluation engine: sequential vs domain-parallel Fig. 1 sweep";
+  force_all_circuits ();
+  let jobs = max 4 (Core.Parallel.default_jobs ()) in
+  let seq_s, seq_series = timed_fig1 1 in
+  let par_s, par_series = timed_fig1 jobs in
+  let points s = List.concat_map (fun x -> x.Core.Fig1.points) s in
+  if points seq_series <> points par_series then
+    failwith "eval bench: parallel sweep diverged from the sequential sweep";
+  let designs = List.length (points seq_series) in
+  Printf.printf
+    "%d designs: sequential %.2fs, %d jobs %.2fs -> %.2fx (on %d core%s)\n"
+    designs seq_s jobs par_s (seq_s /. par_s)
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  write_eval_json "BENCH_eval.json" ~designs ~seq_s ~par_s ~jobs
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrate                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -384,10 +445,12 @@ let bechamel_suite () =
     tests
 
 let () =
-  (* [--json] runs only the engine comparison and records BENCH_sim.json —
-     the fast path CI and future PRs use for a perf trajectory. *)
+  (* [--json] runs only the engine comparisons and records BENCH_sim.json
+     and BENCH_eval.json — the fast path CI and future PRs use for a perf
+     trajectory. *)
   if Array.exists (( = ) "--json") Sys.argv then begin
     sim_engines ();
+    eval_parallel ();
     section "done"
   end
   else begin
@@ -401,6 +464,7 @@ let () =
     ablation_bsv_options ();
     extension_second_kernel ();
     sim_engines ();
+    eval_parallel ();
     bechamel_suite ();
     section "done"
   end

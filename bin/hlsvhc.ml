@@ -23,6 +23,16 @@ let tool_pos =
 let opt_flag =
   Arg.(value & flag & info [ "opt"; "optimized" ] ~doc:"Use the optimized design.")
 
+let jobs_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluation worker domains (default: \\$(b,HLSVHC_JOBS) or the \
+           machine's recommended domain count).  Results are identical for \
+           any job count.")
+
 let pick_design tool optimized =
   if optimized then Core.Registry.optimized tool else Core.Registry.initial tool
 
@@ -32,43 +42,42 @@ let table1_cmd =
     Term.(const run $ const ())
 
 let table2_cmd =
-  let run () = print_string (Core.Table2.render ()) in
+  let run jobs = print_string (Core.Table2.render ?jobs ()) in
   Cmd.v
     (Cmd.info "table2"
        ~doc:"Measure every initial/optimized design and print Table II.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_opt)
 
 let fig1_cmd =
   let tools =
     Arg.(value & opt_all tool_conv [] & info [ "tool" ] ~docv:"TOOL"
          ~doc:"Restrict to one tool (repeatable).")
   in
-  let run tools =
+  let run tools jobs =
     let tools = match tools with [] -> None | ts -> Some ts in
-    print_string (Core.Fig1.render ?tools ())
+    print_string (Core.Fig1.render ?jobs ?tools ())
   in
   Cmd.v
     (Cmd.info "fig1" ~doc:"Run the DSE sweeps and print the Fig. 1 scatter.")
-    Term.(const run $ tools)
+    Term.(const run $ tools $ jobs_opt)
 
 let comply_cmd =
   let blocks =
     Arg.(value & opt int 500 & info [ "blocks" ] ~doc:"Blocks per condition (500 is about the statistical minimum).")
   in
-  let run blocks =
+  let run blocks jobs =
+    let designs = List.map Core.Registry.optimized Core.Design.all_tools in
     List.iter
-      (fun tool ->
-        let d = Core.Registry.optimized tool in
-        let ok = Core.Evaluate.check_compliance ~blocks d in
+      (fun ((d : Core.Design.t), ok) ->
         Printf.printf "%-12s optimized: %s\n%!"
-          (Core.Design.tool_name tool)
+          (Core.Design.tool_name d.Core.Design.tool)
           (if ok then "IEEE 1180-1990 PASS" else "FAIL"))
-      Core.Design.all_tools
+      (Core.Evaluate.compliance_all ?jobs ~blocks designs)
   in
   Cmd.v
     (Cmd.info "comply"
        ~doc:"IEEE 1180-1990 accuracy test of every optimized design.")
-    Term.(const run $ blocks)
+    Term.(const run $ blocks $ jobs_opt)
 
 let emit_cmd =
   let run tool optimized =
@@ -145,18 +154,19 @@ let waves_cmd =
     Term.(const run $ tool_pos $ opt_flag $ out $ cycles)
 
 let sweep_cmd =
-  let run tool =
-    List.iter
-      (fun d ->
-        let m = Core.Evaluate.measure ~matrices:3 d in
+  let run tool jobs =
+    let designs = Core.Registry.sweep tool in
+    let measured = Core.Evaluate.measure_all ?jobs ~matrices:3 designs in
+    List.iter2
+      (fun d m ->
         Printf.printf "%-34s A=%7d  P=%8.2f MOPS  f=%7.2f MHz\n%!"
           d.Core.Design.label m.Core.Metrics.area
           m.Core.Metrics.throughput_mops m.Core.Metrics.fmax_mhz)
-      (Core.Registry.sweep tool)
+      designs measured
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Measure every configuration of one tool.")
-    Term.(const run $ tool_pos)
+    Term.(const run $ tool_pos $ jobs_opt)
 
 let main =
   Cmd.group

@@ -16,13 +16,29 @@ let run ?(input_gap = 0) ?(ready_pattern = fun _ -> true) ?timeout circuit
   if not (Stream.is_wrapped circuit) then
     failwith "Driver.run: circuit does not follow the AXI-Stream convention";
   let n_mat = List.length matrices in
+  let lanes = Stream.lanes in
   let timeout =
-    Option.value timeout ~default:((200 * n_mat) + 2000 + (input_gap * n_mat))
+    match timeout with
+    | Some t -> t
+    | None ->
+        (* The base budget assumes the consumer is always ready.  A slow
+           but correct [ready_pattern] stretches the drain phase by the
+           inverse of its duty cycle, so sample the pattern over a window
+           and scale the default accordingly (patterns are pure functions
+           of the cycle number).  The duty cycle is clamped so that a
+           pattern that is never ready in the sample still terminates. *)
+        let base = (200 * n_mat) + 2000 + (input_gap * n_mat) in
+        let window = 1024 in
+        let ready = ref 0 in
+        for c = 0 to window - 1 do
+          if ready_pattern c then incr ready
+        done;
+        let duty = Float.max 0.01 (float_of_int !ready /. float_of_int window) in
+        int_of_float (ceil (float_of_int base /. duty))
   in
   let sim = Sim.create circuit in
   Sim.reset sim;
   let inputs = Array.of_list matrices in
-  let lanes = Stream.lanes in
   (* Input source state. *)
   let mat_idx = ref 0 and beat_idx = ref 0 and gap_left = ref 0 in
   (* Output collection state. *)
@@ -90,8 +106,14 @@ let run ?(input_gap = 0) ?(ready_pattern = fun _ -> true) ?timeout circuit
   done;
   if !out_mat < n_mat then
     failwith
-      (Printf.sprintf "Driver.run(%s): timeout after %d cycles (%d/%d matrices)"
-         circuit.Netlist.circuit_name !cycle !out_mat n_mat);
+      (Printf.sprintf
+         "Driver.run(%s): timeout after %d cycles — collected %d/%d output \
+          beats (%d/%d matrices), consumed %d/%d input beats"
+         circuit.Netlist.circuit_name !cycle
+         ((!out_mat * lanes) + List.length !current_rows)
+         (n_mat * lanes) !out_mat n_mat
+         ((!mat_idx * lanes) + !beat_idx)
+         (n_mat * lanes));
   let latency =
     let last = n_mat - 1 in
     last_out_cycle.(last) - first_in_cycle.(last) + 1

@@ -29,7 +29,13 @@ val run :
   Idct.Block.t list ->
   result
 (** @raise Failure if the circuit lacks the port convention or the
-    simulation exceeds [timeout] cycles (default 200 per matrix + 2000). *)
+    simulation exceeds [timeout] cycles.  The default budget of 200 per
+    matrix + 2000 (plus input gaps) is scaled by the inverse of
+    [ready_pattern]'s duty cycle, sampled over the first 1024 cycles, so
+    a slow-but-correct consumer is not misreported as a timeout —
+    patterns must therefore be pure functions of the cycle number.  The
+    timeout message reports collected-vs-expected output beats and
+    consumed input beats. *)
 
 val transform : Hw.Netlist.t -> Idct.Block.t -> Idct.Block.t
 (** Convenience: push one matrix through and return the result. *)

@@ -140,11 +140,16 @@ let rec fold_stmt (st : Ast.stmt) =
 
 (* ---------------- value-call inlining (iclip and friends) ---------------- *)
 
-let fresh_counter = ref 0
+(* Per-call-site rename counter.  Domain-local (circuits are built on the
+   evaluation pool, and a plain global would race across domains) and
+   reset at every [lower] entry, so a program lowers to the same names no
+   matter which domain builds it or in what order. *)
+let fresh_counter = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh base =
-  incr fresh_counter;
-  Printf.sprintf "%s__%d" base !fresh_counter
+  let c = Domain.DLS.get fresh_counter in
+  incr c;
+  Printf.sprintf "%s__%d" base !c
 
 (* Inline a value-returning function to an expression.  The callee must be
    a single [return e] over its scalar parameters. *)
@@ -317,6 +322,7 @@ let rec fold_region (r : region) =
   | (RWait _ | RCapture | REmit) as r -> r
 
 let lower opts (p : Ast.program) =
+  Domain.DLS.get fresh_counter := 0;
   let top = Ast.find_func p p.Ast.top in
   let ctx = { prog = p; opts; all_vars = []; all_arrays = [] } in
   List.iter

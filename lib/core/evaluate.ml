@@ -3,7 +3,18 @@ let test_matrices n =
   List.init n (fun _ ->
       Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255))
 
-let measure ?(matrices = 4) (d : Design.t) : Metrics.measured =
+(* Content key of a design: tool and label identify the sweep point, the
+   digest covers the configuration and full source listing, so two designs
+   that differ only in construction share nothing and a re-registered
+   design with identical content hits the cache. *)
+let design_key (d : Design.t) =
+  Printf.sprintf "%s/%s#%s"
+    (Design.tool_name d.Design.tool)
+    d.Design.label
+    (Digest.to_hex
+       (Digest.string (d.Design.config_desc ^ "\x00" ^ d.Design.listing)))
+
+let measure_uncached ?(matrices = 4) (d : Design.t) : Metrics.measured =
   match d.Design.impl with
   | Design.Stream circuit ->
       let circuit = Lazy.force circuit in
@@ -56,6 +67,23 @@ let measure ?(matrices = 4) (d : Design.t) : Metrics.measured =
         ios = Maxj.Manager.pcie_pins;
       }
 
+module Measure_cache = Parallel.Memo (struct
+  type t = Metrics.measured
+end)
+
+let measure ?(matrices = 4) (d : Design.t) : Metrics.measured =
+  Measure_cache.find_or_compute
+    ~key:(Printf.sprintf "%s@%d" (design_key d) matrices)
+    (fun () -> measure_uncached ~matrices d)
+
+let clear_measure_cache = Measure_cache.clear
+
+(* Map [measure] over independent designs on the domain pool.  Each
+   design's lazy circuit is forced inside its own job, so no builder state
+   is shared across domains; results come back in input order. *)
+let measure_all ?jobs ?(matrices = 4) designs =
+  Parallel.map ?jobs (fun d -> measure ~matrices d) designs
+
 let check_compliance ?(blocks = 500) (d : Design.t) =
   match d.Design.impl with
   | Design.Stream circuit ->
@@ -67,3 +95,8 @@ let check_compliance ?(blocks = 500) (d : Design.t) =
       let mats = test_matrices blocks in
       let got = Maxj.Idct_maxj.simulate_initial mats in
       List.for_all2 Idct.Block.equal got (List.map Idct.Chenwang.idct mats)
+
+(* The compliance sweep: every design checked on the domain pool, results
+   paired with their design in input order. *)
+let compliance_all ?jobs ?(blocks = 500) designs =
+  Parallel.map ?jobs (fun d -> (d, check_compliance ~blocks d)) designs

@@ -8,10 +8,28 @@
     functional mismatch or an AXI-Stream protocol violation. *)
 
 val measure : ?matrices:int -> Design.t -> Metrics.measured
-(** [matrices] (default 4) sets the simulated stream length. *)
+(** [matrices] (default 4) sets the simulated stream length.  Results are
+    memoized in a process-wide cache keyed by tool, label and a digest of
+    the configuration and source listing (plus [matrices]), shared across
+    domains behind a mutex. *)
+
+val clear_measure_cache : unit -> unit
+(** Drop every memoized measurement (tests and benchmarks). *)
+
+val measure_all :
+  ?jobs:int -> ?matrices:int -> Design.t list -> Metrics.measured list
+(** [measure] mapped over independent designs on the domain pool
+    ({!Parallel.map}); results keep input order.  Each design's lazy
+    circuit is forced inside its own job, so builder state never crosses
+    domains. *)
 
 val check_compliance : ?blocks:int -> Design.t -> bool
 (** IEEE 1180-1990 accuracy procedure through the wrapped circuit.
     The default of 500 blocks per condition is about the statistical
     minimum: the per-position mean-error criterion (0.015) needs several
     hundred samples before estimator noise stays under the threshold. *)
+
+val compliance_all :
+  ?jobs:int -> ?blocks:int -> Design.t list -> (Design.t * bool) list
+(** The compliance sweep on the domain pool: every design checked
+    concurrently, paired with its verdict in input order. *)

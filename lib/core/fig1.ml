@@ -7,29 +7,56 @@ type point = {
 
 type series = { tool : Design.tool; points : point list }
 
+(* Series cache, shared across domains once [compute] fans out: every
+   access goes through [cache_lock]. *)
 let cache : (Design.tool, series) Hashtbl.t = Hashtbl.create 8
+let cache_lock = Mutex.create ()
 
-let series_of tool =
-  match Hashtbl.find_opt cache tool with
-  | Some s -> s
-  | None ->
-      let points =
-        List.map
-          (fun d ->
-            let m = Evaluate.measure ~matrices:3 d in
-            {
-              label = d.Design.label;
-              area = m.Metrics.area;
-              throughput_mops = m.Metrics.throughput_mops;
-              fmax_mhz = m.Metrics.fmax_mhz;
-            })
-          (Registry.sweep tool)
-      in
-      let s = { tool; points } in
-      Hashtbl.replace cache tool s;
-      s
+let cache_find tool =
+  Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache tool)
 
-let compute ?(tools = Design.all_tools) () = List.map series_of tools
+let cache_store tool s =
+  Mutex.protect cache_lock (fun () -> Hashtbl.replace cache tool s)
+
+let clear_cache () = Mutex.protect cache_lock (fun () -> Hashtbl.reset cache)
+
+let point_of (d : Design.t) (m : Metrics.measured) =
+  {
+    label = d.Design.label;
+    area = m.Metrics.area;
+    throughput_mops = m.Metrics.throughput_mops;
+    fmax_mhz = m.Metrics.fmax_mhz;
+  }
+
+(* One flat work list across every uncached tool — ~100 independent
+   measurements for the full figure — mapped over the domain pool in one
+   batch so a tool with few configurations does not leave domains idle.
+   [Parallel.map] preserves input order, so regrouping by sweep length
+   reassembles each tool's series exactly as the sequential path built
+   them. *)
+let compute ?jobs ?(tools = Design.all_tools) () =
+  let missing = List.filter (fun t -> cache_find t = None) tools in
+  let sweeps = List.map (fun t -> (t, Registry.sweep t)) missing in
+  let designs = List.concat_map snd sweeps in
+  let measured = Evaluate.measure_all ?jobs ~matrices:3 designs in
+  let rec regroup sweeps measured =
+    match sweeps with
+    | [] -> ()
+    | (tool, sweep) :: rest ->
+        let rec take k acc = function
+          | ms when k = 0 -> (List.rev acc, ms)
+          | m :: ms -> take (k - 1) (m :: acc) ms
+          | [] -> assert false
+        in
+        let ms, measured = take (List.length sweep) [] measured in
+        cache_store tool { tool; points = List.map2 point_of sweep ms };
+        regroup rest measured
+  in
+  regroup sweeps measured;
+  List.map
+    (fun t ->
+      match cache_find t with Some s -> s | None -> assert false)
+    tools
 
 let glyph = function
   | Design.Verilog -> 'V'
@@ -40,8 +67,8 @@ let glyph = function
   | Design.Bambu -> 'b'
   | Design.Vivado_hls -> 'h'
 
-let render ?tools () =
-  let series = compute ?tools () in
+let render ?jobs ?tools () =
+  let series = compute ?jobs ?tools () in
   let buf = Buffer.create 4096 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   (* Data listing. *)

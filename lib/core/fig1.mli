@@ -13,8 +13,15 @@ type point = {
 
 type series = { tool : Design.tool; points : point list }
 
-val compute : ?tools:Design.tool list -> unit -> series list
-(** Measures every sweep configuration (cached). *)
+val compute : ?jobs:int -> ?tools:Design.tool list -> unit -> series list
+(** Measures every sweep configuration on the domain pool
+    ({!Parallel.map}; [jobs] defaults to {!Parallel.default_jobs}) and
+    caches the finished series per tool.  The result is deterministic:
+    the same series, point for point, for any job count. *)
 
-val render : ?tools:Design.tool list -> unit -> string
+val clear_cache : unit -> unit
+(** Drop the per-tool series cache (tests and benchmarks).  Memoized
+    measurements survive; see {!Evaluate.clear_measure_cache}. *)
+
+val render : ?jobs:int -> ?tools:Design.tool list -> unit -> string
 (** Data table plus an ASCII log-log scatter of the plane. *)

@@ -1,16 +1,83 @@
-let is_code line =
-  let l = String.trim line in
-  String.length l > 0
-  && (not (String.length l >= 2 && String.sub l 0 2 = "//"))
-  && (not (String.length l >= 2 && String.sub l 0 2 = "--"))
-  && (not (String.length l >= 2 && String.sub l 0 2 = "(*" && String.length l >= 2
-           && String.sub l (String.length l - 2) 2 = "*)"))
-  && not (String.length l >= 2 && String.sub l 0 2 = "/*"
-          && String.length l >= 2
-          && String.sub l (String.length l - 2) 2 = "*/")
+(* Line-of-code counting over the embedded source listings.
+
+   A line counts as code when any non-whitespace character sits outside a
+   comment.  Comments are tracked across lines by a small scanner:
+
+   - slash-slash comments the rest of the line (Verilog, C, BSV, Chisel,
+     MaxJ);
+   - dash-dash comments the rest of the line, but only when it opens the
+     line: mid-line dash-dash is the C decrement operator;
+   - slash-star ... star-slash spans lines and does not nest;
+   - paren-star ... star-paren spans lines and nests, but only opens when
+     the star is followed by whitespace or end of line (BSV attributes,
+     OCaml-style comments): an unspaced paren-star is a Verilog
+     sensitivity list "always @ star" or a C pointer dereference;
+   - double-quoted strings are opaque: comment openers inside them are
+     literal text.  String literals in the listings never span lines. *)
+
+type block = No_block | C_block | O_block of int (* (* .. *) nesting depth *)
+
+let scan_line block line =
+  let n = String.length line in
+  let has_code = ref false in
+  let block = ref block in
+  let in_string = ref false in
+  let i = ref 0 in
+  let line_done = ref false in
+  let at c = !i + 1 < n && line.[!i] = c in
+  let spaced_after k =
+    k >= n || line.[k] = ' ' || line.[k] = '\t' || line.[k] = '\r'
+  in
+  while (not !line_done) && !i < n do
+    let ch = line.[!i] in
+    (match !block with
+    | C_block ->
+        if at '*' && line.[!i + 1] = '/' then begin
+          block := No_block;
+          incr i
+        end
+    | O_block depth ->
+        if at '*' && line.[!i + 1] = ')' then begin
+          block := (if depth = 1 then No_block else O_block (depth - 1));
+          incr i
+        end
+        else if at '(' && line.[!i + 1] = '*' && spaced_after (!i + 2) then begin
+          block := O_block (depth + 1);
+          incr i
+        end
+    | No_block ->
+        if !in_string then begin
+          if ch = '\\' then incr i else if ch = '"' then in_string := false
+        end
+        else if at '/' && line.[!i + 1] = '/' then line_done := true
+        else if at '-' && line.[!i + 1] = '-' && not !has_code then
+          line_done := true
+        else if at '/' && line.[!i + 1] = '*' then begin
+          block := C_block;
+          incr i
+        end
+        else if at '(' && line.[!i + 1] = '*' && spaced_after (!i + 2) then begin
+          block := O_block 1;
+          incr i
+        end
+        else begin
+          if ch = '"' then in_string := true;
+          if ch <> ' ' && ch <> '\t' && ch <> '\r' then has_code := true
+        end);
+    incr i
+  done;
+  (!block, !has_code)
 
 let code_lines src =
-  String.split_on_char '\n' src |> List.filter is_code |> List.map String.trim
+  let lines = String.split_on_char '\n' src in
+  let _, code =
+    List.fold_left
+      (fun (block, acc) line ->
+        let block, has_code = scan_line block line in
+        (block, if has_code then String.trim line :: acc else acc))
+      (No_block, []) lines
+  in
+  List.rev code
 
 let count src = List.length (code_lines src)
 

@@ -4,8 +4,13 @@
 
 val count : string -> int
 (** Lines that contain code (not blank, not comment-only).  Comment
-    syntaxes of all the evaluated languages are recognized ([//], [/* */]
-    single-line, [#] and [--]). *)
+    syntaxes of all the evaluated languages are recognized: [//] and
+    line-opening [--] to end of line, multi-line (non-nesting) C block
+    comments, and multi-line (nesting) OCaml/BSV-attribute block comments
+    (opened only when whitespace follows the star, so a C pointer
+    dereference or a Verilog sensitivity list is not an opener).  A line
+    inside a block comment counts only if code appears outside the
+    comment delimiters. *)
 
 val delta : string -> string -> int
 (** [delta before after] is the paper's modification cost

@@ -1,0 +1,102 @@
+(* Domain-pool evaluation engine.
+
+   Regenerating the paper's artifacts is dominated by evaluation: Fig. 1
+   alone measures ~100 synthesized circuits, each one a cycle-accurate
+   simulation plus a synthesis report.  The designs are independent, so
+   [map] fans them out over a fixed-size pool of domains while keeping the
+   result order deterministic (results land in a slot array indexed by the
+   input position, never in completion order).
+
+   The pool size defaults to [Domain.recommended_domain_count ()], can be
+   pinned per call with [?jobs], and per process with the [HLSVHC_JOBS]
+   environment variable.  [map ~jobs:1] runs inline on the calling domain —
+   no pool, byte-identical to the historical sequential path.
+
+   Jobs must not share mutable builder state: a design's [Lazy] circuit
+   constructor is forced inside the single job that owns it, so every
+   [Hw.Builder] hash-cons table lives and dies within one domain (see
+   DESIGN.md §9). *)
+
+let env_jobs () =
+  match Sys.getenv_opt "HLSVHC_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let default_jobs () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> Domain.recommended_domain_count ()
+
+(* Map [f] over [xs] on a pool of [jobs] domains.  The work queue is an
+   atomic cursor over the input array; each worker claims the next index,
+   runs the job and stores the result in its slot.  If a job raises, the
+   first exception (in claim order) is kept, the remaining workers drain
+   without starting new jobs, every domain is joined, and the exception is
+   re-raised on the caller — the pool never deadlocks on a raising job. *)
+let map ?jobs f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let jobs =
+    let requested = match jobs with Some j -> max 1 j | None -> default_jobs () in
+    max 1 (min requested n)
+  in
+  if n = 0 then []
+  else if jobs = 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make None in
+    let worker () =
+      let running = ref true in
+      while !running do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failed <> None then running := false
+        else
+          match f items.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failed None (Some (e, bt)))
+      done
+    in
+    let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    (match Atomic.get failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)
+  end
+
+(* Content-keyed in-memory result cache, shared across domains behind a
+   mutex.  The mutex guards only table access, never the computation: two
+   domains racing on the same missing key both compute, and the first
+   store wins so every caller observes one canonical value.  The engine's
+   work lists never contain duplicate keys, so in practice each key is
+   computed once. *)
+module Memo (V : sig
+  type t
+end) =
+struct
+  let lock = Mutex.create ()
+  let table : (string, V.t) Hashtbl.t = Hashtbl.create 64
+
+  let find_or_compute ~key f =
+    match Mutex.protect lock (fun () -> Hashtbl.find_opt table key) with
+    | Some v -> v
+    | None ->
+        let v = f () in
+        Mutex.protect lock (fun () ->
+            match Hashtbl.find_opt table key with
+            | Some winner -> winner
+            | None ->
+                Hashtbl.replace table key v;
+                v)
+
+  let mem key = Mutex.protect lock (fun () -> Hashtbl.mem table key)
+  let size () = Mutex.protect lock (fun () -> Hashtbl.length table)
+  let clear () = Mutex.protect lock (fun () -> Hashtbl.reset table)
+end

@@ -1,0 +1,37 @@
+(** Domain-pool evaluation engine.
+
+    Evaluating the paper's artifacts means measuring ~100 independent
+    synthesized circuits (Fig. 1) — an embarrassingly parallel workload.
+    [map] fans jobs out over a fixed-size pool of domains with
+    deterministic result ordering; {!Memo} is the shared, mutex-protected
+    result cache the evaluation pipeline layers on top.
+
+    Jobs must not share mutable builder state across domains: a design's
+    lazy circuit constructor is forced inside the single job that owns it
+    (see DESIGN.md §9). *)
+
+val default_jobs : unit -> int
+(** The [HLSVHC_JOBS] environment variable when set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ?jobs f xs] is [List.map f xs] computed on a pool of
+    [min jobs (List.length xs)] domains ([default_jobs ()] when [jobs] is
+    omitted; [~jobs:1] runs inline on the calling domain).  Results keep
+    input order regardless of completion order.  If a job raises, the
+    pool stops claiming new jobs, every domain is joined (no deadlock),
+    and the first exception is re-raised on the caller. *)
+
+module Memo (V : sig
+  type t
+end) : sig
+  val find_or_compute : key:string -> (unit -> V.t) -> V.t
+  (** Return the cached value for [key], or run the thunk and cache its
+      result.  The lock is never held during the computation; when two
+      domains race on one missing key, the first store wins and both
+      return the canonical value. *)
+
+  val mem : string -> bool
+  val size : unit -> int
+  val clear : unit -> unit
+end

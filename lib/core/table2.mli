@@ -19,8 +19,11 @@ type row = {
   flexibility : float;       (** F_Q *)
 }
 
-val compute : unit -> row list
-(** Measures every design (cached after the first call). *)
+val compute : ?jobs:int -> unit -> row list
+(** Measures every design (cached after the first call).  The
+    measurements are warmed on the domain pool ({!Evaluate.measure_all});
+    the rows are then assembled sequentially from the cache, so the
+    result is identical for any job count. *)
 
-val render : unit -> string
+val render : ?jobs:int -> unit -> string
 (** The table in the paper's layout (rows = indicators, columns = tools). *)

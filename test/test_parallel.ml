@@ -1,0 +1,154 @@
+(* The domain-parallel evaluation engine: pool semantics, determinism of
+   the Fig. 1 pipeline under parallel evaluation, the shared measurement
+   cache, and the fixed multi-line-comment LOC counter. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ---------------- the pool itself ---------------- *)
+
+let test_map_preserves_order () =
+  let xs = List.init 100 Fun.id in
+  check (Alcotest.list int) "squares in order"
+    (List.map (fun x -> x * x) xs)
+    (Core.Parallel.map ~jobs:4 (fun x -> x * x) xs);
+  check (Alcotest.list int) "jobs=1 inline"
+    (List.map succ xs)
+    (Core.Parallel.map ~jobs:1 succ xs);
+  check (Alcotest.list int) "more jobs than items" [ 4; 9 ]
+    (Core.Parallel.map ~jobs:16 (fun x -> x * x) [ 2; 3 ])
+
+let test_map_empty_and_env () =
+  check (Alcotest.list int) "empty" [] (Core.Parallel.map ~jobs:4 succ []);
+  check bool "default_jobs positive" true (Core.Parallel.default_jobs () >= 1)
+
+let test_pool_survives_raising_job () =
+  let xs = List.init 50 Fun.id in
+  (* The first failure propagates to the caller... *)
+  (match
+     Core.Parallel.map ~jobs:3
+       (fun x -> if x = 17 then failwith "boom" else x)
+       xs
+   with
+  | _ -> Alcotest.fail "expected the job's exception"
+  | exception Failure m -> check Alcotest.string "exn text" "boom" m);
+  (* ...and the engine stays usable afterwards: no deadlock, no poisoned
+     state. *)
+  check (Alcotest.list int) "pool reusable after failure"
+    (List.map succ xs)
+    (Core.Parallel.map ~jobs:3 succ xs)
+
+(* ---------------- fig1 determinism ---------------- *)
+
+let tools = [ Core.Design.Verilog; Core.Design.Chisel; Core.Design.Dslx ]
+
+let points_flat series =
+  List.concat_map (fun (s : Core.Fig1.series) -> s.Core.Fig1.points) series
+
+let test_fig1_parallel_equals_sequential () =
+  Core.Fig1.clear_cache ();
+  Core.Evaluate.clear_measure_cache ();
+  let seq = Core.Fig1.compute ~jobs:1 ~tools () in
+  Core.Fig1.clear_cache ();
+  Core.Evaluate.clear_measure_cache ();
+  let par = Core.Fig1.compute ~jobs:4 ~tools () in
+  check int "same series count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Core.Fig1.series) (b : Core.Fig1.series) ->
+      check bool "same tool" true (a.Core.Fig1.tool = b.Core.Fig1.tool))
+    seq par;
+  check bool "points equal point-for-point" true
+    (points_flat seq = points_flat par)
+
+let test_fig1_cache_hit_identical () =
+  Core.Fig1.clear_cache ();
+  Core.Evaluate.clear_measure_cache ();
+  let first = Core.Fig1.compute ~jobs:2 ~tools () in
+  let second = Core.Fig1.compute ~jobs:2 ~tools () in
+  (* The cache returns the very same series values, not recomputations. *)
+  List.iter2
+    (fun (a : Core.Fig1.series) b ->
+      check bool "physically identical series" true (a == b))
+    first second
+
+(* ---------------- measurement cache ---------------- *)
+
+let test_measure_cache () =
+  Core.Evaluate.clear_measure_cache ();
+  let d = Core.Registry.initial Core.Design.Verilog in
+  let m1 = Core.Evaluate.measure ~matrices:3 d in
+  let m2 = Core.Evaluate.measure ~matrices:3 d in
+  check bool "cache hit is the same measurement" true (m1 == m2);
+  Core.Evaluate.clear_measure_cache ();
+  let m3 = Core.Evaluate.measure ~matrices:3 d in
+  check bool "recomputation is structurally equal" true (m1 = m3)
+
+(* ---------------- the fixed LOC counter ---------------- *)
+
+let test_loc_multiline_verilog () =
+  let src =
+    "// header\nmodule m;\n/* multi\n   line\n   comment */\nwire x;\nendmodule\n"
+  in
+  check int "verilog multi-line block" 3 (Core.Loc.count src);
+  (* A sensitivity list is not a comment opener. *)
+  check int "always @(*) is code" 3
+    (Core.Loc.count "always @(*) begin\n  x = 1;\nend\n")
+
+let test_loc_multiline_c () =
+  let src =
+    "int f() {\n  /* spans\n     two lines */ int y = 0;\n  (*p)++;\n  return y; /* tail */\n}\n"
+  in
+  (* Interior comment text never counts; the closer line counts because
+     code follows the closer; mid-line paren-star is a pointer deref. *)
+  check int "c multi-line block" 5 (Core.Loc.count src);
+  check int "string literal is opaque" 2
+    (Core.Loc.count "s = \"/* not a comment\";\nx;\n")
+
+let test_loc_multiline_bsv () =
+  let src = "(* synthesize,\n   always_ready *)\nrule r;\nendrule\n" in
+  check int "bsv attribute block" 2 (Core.Loc.count src);
+  check int "nested ocaml-style" 1
+    (Core.Loc.count "(* outer (* inner *)\n   still comment *)\ncode;\n")
+
+let test_loc_alpha_consistency () =
+  (* The Table II LOC decomposition survives the counter fix: parts stay
+     positive and sum to the total for every registered design. *)
+  List.iter
+    (fun (d : Core.Design.t) ->
+      check bool "fu loc positive" true (d.Core.Design.loc_fu > 0);
+      check int "parts sum"
+        (Core.Design.loc d)
+        (d.Core.Design.loc_fu + d.Core.Design.loc_axi + d.Core.Design.loc_conf))
+    (Core.Registry.all_designs ())
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick
+            test_map_preserves_order;
+          Alcotest.test_case "empty and defaults" `Quick test_map_empty_and_env;
+          Alcotest.test_case "survives raising job" `Quick
+            test_pool_survives_raising_job;
+        ] );
+      ( "fig1",
+        [
+          Alcotest.test_case "parallel = sequential" `Slow
+            test_fig1_parallel_equals_sequential;
+          Alcotest.test_case "cache hit identical" `Slow
+            test_fig1_cache_hit_identical;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "measure memoized" `Quick test_measure_cache ] );
+      ( "loc",
+        [
+          Alcotest.test_case "verilog multi-line" `Quick
+            test_loc_multiline_verilog;
+          Alcotest.test_case "c multi-line" `Quick test_loc_multiline_c;
+          Alcotest.test_case "bsv attributes" `Quick test_loc_multiline_bsv;
+          Alcotest.test_case "decomposition intact" `Quick
+            test_loc_alpha_consistency;
+        ] );
+    ]
