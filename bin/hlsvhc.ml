@@ -3,16 +3,12 @@
 open Cmdliner
 
 let tool_conv =
+  (* The accepted names live on the TOOL modules, next to everything else
+     each flow registers. *)
   let parse s =
-    match String.lowercase_ascii s with
-    | "verilog" -> Ok Core.Design.Verilog
-    | "chisel" -> Ok Core.Design.Chisel
-    | "bsv" | "bsc" -> Ok Core.Design.Bsv
-    | "dslx" | "xls" -> Ok Core.Design.Dslx
-    | "maxj" | "maxcompiler" -> Ok Core.Design.Maxj
-    | "bambu" -> Ok Core.Design.Bambu
-    | "vhls" | "vivado-hls" | "vivado_hls" -> Ok Core.Design.Vivado_hls
-    | _ -> Error (`Msg (Printf.sprintf "unknown tool %S" s))
+    match Core.Registry.parse_tool s with
+    | Some t -> Ok t
+    | None -> Error (`Msg (Printf.sprintf "unknown tool %S" s))
   in
   let print ppf t = Format.pp_print_string ppf (Core.Design.tool_name t) in
   Arg.conv (parse, print)
@@ -33,6 +29,32 @@ let jobs_opt =
            machine's recommended domain count).  Results are identical for \
            any job count.")
 
+let trace_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the measurement pipeline (per-stage wall \
+           times, netlist/schedule sizes, cache counters) and write it as \
+           JSON to $(docv).  Summarize with $(b,hlsvhc stats) $(docv).  \
+           Tracing does not change any printed artifact.")
+
+(* Run [f] with tracing enabled when [trace] names a file; the spans are
+   drained and written after [f] finishes, even if it raises. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some file ->
+      Core.Trace.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Core.Trace.set_enabled false;
+          let spans = Core.Trace.drain () in
+          Core.Trace.write_json file spans;
+          Printf.eprintf "trace: %d spans -> %s\n%!" (List.length spans) file)
+        f
+
 let pick_design tool optimized =
   if optimized then Core.Registry.optimized tool else Core.Registry.initial tool
 
@@ -42,42 +64,45 @@ let table1_cmd =
     Term.(const run $ const ())
 
 let table2_cmd =
-  let run jobs = print_string (Core.Table2.render ?jobs ()) in
+  let run jobs trace =
+    with_trace trace (fun () -> print_string (Core.Table2.render ?jobs ()))
+  in
   Cmd.v
     (Cmd.info "table2"
        ~doc:"Measure every initial/optimized design and print Table II.")
-    Term.(const run $ jobs_opt)
+    Term.(const run $ jobs_opt $ trace_opt)
 
 let fig1_cmd =
   let tools =
     Arg.(value & opt_all tool_conv [] & info [ "tool" ] ~docv:"TOOL"
          ~doc:"Restrict to one tool (repeatable).")
   in
-  let run tools jobs =
+  let run tools jobs trace =
     let tools = match tools with [] -> None | ts -> Some ts in
-    print_string (Core.Fig1.render ?jobs ?tools ())
+    with_trace trace (fun () -> print_string (Core.Fig1.render ?jobs ?tools ()))
   in
   Cmd.v
     (Cmd.info "fig1" ~doc:"Run the DSE sweeps and print the Fig. 1 scatter.")
-    Term.(const run $ tools $ jobs_opt)
+    Term.(const run $ tools $ jobs_opt $ trace_opt)
 
 let comply_cmd =
   let blocks =
     Arg.(value & opt int 500 & info [ "blocks" ] ~doc:"Blocks per condition (500 is about the statistical minimum).")
   in
-  let run blocks jobs =
-    let designs = List.map Core.Registry.optimized Core.Design.all_tools in
-    List.iter
-      (fun ((d : Core.Design.t), ok) ->
-        Printf.printf "%-12s optimized: %s\n%!"
-          (Core.Design.tool_name d.Core.Design.tool)
-          (if ok then "IEEE 1180-1990 PASS" else "FAIL"))
-      (Core.Evaluate.compliance_all ?jobs ~blocks designs)
+  let run blocks jobs trace =
+    with_trace trace (fun () ->
+        let designs = List.map Core.Registry.optimized Core.Design.all_tools in
+        List.iter
+          (fun ((d : Core.Design.t), ok) ->
+            Printf.printf "%-12s optimized: %s\n%!"
+              (Core.Design.tool_name d.Core.Design.tool)
+              (if ok then "IEEE 1180-1990 PASS" else "FAIL"))
+          (Core.Evaluate.compliance_all ?jobs ~blocks designs))
   in
   Cmd.v
     (Cmd.info "comply"
        ~doc:"IEEE 1180-1990 accuracy test of every optimized design.")
-    Term.(const run $ blocks $ jobs_opt)
+    Term.(const run $ blocks $ jobs_opt $ trace_opt)
 
 let emit_cmd =
   let run tool optimized =
@@ -94,8 +119,9 @@ let verilog_cmd =
     let d = pick_design tool optimized in
     match d.Core.Design.impl with
     | Core.Design.Stream c -> print_string (Hw.Verilog.emit (Lazy.force c))
-    | Core.Design.Pcie s ->
-        print_string (Hw.Verilog.emit (Lazy.force s).Maxj.Manager.kernel)
+    | Core.Design.Pcie p ->
+        print_string
+          (Hw.Verilog.emit (Lazy.force p.Core.Design.system).Maxj.Manager.kernel)
   in
   Cmd.v
     (Cmd.info "verilog"
@@ -154,19 +180,41 @@ let waves_cmd =
     Term.(const run $ tool_pos $ opt_flag $ out $ cycles)
 
 let sweep_cmd =
-  let run tool jobs =
-    let designs = Core.Registry.sweep tool in
-    let measured = Core.Evaluate.measure_all ?jobs ~matrices:3 designs in
-    List.iter2
-      (fun d m ->
-        Printf.printf "%-34s A=%7d  P=%8.2f MOPS  f=%7.2f MHz\n%!"
-          d.Core.Design.label m.Core.Metrics.area
-          m.Core.Metrics.throughput_mops m.Core.Metrics.fmax_mhz)
-      designs measured
+  let run tool jobs trace =
+    with_trace trace (fun () ->
+        let designs = Core.Registry.sweep tool in
+        let measured = Core.Evaluate.measure_all ?jobs ~matrices:3 designs in
+        List.iter2
+          (fun d m ->
+            Printf.printf "%-34s A=%7d  P=%8.2f MOPS  f=%7.2f MHz\n%!"
+              d.Core.Design.label m.Core.Metrics.area
+              m.Core.Metrics.throughput_mops m.Core.Metrics.fmax_mhz)
+          designs measured)
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Measure every configuration of one tool.")
-    Term.(const run $ tool_pos $ jobs_opt)
+    Term.(const run $ tool_pos $ jobs_opt $ trace_opt)
+
+let stats_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.json")
+  in
+  let run file =
+    match Core.Trace.render_stats file with
+    | s -> print_string s
+    | exception Sys_error e ->
+        Printf.eprintf "hlsvhc stats: %s\n" e;
+        exit 1
+    | exception Failure e ->
+        Printf.eprintf "hlsvhc stats: cannot parse %s: %s\n" file e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Summarize a trace recorded with --trace: per-stage wall-time \
+          breakdown and counter totals.")
+    Term.(const run $ file)
 
 let main =
   Cmd.group
@@ -175,6 +223,6 @@ let main =
          "Reproduction of 'High-Level Synthesis versus Hardware \
           Construction' (DATE 2023).")
     [ table1_cmd; table2_cmd; fig1_cmd; comply_cmd; emit_cmd; verilog_cmd;
-      sim_cmd; sweep_cmd; waves_cmd ]
+      sim_cmd; sweep_cmd; waves_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval main)

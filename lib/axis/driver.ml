@@ -11,8 +11,8 @@ type result = {
 let sign_extend w v =
   if v land (1 lsl (w - 1)) <> 0 then v - (1 lsl w) else v
 
-let run ?(input_gap = 0) ?(ready_pattern = fun _ -> true) ?timeout circuit
-    matrices =
+let run ?(input_gap = 0) ?(ready_pattern = fun _ -> true) ?timeout
+    ?(hook = fun _ _ -> ()) circuit matrices =
   if not (Stream.is_wrapped circuit) then
     failwith "Driver.run: circuit does not follow the AXI-Stream convention";
   let n_mat = List.length matrices in
@@ -37,6 +37,7 @@ let run ?(input_gap = 0) ?(ready_pattern = fun _ -> true) ?timeout circuit
         int_of_float (ceil (float_of_int base /. duty))
   in
   let sim = Sim.create circuit in
+  hook "sim_thunks" (Sim.compiled_nodes sim);
   Sim.reset sim;
   let inputs = Array.of_list matrices in
   (* Input source state. *)
@@ -114,6 +115,7 @@ let run ?(input_gap = 0) ?(ready_pattern = fun _ -> true) ?timeout circuit
          (n_mat * lanes) !out_mat n_mat
          ((!mat_idx * lanes) + !beat_idx)
          (n_mat * lanes));
+  hook "cycles" !cycle;
   let latency =
     let last = n_mat - 1 in
     last_out_cycle.(last) - first_in_cycle.(last) + 1

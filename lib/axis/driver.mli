@@ -25,6 +25,7 @@ val run :
   ?input_gap:int ->
   ?ready_pattern:(int -> bool) ->
   ?timeout:int ->
+  ?hook:(string -> int -> unit) ->
   Hw.Netlist.t ->
   Idct.Block.t list ->
   result
@@ -35,7 +36,10 @@ val run :
     a slow-but-correct consumer is not misreported as a timeout —
     patterns must therefore be pure functions of the cycle number.  The
     timeout message reports collected-vs-expected output beats and
-    consumed input beats. *)
+    consumed input beats.  [hook] is a stage hook for observability
+    layers: called with [sim_thunks] (compiled schedule size) after the
+    simulator is built and [cycles] when the stream drains; it must not
+    affect the result. *)
 
 val transform : Hw.Netlist.t -> Idct.Block.t -> Idct.Block.t
 (** Convenience: push one matrix through and return the result. *)

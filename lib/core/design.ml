@@ -1,8 +1,16 @@
 type tool = Verilog | Chisel | Bsv | Dslx | Maxj | Bambu | Vivado_hls
 
+type pcie = {
+  system : Maxj.Manager.system Lazy.t;
+  simulate : Idct.Block.t list -> Idct.Block.t list;
+      (* the design's own bit-true stream simulator: compliance and the
+         flow's verify stage dispatch on the design, never on a fixed
+         kernel (the pre-refactor bug) *)
+}
+
 type impl =
   | Stream of Hw.Netlist.t Lazy.t
-  | Pcie of Maxj.Manager.system Lazy.t
+  | Pcie of pcie
 
 type t = {
   tool : tool;

@@ -2,11 +2,17 @@
 
 type tool = Verilog | Chisel | Bsv | Dslx | Maxj | Bambu | Vivado_hls
 
+type pcie = {
+  system : Maxj.Manager.system Lazy.t;
+  simulate : Idct.Block.t list -> Idct.Block.t list;
+      (** the design's own bit-true stream simulator — compliance and the
+          flow's verify stage dispatch on the design itself *)
+}
+
 type impl =
   | Stream of Hw.Netlist.t Lazy.t
       (** AXI-Stream wrapped circuit (everything except MaxJ) *)
-  | Pcie of Maxj.Manager.system Lazy.t
-      (** MaxCompiler system: kernel + PCIe manager *)
+  | Pcie of pcie  (** MaxCompiler system: kernel + PCIe manager *)
 
 type t = {
   tool : tool;

@@ -1,8 +1,3 @@
-let test_matrices n =
-  let rng = Idct.Block.Rand.create ~seed:7 () in
-  List.init n (fun _ ->
-      Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255))
-
 (* Content key of a design: tool and label identify the sweep point, the
    digest covers the configuration and full source listing, so two designs
    that differ only in construction share nothing and a re-registered
@@ -14,67 +9,27 @@ let design_key (d : Design.t) =
     (Digest.to_hex
        (Digest.string (d.Design.config_desc ^ "\x00" ^ d.Design.listing)))
 
-let measure_uncached ?(matrices = 4) (d : Design.t) : Metrics.measured =
-  match d.Design.impl with
-  | Design.Stream circuit ->
-      let circuit = Lazy.force circuit in
-      let mats = test_matrices matrices in
-      let expected = List.map Idct.Chenwang.idct mats in
-      let r = Axis.Driver.run circuit mats in
-      if not (List.for_all2 Idct.Block.equal r.Axis.Driver.outputs expected)
-      then
-        failwith
-          (Printf.sprintf "design %s/%s is not bit-true"
-             (Design.tool_name d.Design.tool)
-             d.Design.label);
-      (match r.Axis.Driver.violations with
-      | [] -> ()
-      | v :: _ ->
-          failwith
-            (Format.asprintf "design %s/%s violates AXI-Stream: %a"
-               (Design.tool_name d.Design.tool)
-               d.Design.label Axis.Monitor.pp_violation v));
-      let rep = Hw.Synth.run circuit in
-      {
-        Metrics.fmax_mhz = rep.Hw.Synth.fmax_mhz;
-        throughput_mops =
-          rep.Hw.Synth.fmax_mhz /. float_of_int r.Axis.Driver.periodicity;
-        latency = r.Axis.Driver.latency;
-        periodicity = r.Axis.Driver.periodicity;
-        area = rep.Hw.Synth.area;
-        luts_nodsp = rep.Hw.Synth.luts_nodsp;
-        ffs_nodsp = rep.Hw.Synth.ffs_nodsp;
-        luts = rep.Hw.Synth.luts;
-        ffs = rep.Hw.Synth.ffs;
-        dsps = rep.Hw.Synth.dsps;
-        ios = rep.Hw.Synth.ios;
-      }
-  | Design.Pcie system ->
-      let system = Lazy.force system in
-      let r = Maxj.Manager.evaluate system in
-      let rep = Hw.Synth.run system.Maxj.Manager.kernel in
-      {
-        Metrics.fmax_mhz = r.Maxj.Manager.fmax_mhz;
-        throughput_mops = r.Maxj.Manager.throughput_mops;
-        latency = r.Maxj.Manager.latency_ticks;
-        periodicity = system.Maxj.Manager.ticks_per_op;
-        area = rep.Hw.Synth.area;
-        luts_nodsp = rep.Hw.Synth.luts_nodsp;
-        ffs_nodsp = rep.Hw.Synth.ffs_nodsp;
-        luts = rep.Hw.Synth.luts;
-        ffs = rep.Hw.Synth.ffs;
-        dsps = rep.Hw.Synth.dsps;
-        ios = Maxj.Manager.pcie_pins;
-      }
-
 module Measure_cache = Parallel.Memo (struct
   type t = Metrics.measured
 end)
 
-let measure ?(matrices = 4) (d : Design.t) : Metrics.measured =
-  Measure_cache.find_or_compute
-    ~key:(Printf.sprintf "%s@%d" (design_key d) matrices)
-    (fun () -> measure_uncached ~matrices d)
+(* The measurement itself is Flow.measure_uncached — the staged
+   elaborate/validate/simulate/verify/synthesize/metrics pipeline.  This
+   layer adds the content-keyed cache and the root "measure" span, whose
+   cache_hit/cache_miss counters let a trace distinguish warm reads from
+   cold pipeline runs. *)
+let measure ?(matrices = 4) ?(spec = Flow.idct_spec) (d : Design.t) :
+    Metrics.measured =
+  let key =
+    Printf.sprintf "%s/%s@%d" spec.Flow.spec_name (design_key d) matrices
+  in
+  Trace.with_span ~design:(Flow.span_key d) ~stage:"measure" (fun () ->
+      if Trace.enabled () then
+        Trace.add_counter
+          (if Measure_cache.mem key then "cache_hit" else "cache_miss")
+          1;
+      Measure_cache.find_or_compute ~key (fun () ->
+          Flow.measure_uncached ~matrices ~spec d))
 
 let clear_measure_cache = Measure_cache.clear
 
@@ -85,16 +40,20 @@ let measure_all ?jobs ?(matrices = 4) designs =
   Parallel.map ?jobs (fun d -> measure ~matrices d) designs
 
 let check_compliance ?(blocks = 500) (d : Design.t) =
-  match d.Design.impl with
-  | Design.Stream circuit ->
-      let circuit = Lazy.force circuit in
-      let dut blk = Axis.Driver.transform circuit blk in
-      Idct.Ieee1180.compliant ~blocks dut
-  | Design.Pcie _ ->
-      (* The MaxJ kernels are checked by their own stream simulators. *)
-      let mats = test_matrices blocks in
-      let got = Maxj.Idct_maxj.simulate_initial mats in
-      List.for_all2 Idct.Block.equal got (List.map Idct.Chenwang.idct mats)
+  Trace.with_span ~design:(Flow.span_key d) ~stage:"comply" (fun () ->
+      Trace.add_counter "blocks" blocks;
+      match d.Design.impl with
+      | Design.Stream circuit ->
+          let circuit = Lazy.force circuit in
+          let dut blk = Axis.Driver.transform circuit blk in
+          Idct.Ieee1180.compliant ~blocks dut
+      | Design.Pcie p ->
+          (* The MaxJ kernels are checked by their own stream simulators —
+             dispatching on the design under test, so the optimized kernel
+             is exercised with its own row-per-tick simulation. *)
+          let mats = Flow.idct_spec.Flow.stimulus blocks in
+          let got = p.Design.simulate mats in
+          List.for_all2 Idct.Block.equal got (List.map Idct.Chenwang.idct mats))
 
 (* The compliance sweep: every design checked on the domain pool, results
    paired with their design in input order. *)

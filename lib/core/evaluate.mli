@@ -1,17 +1,22 @@
-(** Measurement of a design point, following the paper's procedure:
-    synthesize for the target device, simulate a stream of matrices to
-    obtain latency and periodicity, and derive [P = f_max / T_P]; the
-    normalized area comes from the [maxdsp=0] mapping.
+(** Cached measurement of design points.
 
-    Every measurement first checks the design bit-true against the
-    reference fixed-point IDCT ({!Idct.Chenwang}) and fails loudly on a
-    functional mismatch or an AXI-Stream protocol violation. *)
+    The measurement itself is the staged pipeline of {!Flow}
+    (elaborate → validate → simulate → verify → synthesize → metrics,
+    following the paper's procedure); this layer adds the process-wide
+    content-keyed result cache and the root ["measure"] trace span with
+    its cache hit/miss counters.
 
-val measure : ?matrices:int -> Design.t -> Metrics.measured
-(** [matrices] (default 4) sets the simulated stream length.  Results are
-    memoized in a process-wide cache keyed by tool, label and a digest of
-    the configuration and source listing (plus [matrices]), shared across
-    domains behind a mutex. *)
+    Every measurement checks the design bit-true against the kernel's
+    reference (the fixed-point IDCT {!Idct.Chenwang} under the default
+    spec) and fails loudly on a functional mismatch or an AXI-Stream
+    protocol violation. *)
+
+val measure : ?matrices:int -> ?spec:Flow.spec -> Design.t -> Metrics.measured
+(** [matrices] (default 4) sets the simulated stream length; [spec]
+    (default {!Flow.idct_spec}) selects the kernel's stimulus/reference.
+    Results are memoized in a process-wide cache keyed by spec, tool,
+    label and a digest of the configuration and source listing (plus
+    [matrices]), shared across domains behind a mutex. *)
 
 val clear_measure_cache : unit -> unit
 (** Drop every memoized measurement (tests and benchmarks). *)
@@ -24,10 +29,12 @@ val measure_all :
     domains. *)
 
 val check_compliance : ?blocks:int -> Design.t -> bool
-(** IEEE 1180-1990 accuracy procedure through the wrapped circuit.
-    The default of 500 blocks per condition is about the statistical
-    minimum: the per-position mean-error criterion (0.015) needs several
-    hundred samples before estimator noise stays under the threshold. *)
+(** IEEE 1180-1990 accuracy procedure through the wrapped circuit; PCIe
+    designs are checked bit-true through their own stream simulator
+    (dispatching on the design under test).  The default of 500 blocks
+    per condition is about the statistical minimum: the per-position
+    mean-error criterion (0.015) needs several hundred samples before
+    estimator noise stays under the threshold. *)
 
 val compliance_all :
   ?jobs:int -> ?blocks:int -> Design.t list -> (Design.t * bool) list

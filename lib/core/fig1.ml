@@ -34,7 +34,13 @@ let point_of (d : Design.t) (m : Metrics.measured) =
    [Parallel.map] preserves input order, so regrouping by sweep length
    reassembles each tool's series exactly as the sequential path built
    them. *)
-let compute ?jobs ?(tools = Design.all_tools) () =
+let registered_tools () =
+  List.map (fun (module T : Registry.TOOL) -> T.tool) Registry.all
+
+let compute ?jobs ?tools () =
+  let tools =
+    match tools with Some ts -> ts | None -> registered_tools ()
+  in
   let missing = List.filter (fun t -> cache_find t = None) tools in
   let sweeps = List.map (fun t -> (t, Registry.sweep t)) missing in
   let designs = List.concat_map snd sweeps in
@@ -58,14 +64,9 @@ let compute ?jobs ?(tools = Design.all_tools) () =
       match cache_find t with Some s -> s | None -> assert false)
     tools
 
-let glyph = function
-  | Design.Verilog -> 'V'
-  | Design.Chisel -> 'C'
-  | Design.Bsv -> 'B'
-  | Design.Dslx -> 'X'
-  | Design.Maxj -> 'M'
-  | Design.Bambu -> 'b'
-  | Design.Vivado_hls -> 'h'
+(* The scatter glyph lives on the TOOL module, next to the rest of each
+   flow's registration. *)
+let glyph = Registry.glyph
 
 let render ?jobs ?tools () =
   let series = compute ?jobs ?tools () in

@@ -1,0 +1,47 @@
+(** The staged design-flow core (DESIGN.md §10).
+
+    One measurement is a fixed pipeline of named stages, each wrapped in
+    a {!Trace} span:
+
+    {v
+    elaborate -> validate -> simulate -> verify -> synthesize -> metrics
+    v}
+
+    - [elaborate]  force the frontend's lazy constructor into a netlist
+    - [validate]   structural netlist validation
+    - [simulate]   AXI-Stream testbench run (or the PCIe system model)
+    - [verify]     bit-true comparison against the kernel's reference,
+                   plus the AXI-Stream protocol verdict
+    - [synthesize] technology mapping and static timing
+    - [metrics]    assembly of the paper's indicator record
+
+    The kernel under test is a {!spec}: stimulus generator, golden
+    reference and timeout policy.  The paper's IDCT is {!idct_spec};
+    {!Second_kernel} registers its FIR the same way, which is how any
+    future workload enters the pipeline. *)
+
+type spec = {
+  spec_name : string;  (** cache-key prefix, e.g. "idct" *)
+  stimulus : int -> Idct.Block.t list;
+      (** [stimulus n] generates the [n]-matrix input stream
+          (deterministic: same [n], same stream) *)
+  reference : Idct.Block.t -> Idct.Block.t;  (** golden transform *)
+  sim_timeout : int option;
+      (** testbench cycle budget; [None] = the driver default *)
+}
+
+val idct_spec : spec
+(** The paper's kernel: IEEE-1180-seeded FDCT coefficient blocks checked
+    against the fixed-point Chen–Wang reference. *)
+
+val stage_names : string list
+(** The canonical stage names above, in pipeline order. *)
+
+val span_key : Design.t -> string
+(** The trace identity of a design: ["Tool/label"]. *)
+
+val measure_uncached : ?matrices:int -> ?spec:spec -> Design.t -> Metrics.measured
+(** Run the full staged pipeline on one design.  [matrices] (default 4)
+    sets the simulated stream length.
+    @raise Failure if the design is not bit-true against [spec.reference]
+    or violates the AXI-Stream protocol. *)

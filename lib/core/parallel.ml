@@ -46,24 +46,60 @@ let map ?jobs f xs =
   if n = 0 then []
   else if jobs = 1 then List.map f xs
   else begin
+    (* Capture the trace switch once, before spawning: workers must agree
+       with the caller on whether to record, even if the flag is toggled
+       mid-run. *)
+    let traced = Trace.enabled () in
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failed = Atomic.make None in
-    let worker () =
-      let running = ref true in
-      while !running do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n || Atomic.get failed <> None then running := false
-        else
-          match f items.(i) with
-          | v -> results.(i) <- Some v
-          | exception e ->
-              let bt = Printexc.get_raw_backtrace () in
-              ignore (Atomic.compare_and_set failed None (Some (e, bt)))
-      done
+    let worker wid () =
+      (* The claim loop, returning how many jobs this worker ran and the
+         wall time it spent inside them (its busy time, as opposed to the
+         tail time it idled waiting for the slowest sibling). *)
+      let run_loop () =
+        let claimed = ref 0 and busy = ref 0.0 in
+        let running = ref true in
+        while !running do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n || Atomic.get failed <> None then running := false
+          else begin
+            incr claimed;
+            let t0 = if traced then Unix.gettimeofday () else 0.0 in
+            (match f items.(i) with
+            | v -> results.(i) <- Some v
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                ignore (Atomic.compare_and_set failed None (Some (e, bt))));
+            if traced then busy := !busy +. (Unix.gettimeofday () -. t0)
+          end
+        done;
+        (!claimed, !busy)
+      in
+      if traced then begin
+        Trace.with_span
+          ~design:(Printf.sprintf "pool/worker%d" wid)
+          ~stage:"worker"
+          (fun () ->
+            let claimed, busy = run_loop () in
+            Trace.add_counter "claimed" claimed;
+            Trace.add_counter "busy_us" (int_of_float (busy *. 1e6)));
+        (* Hand this domain's span buffer to the collector before the
+           domain dies — spans recorded by the jobs themselves included. *)
+        Trace.flush_domain ()
+      end
+      else ignore (run_loop ())
     in
-    let domains = List.init jobs (fun _ -> Domain.spawn worker) in
-    List.iter Domain.join domains;
+    let spawn_and_join () =
+      let domains = List.init jobs (fun wid -> Domain.spawn (worker wid)) in
+      List.iter Domain.join domains
+    in
+    if traced then
+      Trace.with_span ~design:"pool" ~stage:"map" (fun () ->
+          Trace.add_counter "jobs" jobs;
+          Trace.add_counter "items" n;
+          spawn_and_join ())
+    else spawn_and_join ();
     (match Atomic.get failed with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());

@@ -20,7 +20,13 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     omitted; [~jobs:1] runs inline on the calling domain).  Results keep
     input order regardless of completion order.  If a job raises, the
     pool stops claiming new jobs, every domain is joined (no deadlock),
-    and the first exception is re-raised on the caller. *)
+    and the first exception is re-raised on the caller.
+
+    When {!Trace} is enabled, a pooled map records a ["pool"/"map"] span
+    (counters [jobs], [items]) on the caller and one
+    ["pool/workerN"/"worker"] span per domain (counters [claimed],
+    [busy_us]); each worker flushes its domain-local span buffer before
+    exiting, so traces recorded inside jobs survive the domain. *)
 
 module Memo (V : sig
   type t

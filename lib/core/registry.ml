@@ -1,5 +1,9 @@
 open Design
 
+(* ------------------------------------------------------------------ *)
+(* Design constructors and the shared listing policy                    *)
+(* ------------------------------------------------------------------ *)
+
 let mk tool label config_desc ~fu ~axi ~conf ~listing impl =
   {
     tool;
@@ -12,215 +16,332 @@ let mk tool label config_desc ~fu ~axi ~conf ~listing impl =
     listing;
   }
 
+(* Listing-policy helpers shared by every tool module: a listing made of a
+   functional-unit part and a tool-specific body is glued with one blank
+   line, the FU lines count as L^FU and the remainder as L^AXI. *)
+let glue shared body = shared ^ "\n\n" ^ body
+
+let split_loc ~shared listing =
+  let fu = Loc.count shared in
+  (fu, Loc.count listing - fu)
+
+let mk_shared tool label config_desc ~shared ~listing impl =
+  let fu, axi = split_loc ~shared listing in
+  mk tool label config_desc ~fu ~axi ~conf:0 ~listing impl
+
+(* ------------------------------------------------------------------ *)
+(* The tool-module signature                                            *)
+(* ------------------------------------------------------------------ *)
+
+module type TOOL = sig
+  val tool : Design.tool
+
+  (* Table I metadata *)
+  val language : string
+  val paradigm : string
+  val toolchain : string
+  val tool_type : string
+  val openness : string
+
+  (* CLI names and the Fig. 1 scatter glyph *)
+  val aliases : string list
+  val glyph : char
+
+  (* the design inventory *)
+  val initial : Design.t
+  val optimized : Design.t
+  val sweep : Design.t list
+end
+
 (* ---------------- Verilog (parsed sources) ---------------- *)
 
-let verilog_units_loc =
-  Loc.count (Verilog_designs.row_unit ^ Verilog_designs.col_unit)
+module Verilog_tool : TOOL = struct
+  let tool = Verilog
+  let language = "Verilog"
+  let paradigm = "Classical RTL"
+  let toolchain = "Vivado"
+  let tool_type = "LS/PR"
+  let openness = "Commercial"
+  let aliases = [ "verilog" ]
+  let glyph = 'V'
 
-let verilog_initial =
-  mk Verilog "initial" "Vivado defaults"
-    ~fu:verilog_units_loc
-    ~axi:(Loc.count Verilog_designs.initial_source - verilog_units_loc)
-    ~conf:0 ~listing:Verilog_designs.initial_source
-    (Stream (lazy (Verilog_designs.initial_circuit ())))
+  let units_loc =
+    Loc.count (Verilog_designs.row_unit ^ Verilog_designs.col_unit)
 
-let verilog_row8col =
-  mk Verilog "1 row + 8 col units" "Vivado defaults"
-    ~fu:verilog_units_loc
-    ~axi:(Loc.count Verilog_designs.row8col_source - verilog_units_loc)
-    ~conf:0 ~listing:Verilog_designs.row8col_source
-    (Stream (lazy (Verilog_designs.row8col_circuit ())))
+  let design label source circuit =
+    mk Verilog label "Vivado defaults" ~fu:units_loc
+      ~axi:(Loc.count source - units_loc)
+      ~conf:0 ~listing:source (Stream circuit)
 
-let verilog_optimized =
-  mk Verilog "optimized" "Vivado defaults"
-    ~fu:verilog_units_loc
-    ~axi:(Loc.count Verilog_designs.rowcol_source - verilog_units_loc)
-    ~conf:0 ~listing:Verilog_designs.rowcol_source
-    (Stream (lazy (Verilog_designs.rowcol_circuit ())))
+  let initial =
+    design "initial" Verilog_designs.initial_source
+      (lazy (Verilog_designs.initial_circuit ()))
+
+  let row8col =
+    design "1 row + 8 col units" Verilog_designs.row8col_source
+      (lazy (Verilog_designs.row8col_circuit ()))
+
+  let optimized =
+    design "optimized" Verilog_designs.rowcol_source
+      (lazy (Verilog_designs.rowcol_circuit ()))
+
+  let sweep = [ initial; row8col; optimized ]
+end
 
 (* ---------------- Chisel ---------------- *)
 
-let chisel_initial =
-  mk Chisel "initial" "width inference, combinational kernel"
-    ~fu:(Loc.count Listings.chisel_butterfly)
-    ~axi:
-      (Loc.count Listings.chisel_initial - Loc.count Listings.chisel_butterfly)
-    ~conf:0 ~listing:Listings.chisel_initial
-    (Stream
-       (lazy (Chisel.Idct_gen.design_comb Chisel.Idct_gen.Inferred ~name:"chisel_initial")))
+module Chisel_tool : TOOL = struct
+  let tool = Chisel
+  let language = "Chisel"
+  let paradigm = "Functional/RTL"
+  let toolchain = "Chisel"
+  let tool_type = "HC"
+  let openness = "Open-source"
+  let aliases = [ "chisel" ]
+  let glyph = 'C'
 
-let chisel_row8col =
-  mk Chisel "1 row + 8 col units" "width inference"
-    ~fu:(Loc.count Listings.chisel_butterfly)
-    ~axi:
-      (Loc.count Listings.chisel_initial - Loc.count Listings.chisel_butterfly)
-    ~conf:0 ~listing:Listings.chisel_initial
-    (Stream
-       (lazy
-         (Chisel.Idct_gen.design_row8col Chisel.Idct_gen.Inferred
-            ~name:"chisel_row8col")))
+  let design label config_desc listing circuit =
+    mk_shared Chisel label config_desc ~shared:Listings.chisel_butterfly
+      ~listing (Stream circuit)
 
-let chisel_optimized =
-  mk Chisel "optimized" "width inference, macro-pipeline"
-    ~fu:(Loc.count Listings.chisel_butterfly)
-    ~axi:
-      (Loc.count Listings.chisel_optimized
-      - Loc.count Listings.chisel_butterfly)
-    ~conf:0 ~listing:Listings.chisel_optimized
-    (Stream
-       (lazy
-         (Chisel.Idct_gen.design_rowcol Chisel.Idct_gen.Inferred
-            ~name:"chisel_optimized")))
+  let initial =
+    design "initial" "width inference, combinational kernel"
+      Listings.chisel_initial
+      (lazy (Chisel.Idct_gen.design_comb Chisel.Idct_gen.Inferred ~name:"chisel_initial"))
+
+  let row8col =
+    design "1 row + 8 col units" "width inference" Listings.chisel_initial
+      (lazy
+        (Chisel.Idct_gen.design_row8col Chisel.Idct_gen.Inferred
+           ~name:"chisel_row8col"))
+
+  let optimized =
+    design "optimized" "width inference, macro-pipeline"
+      Listings.chisel_optimized
+      (lazy
+        (Chisel.Idct_gen.design_rowcol Chisel.Idct_gen.Inferred
+           ~name:"chisel_optimized"))
+
+  let sweep = [ initial; row8col; optimized ]
+end
 
 (* ---------------- BSV ---------------- *)
 
-let bsv_listing_initial = Listings.bsv_shared ^ "\n\n" ^ Listings.bsv_initial
-let bsv_listing_optimized = Listings.bsv_shared ^ "\n\n" ^ Listings.bsv_optimized
+module Bsv_tool : TOOL = struct
+  let tool = Bsv
+  let language = "BSV"
+  let paradigm = "Rule-based/RTL"
+  let toolchain = "BSC"
+  let tool_type = "HC"
+  let openness = "Open-source"
+  let aliases = [ "bsv"; "bsc" ]
+  let glyph = 'B'
 
-let bsv_design label config_desc listing modul options =
-  mk Bsv label config_desc
-    ~fu:(Loc.count Listings.bsv_shared)
-    ~axi:(Loc.count listing - Loc.count Listings.bsv_shared)
-    ~conf:0 ~listing
-    (Stream (lazy (Bsv.Idct_bsv.circuit ~options modul)))
+  let listing_initial = glue Listings.bsv_shared Listings.bsv_initial
+  let listing_optimized = glue Listings.bsv_shared Listings.bsv_optimized
 
-let bsv_initial =
-  bsv_design "initial" "BSC defaults" bsv_listing_initial
-    Bsv.Idct_bsv.initial_design Bsv.Options.default
+  let design label config_desc listing modul options =
+    mk_shared Bsv label config_desc ~shared:Listings.bsv_shared ~listing
+      (Stream (lazy (Bsv.Idct_bsv.circuit ~options modul)))
 
-let bsv_optimized =
-  bsv_design "optimized" "BSC defaults" bsv_listing_optimized
-    Bsv.Idct_bsv.optimized_design Bsv.Options.default
+  let initial =
+    design "initial" "BSC defaults" listing_initial Bsv.Idct_bsv.initial_design
+      Bsv.Options.default
 
-let bsv_sweep =
-  (* 26 synthesized circuits: the 24-option grid on the optimized design
-     plus the two designs under the default configuration. *)
-  bsv_initial :: bsv_optimized
-  :: List.map
-       (fun o ->
-         bsv_design
-           ("optimized/" ^ Bsv.Options.describe o)
-           (Bsv.Options.describe o) bsv_listing_optimized
-           Bsv.Idct_bsv.optimized_design o)
-       Bsv.Options.all
+  let optimized =
+    design "optimized" "BSC defaults" listing_optimized
+      Bsv.Idct_bsv.optimized_design Bsv.Options.default
+
+  let sweep =
+    (* 26 synthesized circuits: the 24-option grid on the optimized design
+       plus the two designs under the default configuration. *)
+    initial :: optimized
+    :: List.map
+         (fun o ->
+           design
+             ("optimized/" ^ Bsv.Options.describe o)
+             (Bsv.Options.describe o) listing_optimized
+             Bsv.Idct_bsv.optimized_design o)
+         Bsv.Options.all
+end
 
 (* ---------------- DSLX ---------------- *)
 
-let dslx_listing = Dslx.Emit.emit Dslx.Idct_dslx.program
+module Dslx_tool : TOOL = struct
+  let tool = Dslx
+  let language = "DSLX"
+  let paradigm = "Functional"
+  let toolchain = "XLS"
+  let tool_type = "HLS"
+  let openness = "Open-source"
+  let aliases = [ "dslx"; "xls" ]
+  let glyph = 'X'
 
-let dslx_design label stages =
-  mk Dslx label
-    (if stages = 0 then "combinational" else Printf.sprintf "--pipeline_stages=%d" stages)
-    ~fu:(Loc.count dslx_listing)
-    ~axi:Tool_adapters.dslx_adapter_loc
-    ~conf:(if stages = 0 then 0 else 1)
-    ~listing:dslx_listing
-    (Stream
-       (lazy (Dslx.Idct_dslx.design ~stages ~name:(Printf.sprintf "xls_s%d" stages) ())))
+  let listing = Dslx.Emit.emit Dslx.Idct_dslx.program
 
-let dslx_initial = dslx_design "initial" 0
-let dslx_optimized = dslx_design "optimized" 8
+  let design label stages =
+    mk Dslx label
+      (if stages = 0 then "combinational"
+       else Printf.sprintf "--pipeline_stages=%d" stages)
+      ~fu:(Loc.count listing) ~axi:Tool_adapters.dslx_adapter_loc
+      ~conf:(if stages = 0 then 0 else 1)
+      ~listing
+      (Stream
+         (lazy
+           (Dslx.Idct_dslx.design ~stages ~name:(Printf.sprintf "xls_s%d" stages) ())))
 
-let dslx_sweep =
-  dslx_initial
-  :: List.init 18 (fun i -> dslx_design (Printf.sprintf "stages=%d" (i + 1)) (i + 1))
+  let initial = design "initial" 0
+  let optimized = design "optimized" 8
+
+  let sweep =
+    initial
+    :: List.init 18 (fun i -> design (Printf.sprintf "stages=%d" (i + 1)) (i + 1))
+end
 
 (* ---------------- MaxJ ---------------- *)
 
-let maxj_initial =
-  mk Maxj "initial" "matrix per tick, PCIe streams"
-    ~fu:(Loc.count (Listings.maxj_shared ^ Listings.maxj_initial))
-    ~axi:0 (* MaxCompiler generates the PCIe manager *)
-    ~conf:0
-    ~listing:(Listings.maxj_shared ^ "\n\n" ^ Listings.maxj_initial)
-    (Pcie (lazy (Maxj.Idct_maxj.initial_system ())))
+module Maxj_tool : TOOL = struct
+  let tool = Maxj
+  let language = "MaxJ"
+  let paradigm = "Dataflow"
+  let toolchain = "MaxCompiler"
+  let tool_type = "HLS"
+  let openness = "Commercial"
+  let aliases = [ "maxj"; "maxcompiler" ]
+  let glyph = 'M'
 
-let maxj_optimized =
-  mk Maxj "optimized" "row per tick, on-chip transpose buffer"
-    ~fu:(Loc.count (Listings.maxj_shared ^ Listings.maxj_optimized))
-    ~axi:0 ~conf:0
-    ~listing:(Listings.maxj_shared ^ "\n\n" ^ Listings.maxj_optimized)
-    (Pcie (lazy (Maxj.Idct_maxj.opt_system ())))
+  (* MaxCompiler generates the PCIe manager, so L^AXI = 0 and the whole
+     listing counts as L^FU.  (The FU count concatenates without the glue
+     blank line — the historical measurement the artifacts pin down.) *)
+  let design label config_desc body system simulate =
+    mk Maxj label config_desc
+      ~fu:(Loc.count (Listings.maxj_shared ^ body))
+      ~axi:0 ~conf:0
+      ~listing:(glue Listings.maxj_shared body)
+      (Pcie { system; simulate })
+
+  let initial =
+    design "initial" "matrix per tick, PCIe streams" Listings.maxj_initial
+      (lazy (Maxj.Idct_maxj.initial_system ()))
+      Maxj.Idct_maxj.simulate_initial
+
+  let optimized =
+    design "optimized" "row per tick, on-chip transpose buffer"
+      Listings.maxj_optimized
+      (lazy (Maxj.Idct_maxj.opt_system ()))
+      Maxj.Idct_maxj.simulate_opt
+
+  let sweep = [ initial; optimized ]
+end
 
 (* ---------------- C / Bambu ---------------- *)
 
-let c_listing = Chls.Cprint.emit Chls.Idct_c.program
+module Bambu_tool : TOOL = struct
+  let tool = Bambu
+  let language = "C"
+  let paradigm = "Imperative"
+  let toolchain = "Bambu"
+  let tool_type = "HLS"
+  let openness = "Open-source"
+  let aliases = [ "bambu" ]
+  let glyph = 'b'
 
-let bambu_conf_lines (c : Chls.Tool.bambu_config) =
-  1 (* preset *) + (if c.Chls.Tool.sdc then 1 else 0)
-  + if c.Chls.Tool.chain_effort <> 1 then 1 else 0
+  let listing = Chls.Cprint.emit Chls.Idct_c.program
 
-let bambu_design label c =
-  mk Bambu label (Chls.Tool.describe_bambu c)
-    ~fu:(Loc.count c_listing)
-    ~axi:Chls.Tool.bambu_adapter_loc
-    ~conf:(bambu_conf_lines c)
-    ~listing:c_listing
-    (Stream (lazy (Chls.Tool.bambu_circuit c)))
+  let conf_lines (c : Chls.Tool.bambu_config) =
+    1 (* preset *) + (if c.Chls.Tool.sdc then 1 else 0)
+    + if c.Chls.Tool.chain_effort <> 1 then 1 else 0
 
-let bambu_initial = bambu_design "initial" Chls.Tool.bambu_initial
-let bambu_optimized = bambu_design "optimized" Chls.Tool.bambu_optimized
+  let design label c =
+    mk Bambu label (Chls.Tool.describe_bambu c) ~fu:(Loc.count listing)
+      ~axi:Chls.Tool.bambu_adapter_loc ~conf:(conf_lines c) ~listing
+      (Stream (lazy (Chls.Tool.bambu_circuit c)))
 
-let bambu_sweep =
-  List.map (fun c -> bambu_design (Chls.Tool.describe_bambu c) c) Chls.Tool.bambu_grid
+  let initial = design "initial" Chls.Tool.bambu_initial
+  let optimized = design "optimized" Chls.Tool.bambu_optimized
+
+  let sweep =
+    List.map (fun c -> design (Chls.Tool.describe_bambu c) c) Chls.Tool.bambu_grid
+end
 
 (* ---------------- C / Vivado HLS ---------------- *)
 
-let vhls_listing c =
-  Chls.Cprint.emit ~pragmas:[ ("idct", Chls.Tool.vhls_pragmas c) ]
-    Chls.Idct_c.program
+module Vhls_tool : TOOL = struct
+  let tool = Vivado_hls
+  let language = "C"
+  let paradigm = "Imperative"
+  let toolchain = "Vivado HLS"
+  let tool_type = "HLS"
+  let openness = "Commercial"
+  let aliases = [ "vhls"; "vivado-hls"; "vivado_hls" ]
+  let glyph = 'h'
 
-let vhls_design label c =
-  mk Vivado_hls label (Chls.Tool.describe_vhls c)
-    ~fu:(Loc.count (vhls_listing c))
-    ~axi:0 (* the INTERFACE pragma generates the adapter *)
-    ~conf:0
-    ~listing:(vhls_listing c)
-    (Stream (lazy (Chls.Tool.vhls_circuit c)))
+  let listing c =
+    Chls.Cprint.emit ~pragmas:[ ("idct", Chls.Tool.vhls_pragmas c) ]
+      Chls.Idct_c.program
 
-let vhls_initial = vhls_design "initial" Chls.Tool.vhls_initial
-let vhls_optimized = vhls_design "optimized" Chls.Tool.vhls_optimized
+  let design label c =
+    mk Vivado_hls label (Chls.Tool.describe_vhls c)
+      ~fu:(Loc.count (listing c))
+      ~axi:0 (* the INTERFACE pragma generates the adapter *)
+      ~conf:0 ~listing:(listing c)
+      (Stream (lazy (Chls.Tool.vhls_circuit c)))
 
-let vhls_sweep =
-  List.map
-    (fun c -> vhls_design (Chls.Tool.describe_vhls c) c)
-    Chls.Tool.vhls_ladder
+  let initial = design "initial" Chls.Tool.vhls_initial
+  let optimized = design "optimized" Chls.Tool.vhls_optimized
 
-(* ---------------- access ---------------- *)
+  let sweep =
+    List.map (fun c -> design (Chls.Tool.describe_vhls c) c) Chls.Tool.vhls_ladder
+end
 
-let initial = function
-  | Verilog -> verilog_initial
-  | Chisel -> chisel_initial
-  | Bsv -> bsv_initial
-  | Dslx -> dslx_initial
-  | Maxj -> maxj_initial
-  | Bambu -> bambu_initial
-  | Vivado_hls -> vhls_initial
+(* ------------------------------------------------------------------ *)
+(* The registration table                                               *)
+(* ------------------------------------------------------------------ *)
 
-let optimized = function
-  | Verilog -> verilog_optimized
-  | Chisel -> chisel_optimized
-  | Bsv -> bsv_optimized
-  | Dslx -> dslx_optimized
-  | Maxj -> maxj_optimized
-  | Bambu -> bambu_optimized
-  | Vivado_hls -> vhls_optimized
+(* One table, in the paper's column order; Table1, Table2, Fig1 and the
+   CLI all iterate it.  An eighth flow registers by adding its module
+   here (and its constructor to Design.tool) — nothing else to edit. *)
+let all : (module TOOL) list =
+  [
+    (module Verilog_tool);
+    (module Chisel_tool);
+    (module Bsv_tool);
+    (module Dslx_tool);
+    (module Maxj_tool);
+    (module Bambu_tool);
+    (module Vhls_tool);
+  ]
+
+let find t =
+  List.find (fun (module T : TOOL) -> T.tool = t) all
+
+let parse_tool name =
+  let name = String.lowercase_ascii name in
+  List.find_map
+    (fun (module T : TOOL) ->
+      if List.mem name T.aliases then Some T.tool else None)
+    all
+
+let glyph t =
+  let (module T) = find t in
+  T.glyph
+
+let initial t =
+  let (module T) = find t in
+  T.initial
+
+let optimized t =
+  let (module T) = find t in
+  T.optimized
+
+let sweep t =
+  let (module T) = find t in
+  T.sweep
 
 let delta_loc tool =
   let a = (initial tool).listing and b = (optimized tool).listing in
-  let conf_delta =
-    abs ((optimized tool).loc_conf - (initial tool).loc_conf)
-  in
+  let conf_delta = abs ((optimized tool).loc_conf - (initial tool).loc_conf) in
   Loc.delta a b + conf_delta
 
-let sweep = function
-  | Verilog -> [ verilog_initial; verilog_row8col; verilog_optimized ]
-  | Chisel -> [ chisel_initial; chisel_row8col; chisel_optimized ]
-  | Bsv -> bsv_sweep
-  | Dslx -> dslx_sweep
-  | Maxj -> [ maxj_initial; maxj_optimized ]
-  | Bambu -> bambu_sweep
-  | Vivado_hls -> vhls_sweep
-
 let all_designs () =
-  List.concat_map (fun t -> [ initial t; optimized t ]) all_tools
+  List.concat_map (fun (module T : TOOL) -> [ T.initial; T.optimized ]) all

@@ -1,5 +1,51 @@
-(** The design inventory: every tool's initial and optimized design, plus
-    the configuration sweeps behind the DSE figure. *)
+(** The design inventory behind every artifact, organised as first-class
+    tool modules (DESIGN.md §10).
+
+    Each supported flow registers one {!TOOL} module carrying its Table I
+    metadata, CLI aliases, Fig. 1 glyph and design inventory.  Table1,
+    Table2, Fig1, the compliance sweep and the CLI all iterate the single
+    registration table {!all}; adding an eighth flow means adding one
+    module here (plus its constructor in {!Design.tool}) — no scattered
+    per-tool matches to keep in sync. *)
+
+module type TOOL = sig
+  val tool : Design.tool
+
+  (** Table I metadata *)
+
+  val language : string
+  val paradigm : string
+  val toolchain : string
+  val tool_type : string
+  val openness : string
+
+  val aliases : string list
+  (** lower-case CLI names accepted for [--tool] *)
+
+  val glyph : char
+  (** the Fig. 1 scatter glyph *)
+
+  val initial : Design.t
+  val optimized : Design.t
+
+  val sweep : Design.t list
+  (** all configurations explored for the tool (the points of Fig. 1):
+      Verilog 3, Chisel 3, BSC 26, XLS 19, MaxCompiler 2, Bambu 42,
+      Vivado HLS 5. *)
+end
+
+val all : (module TOOL) list
+(** The registration table, in the paper's column order. *)
+
+val find : Design.tool -> (module TOOL)
+
+val parse_tool : string -> Design.tool option
+(** Resolve a CLI name through the modules' alias lists
+    (case-insensitive). *)
+
+val glyph : Design.tool -> char
+
+(* Shorthands over [find] (the historical interface). *)
 
 val initial : Design.tool -> Design.t
 val optimized : Design.tool -> Design.t
@@ -9,9 +55,6 @@ val delta_loc : Design.tool -> int
     between the initial and optimized descriptions. *)
 
 val sweep : Design.tool -> Design.t list
-(** All configurations explored for the tool (the points of Fig. 1):
-    Verilog 3, Chisel 3, BSC 26, XLS 19, MaxCompiler 2, Bambu 42,
-    Vivado HLS 5. *)
 
 val all_designs : unit -> Design.t list
 (** Initial and optimized designs of every tool. *)

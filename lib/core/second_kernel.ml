@@ -163,3 +163,61 @@ let dslx_design ?(stages = 4) ~name () =
     Array.init 64 (fun k -> List.assoc (Printf.sprintf "out_%d" k) outs)
   in
   Axis.Adapter.wrap_matrix_kernel ~name ~latency:stages ~kernel ()
+
+(* ---------------- registration ---------------- *)
+
+(* The FIR enters the evaluation pipeline through the same door as the
+   IDCT: a Flow.spec (stimulus/reference/timeout) plus plain Design.t
+   values.  Raw 12-bit sample blocks, not FDCT coefficients; the rolled
+   HLS schedule is memory-bound, so it needs a longer testbench budget. *)
+let spec =
+  {
+    Flow.spec_name = "fir8";
+    stimulus =
+      (fun n ->
+        let rng = Idct.Block.Rand.create ~seed:9 () in
+        List.init n (fun _ -> Idct.Block.Rand.block rng ~lo:(-2048) ~hi:2047));
+    reference;
+    sim_timeout = Some 40000;
+  }
+
+(* A curated source listing for the eDSL design (the generator itself is
+   the OCaml above); the C and DSLX listings are pretty-printed from
+   their programs, as in Registry. *)
+let chisel_listing =
+  "class Fir8 extends Module {\n\
+  \  val io = IO(new Bundle { val m = Input(Vec(64, SInt(12.W)))\n\
+  \                           val y = Output(Vec(64, SInt(9.W))) })\n\
+  \  val taps = VecInit(Seq(1, 3, 8, 20, 20, 8, 3, 1).map(_.S))\n\
+  \  for (i <- 0 until 64) {\n\
+  \    val acc = (0 until 8).map(k => taps(k) * io.m((i - k) & 63)).reduce(_ +& _)\n\
+  \    io.y(i) := clip9(acc >> 6)\n\
+  \  }\n\
+   }\n"
+
+let fir_design tool config_desc listing circuit =
+  {
+    Design.tool;
+    label = "fir";
+    config_desc;
+    loc_fu = Loc.count listing;
+    loc_axi = 0;
+    loc_conf = 0;
+    impl = Design.Stream circuit;
+    listing;
+  }
+
+let designs =
+  [
+    ( "chisel",
+      fir_design Design.Chisel "construction eDSL" chisel_listing
+        (lazy (chisel_design ~name:"fir_hc")) );
+    ( "xls",
+      fir_design Design.Dslx "--pipeline_stages=4"
+        (Dslx.Emit.emit dslx_program)
+        (lazy (dslx_design ~stages:4 ~name:"fir_xls" ())) );
+    ( "bambu",
+      fir_design Design.Bambu "Bambu-style defaults"
+        (Chls.Cprint.emit c_program)
+        (lazy (c_design ~name:"fir_c")) );
+  ]

@@ -26,3 +26,13 @@ val c_design : name:string -> Hw.Netlist.t
 
 val dslx_design : ?stages:int -> name:string -> unit -> Hw.Netlist.t
 (** XLS flow; [stages] defaults to 4. *)
+
+val spec : Flow.spec
+(** The FIR's registration with the evaluation pipeline: raw 12-bit
+    sample blocks (seed 9) against {!reference}, with the testbench
+    budget the memory-bound HLS schedule needs. *)
+
+val designs : (string * Design.t) list
+(** The three FIR implementations as ordinary design points
+    ([chisel]/[xls]/[bambu]), measurable with
+    [Evaluate.measure ~spec]. *)

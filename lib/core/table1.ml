@@ -6,23 +6,19 @@ type row = {
   openness : string;
 }
 
+(* Table I rows come straight off the registration table: one row per
+   TOOL module, in registration order. *)
 let rows =
-  [
-    { language = "Verilog"; paradigm = "Classical RTL"; tool = "Vivado";
-      tool_type = "LS/PR"; openness = "Commercial" };
-    { language = "Chisel"; paradigm = "Functional/RTL"; tool = "Chisel";
-      tool_type = "HC"; openness = "Open-source" };
-    { language = "BSV"; paradigm = "Rule-based/RTL"; tool = "BSC";
-      tool_type = "HC"; openness = "Open-source" };
-    { language = "DSLX"; paradigm = "Functional"; tool = "XLS";
-      tool_type = "HLS"; openness = "Open-source" };
-    { language = "MaxJ"; paradigm = "Dataflow"; tool = "MaxCompiler";
-      tool_type = "HLS"; openness = "Commercial" };
-    { language = "C"; paradigm = "Imperative"; tool = "Bambu";
-      tool_type = "HLS"; openness = "Open-source" };
-    { language = "C"; paradigm = "Imperative"; tool = "Vivado HLS";
-      tool_type = "HLS"; openness = "Commercial" };
-  ]
+  List.map
+    (fun (module T : Registry.TOOL) ->
+      {
+        language = T.language;
+        paradigm = T.paradigm;
+        tool = T.toolchain;
+        tool_type = T.tool_type;
+        openness = T.openness;
+      })
+    Registry.all
 
 let render () =
   let buf = Buffer.create 512 in

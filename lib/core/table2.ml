@@ -70,7 +70,7 @@ let compute ?jobs () =
                 ~loc:r.optimized.loc
             in
             { r with optimized = { r.optimized with alpha = opt_alpha } })
-          Design.all_tools
+          (List.map (fun (module T : Registry.TOOL) -> T.tool) Registry.all)
       in
       computed := Some rows;
       rows

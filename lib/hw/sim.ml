@@ -16,3 +16,5 @@ let step_n = Compile.step_n
 let peek = Compile.peek
 let peek_signed = Compile.peek_signed
 let cycle_count = Compile.cycle_count
+let compiled_nodes = Compile.compiled_nodes
+let total_nodes = Compile.total_nodes

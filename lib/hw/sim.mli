@@ -48,3 +48,10 @@ val peek_signed : t -> Netlist.uid -> int
 
 val cycle_count : t -> int
 (** Number of {!step}s since creation or the last {!reset}. *)
+
+val compiled_nodes : t -> int
+(** Thunks left in the compiled evaluation schedule after dead-logic
+    elimination and concat fusion (see {!Compile.compiled_nodes}). *)
+
+val total_nodes : t -> int
+(** Nodes of the underlying netlist. *)

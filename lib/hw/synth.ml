@@ -13,10 +13,14 @@ type report = {
   critical_path : string list;
 }
 
-let run ?(device = Device.xcvu9p) c =
+let run ?(device = Device.xcvu9p) ?(hook = fun _ _ -> ()) c =
   let timing = Timing.analyze ~use_dsp:true device c in
+  hook "logic_levels" timing.Timing.logic_levels;
   let with_dsp = Techmap.circuit_cost device ~use_dsp:true c in
   let no_dsp = Techmap.circuit_cost device ~use_dsp:false c in
+  hook "mapped_luts" with_dsp.Techmap.luts;
+  hook "mapped_ffs" with_dsp.Techmap.ffs;
+  hook "area" (no_dsp.Techmap.luts + no_dsp.Techmap.ffs);
   {
     circuit_name = c.Netlist.circuit_name;
     fmax_mhz = timing.Timing.fmax_mhz;

@@ -21,8 +21,12 @@ type report = {
   critical_path : string list;
 }
 
-val run : ?device:Device.t -> Netlist.t -> report
-(** Synthesizes for {!Device.xcvu9p} unless another device is given. *)
+val run : ?device:Device.t -> ?hook:(string -> int -> unit) -> Netlist.t -> report
+(** Synthesizes for {!Device.xcvu9p} unless another device is given.
+    [hook] is a stage hook for observability layers: it is called with
+    intermediate counters as the sub-phases complete ([logic_levels] after
+    timing analysis; [mapped_luts], [mapped_ffs] and normalized [area]
+    after technology mapping) and must not affect the result. *)
 
 val pp_report : Format.formatter -> report -> unit
 

@@ -1,0 +1,222 @@
+(* The staged flow layer: artifacts are byte-identical with tracing on or
+   off and for any job count, spans nest without overlapping, cache
+   counters track the measurement cache, the JSON round-trips, and
+   compliance dispatches on the design under test. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* A cheap two-tool slice of Fig. 1 (6 designs) for the determinism
+   tests. *)
+let tools = [ Core.Design.Verilog; Core.Design.Chisel ]
+
+let cold () =
+  Core.Fig1.clear_cache ();
+  Core.Evaluate.clear_measure_cache ()
+
+(* Run [f] with tracing enabled; return its result and the drained
+   spans.  The flag is always restored. *)
+let traced f =
+  Core.Trace.set_enabled true;
+  let r =
+    Fun.protect ~finally:(fun () -> Core.Trace.set_enabled false) f
+  in
+  (r, Core.Trace.drain ())
+
+let test_artifacts_identical_traced () =
+  cold ();
+  let plain = Core.Fig1.render ~jobs:1 ~tools () in
+  cold ();
+  let with_trace, spans = traced (fun () -> Core.Fig1.render ~jobs:1 ~tools ()) in
+  check Alcotest.string "fig1 byte-identical under tracing" plain with_trace;
+  check bool "trace not empty" true (spans <> []);
+  (* one complete stage pipeline per measured design *)
+  let stage_spans name =
+    List.length (List.filter (fun s -> s.Core.Trace.stage = name) spans)
+  in
+  List.iter
+    (fun name -> check int ("6 designs ran " ^ name) 6 (stage_spans name))
+    Core.Flow.stage_names
+
+let test_artifacts_identical_across_jobs () =
+  cold ();
+  let seq = Core.Fig1.render ~jobs:1 ~tools () in
+  cold ();
+  let par, spans = traced (fun () -> Core.Fig1.render ~jobs:4 ~tools ()) in
+  check Alcotest.string "fig1 byte-identical jobs 1 vs 4" seq par;
+  (* the pooled run recorded the engine spans... *)
+  let find_stage name = List.filter (fun s -> s.Core.Trace.stage = name) spans in
+  (match find_stage "map" with
+  | m :: _ ->
+      check int "map span counts the items" 6
+        (List.assoc "items" m.Core.Trace.counters)
+  | [] -> Alcotest.fail "no pool map span");
+  let workers = find_stage "worker" in
+  check bool "worker spans present" true (workers <> []);
+  check int "workers claimed every item" 6
+    (List.fold_left
+       (fun acc w -> acc + List.assoc "claimed" w.Core.Trace.counters)
+       0 workers);
+  (* ...and still one complete pipeline per design, flushed across the
+     domain boundary. *)
+  check int "simulate spans survive worker exit" 6
+    (List.length (find_stage "simulate"))
+
+let test_spans_nest () =
+  cold ();
+  let _, spans =
+    traced (fun () ->
+        ignore
+          (Core.Evaluate.measure ~matrices:2
+             (Core.Registry.initial Core.Design.Verilog)))
+  in
+  let ends s = s.Core.Trace.start_s +. s.Core.Trace.dur_s in
+  let by_design = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let key = s.Core.Trace.design in
+      Hashtbl.replace by_design key (s :: (Option.value ~default:[] (Hashtbl.find_opt by_design key))))
+    spans;
+  Hashtbl.iter
+    (fun design ss ->
+      List.iteri
+        (fun i a ->
+          List.iteri
+            (fun j b ->
+              if i < j then
+                let disjoint = ends a <= b.Core.Trace.start_s || ends b <= a.Core.Trace.start_s in
+                let a_in_b = b.Core.Trace.start_s <= a.Core.Trace.start_s && ends a <= ends b in
+                let b_in_a = a.Core.Trace.start_s <= b.Core.Trace.start_s && ends b <= ends a in
+                check bool
+                  (Printf.sprintf "%s: %s/%s nest or are disjoint" design
+                     a.Core.Trace.stage b.Core.Trace.stage)
+                  true
+                  (disjoint || a_in_b || b_in_a))
+            ss)
+        ss)
+    by_design;
+  (* every stage span sits under the root measure span *)
+  let root =
+    List.find (fun s -> s.Core.Trace.stage = "measure") spans
+  in
+  List.iter
+    (fun s ->
+      if s.Core.Trace.design = root.Core.Trace.design then
+        check bool (s.Core.Trace.stage ^ " at positive depth under measure")
+          true
+          (s.Core.Trace.stage = "measure" || s.Core.Trace.depth > 0))
+    spans
+
+let test_cache_counters () =
+  cold ();
+  let d = Core.Registry.initial Core.Design.Verilog in
+  let counter name spans =
+    List.fold_left
+      (fun acc s ->
+        if s.Core.Trace.stage = "measure" then
+          acc + Option.value ~default:0 (List.assoc_opt name s.Core.Trace.counters)
+        else acc)
+      0 spans
+  in
+  let _, cold_spans = traced (fun () -> Core.Evaluate.measure ~matrices:2 d) in
+  check int "cold run misses" 1 (counter "cache_miss" cold_spans);
+  check int "cold run has no hit" 0 (counter "cache_hit" cold_spans);
+  let _, warm_spans = traced (fun () -> Core.Evaluate.measure ~matrices:2 d) in
+  check int "warm run hits" 1 (counter "cache_hit" warm_spans);
+  check int "warm run has no miss" 0 (counter "cache_miss" warm_spans)
+
+let test_json_roundtrip_and_stats () =
+  cold ();
+  let _, spans =
+    traced (fun () ->
+        ignore
+          (Core.Evaluate.measure ~matrices:2
+             (Core.Registry.initial Core.Design.Chisel)))
+  in
+  let file = Filename.temp_file "hlsvhc_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Core.Trace.write_json file spans;
+      let back = Core.Trace.load_json file in
+      check int "span count survives the round-trip" (List.length spans)
+        (List.length back);
+      let stages l =
+        List.sort_uniq compare (List.map (fun s -> s.Core.Trace.stage) l)
+      in
+      check (Alcotest.list Alcotest.string) "stages survive" (stages spans)
+        (stages back);
+      let report = Core.Trace.render_stats file in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      List.iter
+        (fun name ->
+          check bool ("stats names " ^ name) true (contains report name))
+        Core.Flow.stage_names)
+
+let test_compliance_dispatch () =
+  (* A PCIe design whose own simulator is wrong must fail compliance:
+     the check exercises the design under test, not a fixed kernel. *)
+  let broken =
+    let good = Core.Registry.initial Core.Design.Maxj in
+    match good.Core.Design.impl with
+    | Core.Design.Stream _ -> assert false
+    | Core.Design.Pcie p ->
+        {
+          good with
+          Core.Design.impl =
+            Core.Design.Pcie { p with Core.Design.simulate = (fun mats -> mats) };
+        }
+  in
+  check bool "broken PCIe simulator fails compliance" false
+    (Core.Evaluate.check_compliance ~blocks:4 broken);
+  check bool "initial MaxJ kernel passes" true
+    (Core.Evaluate.check_compliance ~blocks:16
+       (Core.Registry.initial Core.Design.Maxj));
+  check bool "optimized MaxJ kernel passes" true
+    (Core.Evaluate.check_compliance ~blocks:16
+       (Core.Registry.optimized Core.Design.Maxj))
+
+let test_disabled_is_silent () =
+  cold ();
+  ignore (Core.Evaluate.measure ~matrices:2 (Core.Registry.initial Core.Design.Verilog));
+  Core.Trace.add_counter "orphan" 1;
+  check int "nothing recorded with tracing off" 0
+    (List.length (Core.Trace.drain ()))
+
+let test_second_kernel_through_flow () =
+  (* The FIR registers through the same door: same pipeline, its own
+     spec.  Check one design end to end (bit-true or measure raises). *)
+  let name, d = List.hd Core.Second_kernel.designs in
+  check Alcotest.string "first FIR design" "chisel" name;
+  let m = Core.Evaluate.measure ~matrices:2 ~spec:Core.Second_kernel.spec d in
+  check bool "FIR measurement is sane" true
+    (m.Core.Metrics.area > 0 && m.Core.Metrics.fmax_mhz > 0.)
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "artifacts identical when traced" `Quick
+            test_artifacts_identical_traced;
+          Alcotest.test_case "artifacts identical across job counts" `Quick
+            test_artifacts_identical_across_jobs;
+          Alcotest.test_case "spans nest without overlap" `Quick
+            test_spans_nest;
+          Alcotest.test_case "cache hit/miss counters" `Quick
+            test_cache_counters;
+          Alcotest.test_case "json round-trip and stats" `Quick
+            test_json_roundtrip_and_stats;
+          Alcotest.test_case "compliance dispatches on the design" `Quick
+            test_compliance_dispatch;
+          Alcotest.test_case "disabled tracing records nothing" `Quick
+            test_disabled_is_silent;
+          Alcotest.test_case "second kernel through the pipeline" `Quick
+            test_second_kernel_through_flow;
+        ] );
+    ]
