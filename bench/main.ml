@@ -286,7 +286,9 @@ let render_engine_rows rows =
     rows
 
 let write_engine_json path rows =
-  let oc = open_out path in
+  (* temp-file + rename: a crash mid-bench never truncates the recorded
+     artifact *)
+  Core.Trace.write_atomic path (fun oc ->
   output_string oc "{\n  \"bench\": \"sim_engines\",\n  \"designs\": [\n";
   List.iteri
     (fun i r ->
@@ -297,8 +299,7 @@ let write_engine_json path rows =
         (r.er_comp_cps /. r.er_ref_cps)
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  output_string oc "  ]\n}\n";
-  close_out oc;
+  output_string oc "  ]\n}\n");
   Printf.printf "(wrote %s)\n%!" path
 
 let sim_engines () =
@@ -334,35 +335,33 @@ let timed_fig1 jobs =
   (dt, series)
 
 let write_eval_json path ~designs ~seq_s ~par_s ~jobs =
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n\
-    \  \"bench\": \"eval_parallel\",\n\
-    \  \"designs\": %d,\n\
-    \  \"available_cores\": %d,\n\
-    \  \"sequential_s\": %.3f,\n\
-    \  \"parallel_s\": %.3f,\n\
-    \  \"jobs\": %d,\n\
-    \  \"speedup\": %.3f\n\
-     }\n"
-    designs
-    (Domain.recommended_domain_count ())
-    seq_s par_s jobs (seq_s /. par_s);
-  close_out oc;
+  Core.Trace.write_atomic path (fun oc ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"bench\": \"eval_parallel\",\n\
+        \  \"designs\": %d,\n\
+        \  \"available_cores\": %d,\n\
+        \  \"sequential_s\": %.3f,\n\
+        \  \"parallel_s\": %.3f,\n\
+        \  \"jobs\": %d,\n\
+        \  \"speedup\": %.3f\n\
+         }\n"
+        designs
+        (Domain.recommended_domain_count ())
+        seq_s par_s jobs (seq_s /. par_s));
   Printf.printf "(wrote %s)\n%!" path
 
 let write_eval_json_skipped path ~cores =
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n\
-    \  \"bench\": \"eval_parallel\",\n\
-    \  \"available_cores\": %d,\n\
-    \  \"skipped\": true,\n\
-    \  \"reason\": \"single core available; a parallel-speedup number would \
-     only measure scheduler overhead\"\n\
-     }\n"
-    cores;
-  close_out oc;
+  Core.Trace.write_atomic path (fun oc ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"bench\": \"eval_parallel\",\n\
+        \  \"available_cores\": %d,\n\
+        \  \"skipped\": true,\n\
+        \  \"reason\": \"single core available; a parallel-speedup number \
+         would only measure scheduler overhead\"\n\
+         }\n"
+        cores);
   Printf.printf "(wrote %s)\n%!" path
 
 let eval_parallel () =

@@ -40,6 +40,54 @@ let trace_opt =
            JSON to $(docv).  Summarize with $(b,hlsvhc stats) $(docv).  \
            Tracing does not change any printed artifact.")
 
+let keep_going_flag =
+  Arg.(
+    value & flag
+    & info [ "k"; "keep-going" ]
+        ~doc:
+          "Do not abort the sweep on a failing design point: record its \
+           typed error, keep measuring every other point, print a failure \
+           summary on stderr and exit nonzero.  Without this flag the \
+           first failure aborts the run (fail-fast).")
+
+let fault_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "Inject a deterministic fault into the flow (for testing the \
+           resilience layer): $(docv) is FAULT:TARGET[:SEED] with FAULT one \
+           of $(b,engine-crash), $(b,stall), $(b,poison), $(b,protocol) or \
+           $(b,crash@STAGE), and TARGET a Tool/label substring ($(b,*) for \
+           every design).  The $(b,HLSVHC_FAULT) environment variable is \
+           equivalent.")
+
+(* Arm the fault-injection harness from --fault, else from HLSVHC_FAULT;
+   a malformed spec is a usage error, not a measurement result. *)
+let arm_fault = function
+  | Some s -> (
+      match Core.Faultinject.parse s with
+      | Ok spec -> Core.Faultinject.arm spec
+      | Error e ->
+          Printf.eprintf "hlsvhc: --fault %S: %s\n" s e;
+          exit 2)
+  | None -> (
+      match Core.Faultinject.load_env () with
+      | Ok _ -> ()
+      | Error e ->
+          Printf.eprintf "hlsvhc: %s\n" e;
+          exit 2)
+
+(* The keep-going epilogue: the artifact went to stdout already; the
+   failure summary goes to stderr and the process exits nonzero so sweep
+   scripts cannot mistake a partial artifact for a complete one. *)
+let finish_failures = function
+  | [] -> ()
+  | failures ->
+      prerr_string (Core.Flow.render_failure_summary failures);
+      exit 1
+
 (* Run [f] with tracing enabled when [trace] names a file; the spans are
    drained and written after [f] finishes, even if it raises. *)
 let with_trace trace f =
@@ -64,45 +112,93 @@ let table1_cmd =
     Term.(const run $ const ())
 
 let table2_cmd =
-  let run jobs trace =
-    with_trace trace (fun () -> print_string (Core.Table2.render ?jobs ()))
+  let run jobs trace keep_going fault =
+    arm_fault fault;
+    let failures =
+      with_trace trace (fun () ->
+          if keep_going then (
+            let out, failures = Core.Table2.render_result ?jobs () in
+            print_string out;
+            failures)
+          else (
+            print_string (Core.Table2.render ?jobs ());
+            []))
+    in
+    finish_failures failures
   in
   Cmd.v
     (Cmd.info "table2"
        ~doc:"Measure every initial/optimized design and print Table II.")
-    Term.(const run $ jobs_opt $ trace_opt)
+    Term.(const run $ jobs_opt $ trace_opt $ keep_going_flag $ fault_opt)
 
 let fig1_cmd =
   let tools =
     Arg.(value & opt_all tool_conv [] & info [ "tool" ] ~docv:"TOOL"
          ~doc:"Restrict to one tool (repeatable).")
   in
-  let run tools jobs trace =
+  let run tools jobs trace keep_going fault =
+    arm_fault fault;
     let tools = match tools with [] -> None | ts -> Some ts in
-    with_trace trace (fun () -> print_string (Core.Fig1.render ?jobs ?tools ()))
+    let failures =
+      with_trace trace (fun () ->
+          if keep_going then (
+            let out, failures = Core.Fig1.render_result ?jobs ?tools () in
+            print_string out;
+            failures)
+          else (
+            print_string (Core.Fig1.render ?jobs ?tools ());
+            []))
+    in
+    finish_failures failures
   in
   Cmd.v
     (Cmd.info "fig1" ~doc:"Run the DSE sweeps and print the Fig. 1 scatter.")
-    Term.(const run $ tools $ jobs_opt $ trace_opt)
+    Term.(const run $ tools $ jobs_opt $ trace_opt $ keep_going_flag $ fault_opt)
 
 let comply_cmd =
   let blocks =
     Arg.(value & opt int 500 & info [ "blocks" ] ~doc:"Blocks per condition (500 is about the statistical minimum).")
   in
-  let run blocks jobs trace =
-    with_trace trace (fun () ->
-        let designs = List.map Core.Registry.optimized Core.Design.all_tools in
-        List.iter
-          (fun ((d : Core.Design.t), ok) ->
+  let run blocks jobs trace keep_going fault =
+    arm_fault fault;
+    let failures =
+      with_trace trace (fun () ->
+          let designs =
+            List.map Core.Registry.optimized Core.Design.all_tools
+          in
+          let verdict_line (d : Core.Design.t) verdict =
             Printf.printf "%-12s optimized: %s\n%!"
               (Core.Design.tool_name d.Core.Design.tool)
-              (if ok then "IEEE 1180-1990 PASS" else "FAIL"))
-          (Core.Evaluate.compliance_all ?jobs ~blocks designs))
+              verdict
+          in
+          if keep_going then (
+            let outcomes =
+              Core.Evaluate.compliance_all_result ?jobs ~blocks designs
+            in
+            List.iter
+              (fun (d, r) ->
+                match r with
+                | Ok ok ->
+                    verdict_line d (if ok then "IEEE 1180-1990 PASS" else "FAIL")
+                | Error _ -> verdict_line d "ERROR")
+              outcomes;
+            List.filter_map
+              (fun (_, r) ->
+                match r with Error e -> Some e | Ok _ -> None)
+              outcomes)
+          else (
+            List.iter
+              (fun (d, ok) ->
+                verdict_line d (if ok then "IEEE 1180-1990 PASS" else "FAIL"))
+              (Core.Evaluate.compliance_all ?jobs ~blocks designs);
+            []))
+    in
+    finish_failures failures
   in
   Cmd.v
     (Cmd.info "comply"
        ~doc:"IEEE 1180-1990 accuracy test of every optimized design.")
-    Term.(const run $ blocks $ jobs_opt $ trace_opt)
+    Term.(const run $ blocks $ jobs_opt $ trace_opt $ keep_going_flag $ fault_opt)
 
 let emit_cmd =
   let run tool optimized =
@@ -180,20 +276,37 @@ let waves_cmd =
     Term.(const run $ tool_pos $ opt_flag $ out $ cycles)
 
 let sweep_cmd =
-  let run tool jobs trace =
-    with_trace trace (fun () ->
-        let designs = Core.Registry.sweep tool in
-        let measured = Core.Evaluate.measure_all ?jobs ~matrices:3 designs in
-        List.iter2
-          (fun d m ->
-            Printf.printf "%-34s A=%7d  P=%8.2f MOPS  f=%7.2f MHz\n%!"
-              d.Core.Design.label m.Core.Metrics.area
-              m.Core.Metrics.throughput_mops m.Core.Metrics.fmax_mhz)
-          designs measured)
+  let run tool jobs trace keep_going fault =
+    arm_fault fault;
+    let point_line (d : Core.Design.t) (m : Core.Metrics.measured) =
+      Printf.printf "%-34s A=%7d  P=%8.2f MOPS  f=%7.2f MHz\n%!"
+        d.Core.Design.label m.Core.Metrics.area m.Core.Metrics.throughput_mops
+        m.Core.Metrics.fmax_mhz
+    in
+    let failures =
+      with_trace trace (fun () ->
+          let designs = Core.Registry.sweep tool in
+          if keep_going then (
+            let outcomes =
+              Core.Evaluate.measure_all_result ?jobs ~matrices:3 designs
+            in
+            List.iter2
+              (fun d r ->
+                match r with Ok m -> point_line d m | Error _ -> ())
+              designs outcomes;
+            List.filter_map
+              (function Error e -> Some e | Ok _ -> None)
+              outcomes)
+          else (
+            List.iter2 point_line designs
+              (Core.Evaluate.measure_all ?jobs ~matrices:3 designs);
+            []))
+    in
+    finish_failures failures
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Measure every configuration of one tool.")
-    Term.(const run $ tool_pos $ jobs_opt $ trace_opt)
+    Term.(const run $ tool_pos $ jobs_opt $ trace_opt $ keep_going_flag $ fault_opt)
 
 let stats_cmd =
   let file =
@@ -207,6 +320,10 @@ let stats_cmd =
         exit 1
     | exception Failure e ->
         Printf.eprintf "hlsvhc stats: cannot parse %s: %s\n" file e;
+        exit 1
+    | exception e ->
+        Printf.eprintf "hlsvhc stats: unexpected error reading %s: %s\n" file
+          (Printexc.to_string e);
         exit 1
   in
   Cmd.v

@@ -11,8 +11,43 @@ type result = {
 let sign_extend w v =
   if v land (1 lsl (w - 1)) <> 0 then v - (1 lsl w) else v
 
-let run ?(input_gap = 0) ?(ready_pattern = fun _ -> true) ?timeout
-    ?(hook = fun _ _ -> ()) circuit matrices =
+type engine = Compiled | Reference
+
+(* The engine as a record of the four operations the testbench needs.
+   [Compiled] is [Hw.Sim] (the default, and the historical behavior);
+   [Reference] is the retained interpreter, kept drivable end to end so
+   the flow can degrade onto it when the compiled engine fails on a
+   design (see Core.Flow). *)
+type ops = {
+  ops_set : string -> int -> unit;
+  ops_get : string -> int;
+  ops_step : unit -> unit;
+  ops_schedule : string * int;  (* hook counter name and value *)
+}
+
+let ops_of_engine engine circuit =
+  match engine with
+  | Compiled ->
+      let sim = Sim.create circuit in
+      Sim.reset sim;
+      {
+        ops_set = Sim.set sim;
+        ops_get = Sim.get sim;
+        ops_step = (fun () -> Sim.step sim);
+        ops_schedule = ("sim_thunks", Sim.compiled_nodes sim);
+      }
+  | Reference ->
+      let sim = Interp.create circuit in
+      Interp.reset sim;
+      {
+        ops_set = Interp.set sim;
+        ops_get = Interp.get sim;
+        ops_step = (fun () -> Interp.step sim);
+        ops_schedule = ("interp_nodes", Netlist.num_nodes circuit);
+      }
+
+let run ?(engine = Compiled) ?(input_gap = 0) ?(ready_pattern = fun _ -> true)
+    ?timeout ?(hook = fun _ _ -> ()) circuit matrices =
   if not (Stream.is_wrapped circuit) then
     failwith "Driver.run: circuit does not follow the AXI-Stream convention";
   let n_mat = List.length matrices in
@@ -36,9 +71,9 @@ let run ?(input_gap = 0) ?(ready_pattern = fun _ -> true) ?timeout
         let duty = Float.max 0.01 (float_of_int !ready /. float_of_int window) in
         int_of_float (ceil (float_of_int base /. duty))
   in
-  let sim = Sim.create circuit in
-  hook "sim_thunks" (Sim.compiled_nodes sim);
-  Sim.reset sim;
+  let sim = ops_of_engine engine circuit in
+  (let name, v = sim.ops_schedule in
+   hook name v);
   let inputs = Array.of_list matrices in
   (* Input source state. *)
   let mat_idx = ref 0 and beat_idx = ref 0 and gap_left = ref 0 in
@@ -53,25 +88,25 @@ let run ?(input_gap = 0) ?(ready_pattern = fun _ -> true) ?timeout
   while !out_mat < n_mat && !cycle < timeout do
     (* Drive inputs for this cycle. *)
     let driving = !mat_idx < n_mat && !gap_left = 0 in
-    Sim.set sim Stream.s_valid (if driving then 1 else 0);
-    Sim.set sim Stream.s_last (if driving && !beat_idx = lanes - 1 then 1 else 0);
+    sim.ops_set Stream.s_valid (if driving then 1 else 0);
+    sim.ops_set Stream.s_last (if driving && !beat_idx = lanes - 1 then 1 else 0);
     for c = 0 to lanes - 1 do
       let v =
         if driving then
           Idct.Block.get inputs.(!mat_idx) ~row:!beat_idx ~col:c
         else 0
       in
-      Sim.set sim (Stream.s_data c) v
+      sim.ops_set (Stream.s_data c) v
     done;
     let ready = ready_pattern !cycle in
-    Sim.set sim Stream.m_ready (if ready then 1 else 0);
+    sim.ops_set Stream.m_ready (if ready then 1 else 0);
     (* Observe handshakes. *)
-    let s_ready = Sim.get sim Stream.s_ready = 1 in
-    let m_valid = Sim.get sim Stream.m_valid = 1 in
-    let m_last = Sim.get sim Stream.m_last = 1 in
+    let s_ready = sim.ops_get Stream.s_ready = 1 in
+    let m_valid = sim.ops_get Stream.m_valid = 1 in
+    let m_last = sim.ops_get Stream.m_last = 1 in
     let data =
       Array.init lanes (fun c ->
-          sign_extend Stream.out_width (Sim.get sim (Stream.m_data c)))
+          sign_extend Stream.out_width (sim.ops_get (Stream.m_data c)))
     in
     trace :=
       {
@@ -102,7 +137,7 @@ let run ?(input_gap = 0) ?(ready_pattern = fun _ -> true) ?timeout
         current_rows := []
       end
     end;
-    Sim.step sim;
+    sim.ops_step ();
     incr cycle
   done;
   if !out_mat < n_mat then

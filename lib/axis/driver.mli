@@ -21,7 +21,17 @@ type result = {
   violations : Monitor.violation list;
 }
 
+type engine = Compiled | Reference
+(** Which simulation engine runs the testbench: [Compiled] is {!Hw.Sim}
+    (the compiled engine — the default and the historical behavior);
+    [Reference] is the retained interpreter {!Hw.Interp}, kept drivable
+    end to end so the measurement flow can degrade onto it when the
+    compiled engine fails on a design.  The two are cycle-equivalent
+    ({!Hw.Equiv.crosscheck}); only wall time and the schedule-size hook
+    counter differ ([sim_thunks] vs [interp_nodes]). *)
+
 val run :
+  ?engine:engine ->
   ?input_gap:int ->
   ?ready_pattern:(int -> bool) ->
   ?timeout:int ->

@@ -39,6 +39,16 @@ let clear_measure_cache = Measure_cache.clear
 let measure_all ?jobs ?(matrices = 4) designs =
   Parallel.map ?jobs (fun d -> measure ~matrices d) designs
 
+(* The keep-going sweep: every design runs to completion, failed points
+   come back as their typed flow error instead of aborting the batch. *)
+let measure_all_result ?jobs ?(matrices = 4) designs =
+  List.map2
+    (fun d -> function
+      | Ok m -> Ok m
+      | Error (e, _bt) -> Error (Flow.error_of_exn ~design:(Flow.span_key d) e))
+    designs
+    (Parallel.map_result ?jobs (fun d -> measure ~matrices d) designs)
+
 let check_compliance ?(blocks = 500) (d : Design.t) =
   Trace.with_span ~design:(Flow.span_key d) ~stage:"comply" (fun () ->
       Trace.add_counter "blocks" blocks;
@@ -59,3 +69,12 @@ let check_compliance ?(blocks = 500) (d : Design.t) =
    paired with their design in input order. *)
 let compliance_all ?jobs ?(blocks = 500) designs =
   Parallel.map ?jobs (fun d -> (d, check_compliance ~blocks d)) designs
+
+let compliance_all_result ?jobs ?(blocks = 500) designs =
+  List.map2
+    (fun d -> function
+      | Ok ok -> (d, Ok ok)
+      | Error (e, _bt) ->
+          (d, Error (Flow.error_of_exn ~design:(Flow.span_key d) e)))
+    designs
+    (Parallel.map_result ?jobs (fun d -> check_compliance ~blocks d) designs)

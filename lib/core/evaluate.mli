@@ -8,8 +8,8 @@
 
     Every measurement checks the design bit-true against the kernel's
     reference (the fixed-point IDCT {!Idct.Chenwang} under the default
-    spec) and fails loudly on a functional mismatch or an AXI-Stream
-    protocol violation. *)
+    spec) and fails loudly — with a typed {!Flow.Error} — on a
+    functional mismatch or an AXI-Stream protocol violation. *)
 
 val measure : ?matrices:int -> ?spec:Flow.spec -> Design.t -> Metrics.measured
 (** [matrices] (default 4) sets the simulated stream length; [spec]
@@ -26,7 +26,17 @@ val measure_all :
 (** [measure] mapped over independent designs on the domain pool
     ({!Parallel.map}); results keep input order.  Each design's lazy
     circuit is forced inside its own job, so builder state never crosses
-    domains. *)
+    domains.  Fail-fast: the first failing design aborts the batch with
+    its {!Flow.Error}. *)
+
+val measure_all_result :
+  ?jobs:int ->
+  ?matrices:int ->
+  Design.t list ->
+  (Metrics.measured, Flow.error) result list
+(** The keep-going batch ({!Parallel.map_result}): every design runs to
+    completion; a failed point carries its typed {!Flow.error} in its
+    input-order slot instead of aborting the others. *)
 
 val check_compliance : ?blocks:int -> Design.t -> bool
 (** IEEE 1180-1990 accuracy procedure through the wrapped circuit; PCIe
@@ -40,3 +50,11 @@ val compliance_all :
   ?jobs:int -> ?blocks:int -> Design.t list -> (Design.t * bool) list
 (** The compliance sweep on the domain pool: every design checked
     concurrently, paired with its verdict in input order. *)
+
+val compliance_all_result :
+  ?jobs:int ->
+  ?blocks:int ->
+  Design.t list ->
+  (Design.t * (bool, Flow.error) result) list
+(** Keep-going compliance: a design whose check raises is paired with
+    its typed error instead of aborting the sweep. *)

@@ -1,0 +1,160 @@
+(* Deterministic fault injection into the staged design flow.
+
+   The armed spec lives in one atomic cell: [arm] happens on the main
+   domain before a sweep fans out, pool workers only ever read.  Every
+   probe first loads the cell and returns immediately when nothing is
+   armed, so the fault-free pipeline pays one atomic read per probe and
+   stays byte-identical to the uninstrumented code. *)
+
+type fault =
+  | Engine_crash
+  | Stall
+  | Poison
+  | Protocol
+  | Crash of string
+
+type spec = { fault : fault; target : string; seed : int }
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected what -> Some (Printf.sprintf "Faultinject.Injected(%s)" what)
+    | _ -> None)
+
+let fault_to_string = function
+  | Engine_crash -> "engine-crash"
+  | Stall -> "stall"
+  | Poison -> "poison"
+  | Protocol -> "protocol"
+  | Crash stage -> "crash@" ^ stage
+
+let to_string s =
+  Printf.sprintf "%s:%s:%d" (fault_to_string s.fault)
+    (if s.target = "" then "*" else s.target)
+    s.seed
+
+let parse text =
+  let fault_of = function
+    | "engine-crash" -> Ok Engine_crash
+    | "stall" -> Ok Stall
+    | "poison" -> Ok Poison
+    | "protocol" -> Ok Protocol
+    | f when String.length f > 6 && String.sub f 0 6 = "crash@" ->
+        Ok (Crash (String.sub f 6 (String.length f - 6)))
+    | f ->
+        Error
+          (Printf.sprintf
+             "unknown fault %S (want engine-crash, stall, poison, protocol \
+              or crash@STAGE)"
+             f)
+  in
+  match String.split_on_char ':' (String.trim text) with
+  | [] | [ "" ] -> Error "empty fault spec (want FAULT:TARGET[:SEED])"
+  | fault :: rest -> (
+      match fault_of fault with
+      | Error _ as e -> e
+      | Ok fault -> (
+          let target, seed_text =
+            match rest with
+            | [] -> ("*", None)
+            | [ t ] -> (t, None)
+            | [ t; s ] -> (t, Some s)
+            | _ -> ("", Some "malformed")
+          in
+          let target = if target = "*" then "" else target in
+          match seed_text with
+          | None -> Ok { fault; target; seed = 0 }
+          | Some s -> (
+              match int_of_string_opt s with
+              | Some seed when seed >= 0 -> Ok { fault; target; seed }
+              | _ ->
+                  Error
+                    (Printf.sprintf "bad seed %S (want a non-negative integer)"
+                       s))))
+
+let cell : spec option Atomic.t = Atomic.make None
+let arm s = Atomic.set cell (Some s)
+let disarm () = Atomic.set cell None
+let armed () = Atomic.get cell
+
+let load_env () =
+  match Sys.getenv_opt "HLSVHC_FAULT" with
+  | None | Some "" -> Ok None
+  | Some text -> (
+      match parse text with
+      | Ok s ->
+          arm s;
+          Ok (Some s)
+      | Error e -> Error (Printf.sprintf "HLSVHC_FAULT=%S: %s" text e))
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  m = 0
+  ||
+  let rec at i =
+    if i + m > n then false
+    else if String.sub s i m = sub then true
+    else at (i + 1)
+  in
+  at 0
+
+let matching ~design =
+  match Atomic.get cell with
+  | None -> None
+  | Some s -> if contains ~sub:s.target design then Some s else None
+
+(* ---------------- probes ---------------- *)
+
+let crash_at_stage ~design ~stage =
+  match matching ~design with
+  | Some { fault = Crash st; _ } when st = stage ->
+      raise
+        (Injected
+           (Printf.sprintf "injected crash at stage %s of %s" stage design))
+  | _ -> ()
+
+let engine_crash ~design ~compiled =
+  match matching ~design with
+  | Some { fault = Engine_crash; _ } when compiled ->
+      raise
+        (Injected
+           (Printf.sprintf "injected compiled-engine crash on %s" design))
+  | _ -> ()
+
+let stall_timeout ~design default =
+  match matching ~design with
+  | Some { fault = Stall; _ } ->
+      (* A budget too small for even one beat: the driver runs its real
+         timeout path and reports the stall with its usual diagnostics. *)
+      Some 2
+  | _ -> default
+
+let poison_blocks ~design blocks =
+  match matching ~design with
+  | Some { fault = Poison; seed; _ } when blocks <> [] ->
+      let victim = seed mod List.length blocks in
+      let pos = seed mod 64 in
+      List.mapi
+        (fun i b ->
+          if i <> victim then b
+          else begin
+            let b = Idct.Block.copy b in
+            let row = pos / 8 and col = pos mod 8 in
+            let v = Idct.Block.get b ~row ~col in
+            (* A deterministic perturbation that never clamps back onto
+               the original value, so the bit-true check must object. *)
+            let delta = 1 + (seed mod 7) in
+            Idct.Block.set b ~row ~col
+              (if v >= 0 then v - delta else v + delta);
+            b
+          end)
+        blocks
+  | _ -> blocks
+
+let inject_violation ~design violations =
+  match matching ~design with
+  | Some { fault = Protocol; seed; _ } ->
+      { Axis.Monitor.at_cycle = seed; rule = "injected protocol fault" }
+      :: violations
+  | _ -> violations

@@ -1,0 +1,90 @@
+(** Deterministic fault injection into the staged design flow
+    (DESIGN.md §11).
+
+    Every recovery path of the resilience layer — typed {!Flow.Error}s,
+    [--keep-going] sweeps, the compiled-sim → interpreter fallback — is
+    proved by injecting faults at the Flow stage boundaries and watching
+    the system degrade exactly as documented.  Injection is off unless a
+    {!spec} is {!arm}ed (by a test, the [--fault] flag, or the
+    [HLSVHC_FAULT] environment variable), and with nothing armed every
+    probe is a cheap no-op, so the measurement pipeline is byte-identical
+    to the uninstrumented one.
+
+    A spec is fully deterministic: it names the fault, the targeted
+    designs (a substring of the ["Tool/label"] span key; [""] or ["*"]
+    matches every design) and a seed.  The seed feeds no wall clock and
+    no global RNG — it only selects {e which} block a {!Poison} fault
+    corrupts and by how much, so a seeded run is exactly repeatable. *)
+
+type fault =
+  | Engine_crash
+      (** the compiled simulation engine raises at [create] time; the
+          reference interpreter is unaffected, so this is the fault the
+          compiled→interpreter fallback recovers from *)
+  | Stall
+      (** the streaming consumer wedges: the driver's cycle budget is
+          clamped to a handful of cycles, so the run ends in the driver's
+          own timeout path ([Sim_timeout]) *)
+  | Poison
+      (** one simulated output block (seed-selected) is corrupted, so the
+          bit-true check fails with that block's index ([Not_bit_true]) *)
+  | Protocol
+      (** an AXI-Stream violation verdict is injected into the monitor's
+          report ([Protocol_violation]) *)
+  | Crash of string
+      (** raise {!Injected} on entry to the named Flow stage — e.g.
+          [Crash "synthesize"] is a synthesis failure, [Crash "simulate"]
+          an unrecoverable engine failure, [Crash "metrics"] an
+          unexpected exception *)
+
+type spec = { fault : fault; target : string; seed : int }
+
+exception Injected of string
+(** Raised at an armed injection point; carries a human-readable
+    description of the injected fault. *)
+
+val parse : string -> (spec, string) result
+(** Parse ["FAULT:TARGET[:SEED]"] — [FAULT] one of [engine-crash],
+    [stall], [poison], [protocol] or [crash@STAGE]; [TARGET] a span-key
+    substring ([*] for all designs); [SEED] a non-negative integer
+    (default 0). *)
+
+val to_string : spec -> string
+
+val arm : spec -> unit
+(** Arm one spec process-wide (replacing any previous one).  Workers on
+    other domains observe the spec through an atomic, so arm before
+    fanning out. *)
+
+val disarm : unit -> unit
+val armed : unit -> spec option
+
+val load_env : unit -> (spec option, string) result
+(** Arm from [HLSVHC_FAULT] when the variable is set; [Ok None] when it
+    is unset, [Error _] when it does not parse. *)
+
+(** {1 Probes}
+
+    Called by {!Flow} (and only by {!Flow}) at the injection points.
+    Each probe is a no-op unless the armed spec matches both the design
+    and the probe's fault kind. *)
+
+val crash_at_stage : design:string -> stage:string -> unit
+(** Raise {!Injected} when a [Crash stage] spec targets this design. *)
+
+val engine_crash : design:string -> compiled:bool -> unit
+(** Raise {!Injected} when an [Engine_crash] spec targets this design
+    and the engine about to run is the compiled one. *)
+
+val stall_timeout : design:string -> int option -> int option
+(** The driver cycle budget: a clamped budget under an armed [Stall]
+    spec, the given default otherwise. *)
+
+val poison_blocks : design:string -> Idct.Block.t list -> Idct.Block.t list
+(** Under an armed [Poison] spec, corrupt one element of the
+    seed-selected block ([seed mod length] — deterministic); otherwise
+    return the list unchanged, physically. *)
+
+val inject_violation :
+  design:string -> Axis.Monitor.violation list -> Axis.Monitor.violation list
+(** Under an armed [Protocol] spec, prepend an injected violation. *)

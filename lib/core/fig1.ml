@@ -37,39 +37,72 @@ let point_of (d : Design.t) (m : Metrics.measured) =
 let registered_tools () =
   List.map (fun (module T : Registry.TOOL) -> T.tool) Registry.all
 
-let compute ?jobs ?tools () =
+let compute_outcomes ?jobs ?tools ~keep_going () =
   let tools =
     match tools with Some ts -> ts | None -> registered_tools ()
   in
   let missing = List.filter (fun t -> cache_find t = None) tools in
   let sweeps = List.map (fun t -> (t, Registry.sweep t)) missing in
   let designs = List.concat_map snd sweeps in
-  let measured = Evaluate.measure_all ?jobs ~matrices:3 designs in
-  let rec regroup sweeps measured =
+  (* Fail-fast measures on [Parallel.map] (first failure aborts the
+     batch, byte-identical to the historical path); keep-going measures
+     on [Parallel.map_result] so every surviving point is kept and each
+     failed point records its typed error. *)
+  let outcomes =
+    if keep_going then Evaluate.measure_all_result ?jobs ~matrices:3 designs
+    else
+      List.map (fun m -> Ok m) (Evaluate.measure_all ?jobs ~matrices:3 designs)
+  in
+  let failures = ref [] in
+  let rec regroup sweeps outcomes acc =
     match sweeps with
-    | [] -> ()
+    | [] -> List.rev acc
     | (tool, sweep) :: rest ->
         let rec take k acc = function
           | ms when k = 0 -> (List.rev acc, ms)
           | m :: ms -> take (k - 1) (m :: acc) ms
           | [] -> assert false
         in
-        let ms, measured = take (List.length sweep) [] measured in
-        cache_store tool { tool; points = List.map2 point_of sweep ms };
-        regroup rest measured
+        let ms, outcomes = take (List.length sweep) [] outcomes in
+        let points =
+          List.concat
+            (List.map2
+               (fun d -> function
+                 | Ok m -> [ point_of d m ]
+                 | Error (err : Flow.error) ->
+                     failures := err :: !failures;
+                     [])
+               sweep ms)
+        in
+        let s = { tool; points } in
+        (* Only complete series enter the cache: a series missing failed
+           points must not shadow a later fault-free run. *)
+        if List.length points = List.length sweep then cache_store tool s;
+        regroup rest outcomes ((tool, s) :: acc)
   in
-  regroup sweeps measured;
-  List.map
-    (fun t ->
-      match cache_find t with Some s -> s | None -> assert false)
-    tools
+  let fresh = regroup sweeps outcomes [] in
+  let series =
+    List.map
+      (fun t ->
+        match List.assoc_opt t fresh with
+        | Some s -> s
+        | None -> (
+            match cache_find t with Some s -> s | None -> assert false))
+      tools
+  in
+  (series, List.rev !failures)
+
+let compute ?jobs ?tools () =
+  fst (compute_outcomes ?jobs ?tools ~keep_going:false ())
+
+let compute_result ?jobs ?tools () =
+  compute_outcomes ?jobs ?tools ~keep_going:true ()
 
 (* The scatter glyph lives on the TOOL module, next to the rest of each
    flow's registration. *)
 let glyph = Registry.glyph
 
-let render ?jobs ?tools () =
-  let series = compute ?jobs ?tools () in
+let render_series series =
   let buf = Buffer.create 4096 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   (* Data listing. *)
@@ -121,3 +154,9 @@ let render ?jobs ?tools () =
   pr "area: %.0f .. %.0f   throughput: %.2f .. %.2f MOPS\n"
     (10. ** min_x) (10. ** max_x) (10. ** min_y) (10. ** max_y);
   Buffer.contents buf
+
+let render ?jobs ?tools () = render_series (compute ?jobs ?tools ())
+
+let render_result ?jobs ?tools () =
+  let series, failures = compute_result ?jobs ?tools () in
+  (render_series series, failures)

@@ -19,9 +19,25 @@ val compute : ?jobs:int -> ?tools:Design.tool list -> unit -> series list
     caches the finished series per tool.  The result is deterministic:
     the same series, point for point, for any job count. *)
 
+val compute_result :
+  ?jobs:int ->
+  ?tools:Design.tool list ->
+  unit ->
+  series list * Flow.error list
+(** The keep-going sweep ({!Evaluate.measure_all_result}): failed points
+    are dropped from their series and returned as typed errors in sweep
+    order; every surviving point is identical to the fail-fast run.
+    Series with failures are not cached, so a later fault-free run
+    recomputes them in full. *)
+
 val clear_cache : unit -> unit
 (** Drop the per-tool series cache (tests and benchmarks).  Memoized
     measurements survive; see {!Evaluate.clear_measure_cache}. *)
 
 val render : ?jobs:int -> ?tools:Design.tool list -> unit -> string
 (** Data table plus an ASCII log-log scatter of the plane. *)
+
+val render_result :
+  ?jobs:int -> ?tools:Design.tool list -> unit -> string * Flow.error list
+(** {!render} over {!compute_result}: the figure restricted to the
+    surviving points, plus the failures for the caller's summary. *)

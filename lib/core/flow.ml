@@ -2,7 +2,12 @@
    named, individually traced stages.  The numbers this computes are
    byte-identical to the pre-refactor monolithic path (the flow tests and
    the recorded artifacts pin this down); the decomposition buys per-stage
-   wall times and counters via Trace, on or off. *)
+   wall times and counters via Trace, on or off.
+
+   Failures are first-class (DESIGN.md §11): anything that goes wrong in
+   a stage is carried by the typed [Error] exception — design key, stage
+   name, error class — so keep-going sweeps can record a point's failure
+   precisely and the fail-fast path prints one canonical diagnostic. *)
 
 type spec = {
   spec_name : string;
@@ -29,16 +34,179 @@ let stage_names =
 let span_key (d : Design.t) =
   Design.tool_name d.Design.tool ^ "/" ^ d.Design.label
 
+(* ---------------- typed flow errors ---------------- *)
+
+type error_class =
+  | Not_bit_true of { block_index : int; got : string; expected : string }
+  | Protocol_violation of string
+  | Sim_timeout of string
+  | Engine_failure of string
+  | Synth_failure of string
+  | Unexpected of string
+
+type error = {
+  err_design : string;
+  err_stage : string;
+  err_class : error_class;
+}
+
+exception Error of error
+
+let class_name = function
+  | Not_bit_true _ -> "not-bit-true"
+  | Protocol_violation _ -> "protocol-violation"
+  | Sim_timeout _ -> "sim-timeout"
+  | Engine_failure _ -> "engine-failure"
+  | Synth_failure _ -> "synth-failure"
+  | Unexpected _ -> "unexpected"
+
+let class_detail = function
+  | Not_bit_true { block_index; got; expected } ->
+      Printf.sprintf "first mismatch at block %d: got %s, expected %s"
+        block_index got expected
+  | Protocol_violation v -> "violates AXI-Stream: " ^ v
+  | Sim_timeout m | Engine_failure m | Synth_failure m | Unexpected m -> m
+
+let pp_error ppf e =
+  Format.fprintf ppf "design %s failed at %s [%s]: %s" e.err_design
+    e.err_stage (class_name e.err_class) (class_detail e.err_class)
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let () =
+  (* One pretty-printer everywhere: an uncaught flow error prints the
+     canonical rendering, not a constructor dump. *)
+  Printexc.register_printer (function
+    | Error e -> Some (error_to_string e)
+    | _ -> None)
+
+let error_of_exn ~design = function
+  | Error e -> e
+  | e ->
+      {
+        err_design = design;
+        err_stage = "-";
+        err_class = Unexpected (Printexc.to_string e);
+      }
+
+let render_failure_summary errors =
+  let buf = Buffer.create 512 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "failure summary: %d design point%s failed\n" (List.length errors)
+    (if List.length errors = 1 then "" else "s");
+  pr "  %-28s %-11s %-18s %s\n" "design" "stage" "class" "detail";
+  List.iter
+    (fun e ->
+      pr "  %-28s %-11s %-18s %s\n" e.err_design e.err_stage
+        (class_name e.err_class)
+        (class_detail e.err_class))
+    errors;
+  Buffer.contents buf
+
+(* ---------------- bit-true check ---------------- *)
+
+let row_excerpt b row =
+  "["
+  ^ String.concat " "
+      (List.init Idct.Block.size (fun col ->
+           string_of_int (Idct.Block.get b ~row ~col)))
+  ^ "]"
+
 let bit_true_check (d : Design.t) ~got ~expected =
-  if not (List.for_all2 Idct.Block.equal got expected) then
-    failwith
-      (Printf.sprintf "design %s/%s is not bit-true"
-         (Design.tool_name d.Design.tool)
-         d.Design.label)
+  let key = span_key d in
+  let fail cls =
+    raise (Error { err_design = key; err_stage = "verify"; err_class = cls })
+  in
+  let rec scan i gs es =
+    match (gs, es) with
+    | [], [] -> ()
+    | g :: gs, e :: es ->
+        if Idct.Block.equal g e then scan (i + 1) gs es
+        else begin
+          (* locate the first mismatching element for the excerpt *)
+          let pos = ref 0 in
+          (try
+             for p = 0 to (Idct.Block.size * Idct.Block.size) - 1 do
+               let row = p / Idct.Block.size and col = p mod Idct.Block.size in
+               if Idct.Block.get g ~row ~col <> Idct.Block.get e ~row ~col
+               then begin
+                 pos := p;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          let row = !pos / Idct.Block.size in
+          fail
+            (Not_bit_true
+               {
+                 block_index = i;
+                 got = Printf.sprintf "row %d %s" row (row_excerpt g row);
+                 expected = row_excerpt e row;
+               })
+        end
+    | _ ->
+        fail
+          (Not_bit_true
+             {
+               block_index = i;
+               got = Printf.sprintf "%d blocks" (List.length got);
+               expected = Printf.sprintf "%d blocks" (List.length expected);
+             })
+  in
+  scan 0 got expected
+
+(* ---------------- the staged pipeline ---------------- *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i =
+    if i + m > n then false
+    else String.sub s i m = sub || at (i + 1)
+  in
+  at 0
+
+let is_driver_timeout = function
+  | Failure m -> contains ~sub:"timeout after" m
+  | _ -> false
+
+let exn_message = function
+  | Failure m -> m
+  | Faultinject.Injected m -> m
+  | e -> Printexc.to_string e
+
+(* Classify an untyped exception by the stage it escaped from: the
+   simulator's own cycle-budget failure is a timeout, anything else out
+   of elaborate/validate/simulate is the engine's fault, synthesize
+   failures are the synthesizer's, and the rest is unexpected. *)
+let classify ~stage e =
+  let msg = exn_message e in
+  match stage with
+  | "simulate" when is_driver_timeout e -> Sim_timeout msg
+  | "elaborate" | "validate" | "simulate" -> Engine_failure msg
+  | "synthesize" -> Synth_failure msg
+  | _ -> Unexpected msg
 
 let measure_uncached ?(matrices = 4) ?(spec = idct_spec) (d : Design.t) :
     Metrics.measured =
-  let stage name f = Trace.with_span ~design:(span_key d) ~stage:name f in
+  let key = span_key d in
+  let stage name f =
+    Trace.with_span ~design:key ~stage:name (fun () ->
+        try
+          Faultinject.crash_at_stage ~design:key ~stage:name;
+          f ()
+        with
+        | Error _ as e -> raise e
+        | e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Printexc.raise_with_backtrace
+              (Error
+                 {
+                   err_design = key;
+                   err_stage = name;
+                   err_class = classify ~stage:name e;
+                 })
+              bt)
+  in
   match d.Design.impl with
   | Design.Stream circuit ->
       let circuit =
@@ -52,19 +220,54 @@ let measure_uncached ?(matrices = 4) ?(spec = idct_spec) (d : Design.t) :
       let r =
         stage "simulate" (fun () ->
             Trace.add_counter "matrices" matrices;
-            Axis.Driver.run ?timeout:spec.sim_timeout ~hook:Trace.add_counter
-              circuit mats)
+            let timeout =
+              Faultinject.stall_timeout ~design:key spec.sim_timeout
+            in
+            let run engine =
+              Faultinject.engine_crash ~design:key
+                ~compiled:(engine = Axis.Driver.Compiled);
+              Axis.Driver.run ~engine ?timeout ~hook:Trace.add_counter
+                circuit mats
+            in
+            let r =
+              try run Axis.Driver.Compiled
+              with e when not (is_driver_timeout e) ->
+                (* Retry with degradation: one compiled-engine bug must
+                   not block artifact regeneration, so the design is
+                   re-run once on the reference interpreter.  A timeout
+                   is not an engine failure — it would only time out
+                   again, slower. *)
+                Trace.add_counter "engine_fallback" 1;
+                Printf.eprintf
+                  "hlsvhc: %s: compiled engine failed (%s); retrying on \
+                   the reference interpreter\n\
+                   %!"
+                  key (exn_message e);
+                run Axis.Driver.Reference
+            in
+            {
+              r with
+              Axis.Driver.outputs =
+                Faultinject.poison_blocks ~design:key r.Axis.Driver.outputs;
+            })
       in
       stage "verify" (fun () ->
           bit_true_check d ~got:r.Axis.Driver.outputs
             ~expected:(List.map spec.reference mats);
-          match r.Axis.Driver.violations with
+          match
+            Faultinject.inject_violation ~design:key r.Axis.Driver.violations
+          with
           | [] -> ()
           | v :: _ ->
-              failwith
-                (Format.asprintf "design %s/%s violates AXI-Stream: %a"
-                   (Design.tool_name d.Design.tool)
-                   d.Design.label Axis.Monitor.pp_violation v));
+              raise
+                (Error
+                   {
+                     err_design = key;
+                     err_stage = "verify";
+                     err_class =
+                       Protocol_violation
+                         (Format.asprintf "%a" Axis.Monitor.pp_violation v);
+                   }));
       let rep =
         stage "synthesize" (fun () ->
             Hw.Synth.run ~hook:Trace.add_counter circuit)
@@ -102,7 +305,8 @@ let measure_uncached ?(matrices = 4) ?(spec = idct_spec) (d : Design.t) :
              monolithic path skipped this for PCIe designs *)
           let mats = spec.stimulus matrices in
           Trace.add_counter "matrices" matrices;
-          bit_true_check d ~got:(p.Design.simulate mats)
+          bit_true_check d
+            ~got:(Faultinject.poison_blocks ~design:key (p.Design.simulate mats))
             ~expected:(List.map spec.reference mats));
       let rep =
         stage "synthesize" (fun () ->

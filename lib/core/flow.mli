@@ -40,8 +40,62 @@ val stage_names : string list
 val span_key : Design.t -> string
 (** The trace identity of a design: ["Tool/label"]. *)
 
+(** {1 Typed flow errors (DESIGN.md §11)}
+
+    Anything that goes wrong inside a stage is carried by {!Error}: the
+    design key, the stage that failed, and an error class.  Keep-going
+    sweeps record these per point; the fail-fast path re-raises them and
+    the registered exception printer renders the same text everywhere. *)
+
+type error_class =
+  | Not_bit_true of { block_index : int; got : string; expected : string }
+      (** functional mismatch: index of the first wrong output block,
+          with a one-row got/expected excerpt around the first wrong
+          element *)
+  | Protocol_violation of string  (** AXI-Stream monitor verdict *)
+  | Sim_timeout of string
+      (** the driver's cycle budget ran out (a wedged or stalled DUT) *)
+  | Engine_failure of string
+      (** elaborate/validate/simulate raised — and, for the simulate
+          stage, the reference-interpreter retry failed too *)
+  | Synth_failure of string  (** the synthesis stage raised *)
+  | Unexpected of string  (** anything else, [Printexc]-rendered *)
+
+type error = {
+  err_design : string;  (** {!span_key} of the failing design *)
+  err_stage : string;  (** stage name, or ["-"] outside the pipeline *)
+  err_class : error_class;
+}
+
+exception Error of error
+
+val class_name : error_class -> string
+(** Stable kebab-case tag, e.g. ["not-bit-true"]. *)
+
+val pp_error : Format.formatter -> error -> unit
+(** The one canonical rendering:
+    ["design D failed at S [class]: detail"].  Also registered with
+    [Printexc], so an uncaught {!Error} prints the same text. *)
+
+val error_to_string : error -> string
+
+val error_of_exn : design:string -> exn -> error
+(** {!Error} payloads pass through; any other exception becomes an
+    [Unexpected] error attributed to [design]. *)
+
+val render_failure_summary : error list -> string
+(** The keep-going failure table: one row per failed design point. *)
+
 val measure_uncached : ?matrices:int -> ?spec:spec -> Design.t -> Metrics.measured
 (** Run the full staged pipeline on one design.  [matrices] (default 4)
     sets the simulated stream length.
-    @raise Failure if the design is not bit-true against [spec.reference]
-    or violates the AXI-Stream protocol. *)
+
+    If the compiled simulation engine fails on the design (anything but
+    a cycle-budget timeout), the design is retried once on the reference
+    interpreter ({!Axis.Driver.Reference}); the degradation is recorded
+    as an [engine_fallback] Trace counter and a one-line stderr note.
+
+    @raise Error if a stage fails: not bit-true against
+    [spec.reference], an AXI-Stream protocol violation, a simulation
+    timeout, an engine failure surviving the interpreter retry, a
+    synthesis failure, or an unexpected exception. *)

@@ -17,94 +17,135 @@
    [Hw.Builder] hash-cons table lives and dies within one domain (see
    DESIGN.md §9). *)
 
+let env_warned = Atomic.make false
+
 let env_jobs () =
   match Sys.getenv_opt "HLSVHC_JOBS" with
   | None -> None
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some n when n >= 1 -> Some n
-      | _ -> None)
+      | _ ->
+          (* Silently time-slicing a typo onto the default would be
+             indistinguishable from the variable working; say so, once. *)
+          if not (Atomic.exchange env_warned true) then
+            Printf.eprintf
+              "hlsvhc: ignoring invalid HLSVHC_JOBS=%S (want a positive \
+               integer); using %d worker domains\n\
+               %!"
+              s
+              (Domain.recommended_domain_count ());
+          None)
 
 let default_jobs () =
   match env_jobs () with
   | Some n -> n
   | None -> Domain.recommended_domain_count ()
 
-(* Map [f] over [xs] on a pool of [jobs] domains.  The work queue is an
-   atomic cursor over the input array; each worker claims the next index,
-   runs the job and stores the result in its slot.  If a job raises, the
-   first exception (in claim order) is kept, the remaining workers drain
-   without starting new jobs, every domain is joined, and the exception is
-   re-raised on the caller — the pool never deadlocks on a raising job. *)
+let clamp_jobs jobs n =
+  let requested =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  max 1 (min requested n)
+
+(* The pool skeleton shared by [map] and [map_result]: an atomic cursor
+   over the input array; each worker claims the next index, runs the job
+   and stores the outcome in its slot.  Under [~abort:true] (the [map]
+   semantics) the first exception (in claim order) is kept in [failed]
+   and the remaining workers drain without starting new jobs; under
+   [~abort:false] every item runs and failures stay per-slot.  Either
+   way every domain is joined — the pool never deadlocks on a raising
+   job. *)
+let pooled ~jobs ~abort f items =
+  let n = Array.length items in
+  (* Capture the trace switch once, before spawning: workers must agree
+     with the caller on whether to record, even if the flag is toggled
+     mid-run. *)
+  let traced = Trace.enabled () in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let failed = Atomic.make None in
+  let worker wid () =
+    (* The claim loop, returning how many jobs this worker ran and the
+       wall time it spent inside them (its busy time, as opposed to the
+       tail time it idled waiting for the slowest sibling). *)
+    let run_loop () =
+      let claimed = ref 0 and busy = ref 0.0 in
+      let running = ref true in
+      while !running do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || (abort && Atomic.get failed <> None) then running := false
+        else begin
+          incr claimed;
+          let t0 = if traced then Unix.gettimeofday () else 0.0 in
+          (match f items.(i) with
+          | v -> results.(i) <- Some (Ok v)
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              results.(i) <- Some (Error (e, bt));
+              if abort then
+                ignore (Atomic.compare_and_set failed None (Some (e, bt))));
+          if traced then busy := !busy +. (Unix.gettimeofday () -. t0)
+        end
+      done;
+      (!claimed, !busy)
+    in
+    if traced then begin
+      Trace.with_span
+        ~design:(Printf.sprintf "pool/worker%d" wid)
+        ~stage:"worker"
+        (fun () ->
+          let claimed, busy = run_loop () in
+          Trace.add_counter "claimed" claimed;
+          Trace.add_counter "busy_us" (int_of_float (busy *. 1e6)));
+      (* Hand this domain's span buffer to the collector before the
+         domain dies — spans recorded by the jobs themselves included. *)
+      Trace.flush_domain ()
+    end
+    else ignore (run_loop ())
+  in
+  let spawn_and_join () =
+    let domains = List.init jobs (fun wid -> Domain.spawn (worker wid)) in
+    List.iter Domain.join domains
+  in
+  if traced then
+    Trace.with_span ~design:"pool" ~stage:"map" (fun () ->
+        Trace.add_counter "jobs" jobs;
+        Trace.add_counter "items" n;
+        spawn_and_join ())
+  else spawn_and_join ();
+  (results, Atomic.get failed)
+
 let map ?jobs f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
-  let jobs =
-    let requested = match jobs with Some j -> max 1 j | None -> default_jobs () in
-    max 1 (min requested n)
-  in
+  let jobs = clamp_jobs jobs n in
   if n = 0 then []
   else if jobs = 1 then List.map f xs
   else begin
-    (* Capture the trace switch once, before spawning: workers must agree
-       with the caller on whether to record, even if the flag is toggled
-       mid-run. *)
-    let traced = Trace.enabled () in
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let failed = Atomic.make None in
-    let worker wid () =
-      (* The claim loop, returning how many jobs this worker ran and the
-         wall time it spent inside them (its busy time, as opposed to the
-         tail time it idled waiting for the slowest sibling). *)
-      let run_loop () =
-        let claimed = ref 0 and busy = ref 0.0 in
-        let running = ref true in
-        while !running do
-          let i = Atomic.fetch_and_add next 1 in
-          if i >= n || Atomic.get failed <> None then running := false
-          else begin
-            incr claimed;
-            let t0 = if traced then Unix.gettimeofday () else 0.0 in
-            (match f items.(i) with
-            | v -> results.(i) <- Some v
-            | exception e ->
-                let bt = Printexc.get_raw_backtrace () in
-                ignore (Atomic.compare_and_set failed None (Some (e, bt))));
-            if traced then busy := !busy +. (Unix.gettimeofday () -. t0)
-          end
-        done;
-        (!claimed, !busy)
-      in
-      if traced then begin
-        Trace.with_span
-          ~design:(Printf.sprintf "pool/worker%d" wid)
-          ~stage:"worker"
-          (fun () ->
-            let claimed, busy = run_loop () in
-            Trace.add_counter "claimed" claimed;
-            Trace.add_counter "busy_us" (int_of_float (busy *. 1e6)));
-        (* Hand this domain's span buffer to the collector before the
-           domain dies — spans recorded by the jobs themselves included. *)
-        Trace.flush_domain ()
-      end
-      else ignore (run_loop ())
-    in
-    let spawn_and_join () =
-      let domains = List.init jobs (fun wid -> Domain.spawn (worker wid)) in
-      List.iter Domain.join domains
-    in
-    if traced then
-      Trace.with_span ~design:"pool" ~stage:"map" (fun () ->
-          Trace.add_counter "jobs" jobs;
-          Trace.add_counter "items" n;
-          spawn_and_join ())
-    else spawn_and_join ();
-    (match Atomic.get failed with
+    let results, failed = pooled ~jobs ~abort:true f items in
+    (match failed with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
     Array.to_list
-      (Array.map (function Some v -> v | None -> assert false) results)
+      (Array.map (function Some (Ok v) -> v | _ -> assert false) results)
+  end
+
+let map_result ?jobs f xs =
+  let capture x =
+    match f x with
+    | v -> Ok v
+    | exception e -> Error (e, Printexc.get_raw_backtrace ())
+  in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let jobs = clamp_jobs jobs n in
+  if n = 0 then []
+  else if jobs = 1 then List.map capture xs
+  else begin
+    let results, _ = pooled ~jobs ~abort:false f items in
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
   end
 
 (* Content-keyed in-memory result cache, shared across domains behind a

@@ -12,7 +12,9 @@
 
 val default_jobs : unit -> int
 (** The [HLSVHC_JOBS] environment variable when set to a positive
-    integer, otherwise [Domain.recommended_domain_count ()]. *)
+    integer, otherwise [Domain.recommended_domain_count ()].  A set but
+    invalid [HLSVHC_JOBS] falls back to the domain count with a one-time
+    stderr warning. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ?jobs f xs] is [List.map f xs] computed on a pool of
@@ -27,6 +29,18 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     ["pool/workerN"/"worker"] span per domain (counters [claimed],
     [busy_us]); each worker flushes its domain-local span buffer before
     exiting, so traces recorded inside jobs survive the domain. *)
+
+val map_result :
+  ?jobs:int ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, exn * Printexc.raw_backtrace) result list
+(** The keep-going [map]: every item runs to completion regardless of
+    other items' failures, and each slot carries its own outcome — the
+    job's value, or the exception (with backtrace) it raised.  Result
+    order is the input order for any job count, and the call itself
+    never raises on a failing job.  Shares the pool skeleton, trace
+    spans and [~jobs:1] inline path with {!map}. *)
 
 module Memo (V : sig
   type t

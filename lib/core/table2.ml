@@ -45,38 +45,70 @@ let compute_row verilog_initial_loc verilog_best_q tool =
 
 let computed = ref None
 
-let compute ?jobs () =
+let compute_outcomes ?jobs ~keep_going () =
   match !computed with
-  | Some rows -> rows
+  | Some rows -> (rows, [])
   | None ->
       (* Warm the measurement cache over every initial/optimized design on
          the domain pool; the sequential row construction below then reads
-         measurements back from the cache. *)
-      ignore (Evaluate.measure_all ?jobs (Registry.all_designs ()));
-      let v_init = Registry.initial Design.Verilog in
-      let v_opt = Registry.optimized Design.Verilog in
-      (* The paper normalizes alpha by the Verilog LOC of the matching
-         configuration; we use the initial Verilog LOC for the initial
-         columns and the optimized Verilog LOC for the optimized ones.
-         The Verilog optimum anchors C_Q at 100%. *)
-      let v_best_q = Metrics.quality (Evaluate.measure v_opt) in
-      let rows =
-        List.map
-          (fun tool ->
-            let r = compute_row (Design.loc v_init) v_best_q tool in
-            (* optimized-column alpha is against the optimized Verilog *)
-            let opt_alpha =
-              Metrics.automation ~verilog_loc:(Design.loc v_opt)
-                ~loc:r.optimized.loc
-            in
-            { r with optimized = { r.optimized with alpha = opt_alpha } })
-          (List.map (fun (module T : Registry.TOOL) -> T.tool) Registry.all)
+         measurements back from the cache.  Keep-going warms with
+         [measure_all_result] so one failed design costs its own tool's
+         column pair, not the table. *)
+      let designs = Registry.all_designs () in
+      let failures =
+        if keep_going then
+          List.filter_map
+            (function Ok _ -> None | Error (e : Flow.error) -> Some e)
+            (Evaluate.measure_all_result ?jobs designs)
+        else begin
+          ignore (Evaluate.measure_all ?jobs designs);
+          []
+        end
       in
-      computed := Some rows;
-      rows
+      let design_failed d =
+        List.exists
+          (fun (e : Flow.error) -> e.Flow.err_design = Flow.span_key d)
+          failures
+      in
+      let tool_ok tool =
+        (not (design_failed (Registry.initial tool)))
+        && not (design_failed (Registry.optimized tool))
+      in
+      let rows =
+        if not (tool_ok Design.Verilog) then
+          (* Every indicator is normalized against the Verilog anchors
+             (alpha, C_Q); without them there is no table to assemble. *)
+          []
+        else begin
+          let v_init = Registry.initial Design.Verilog in
+          let v_opt = Registry.optimized Design.Verilog in
+          (* The paper normalizes alpha by the Verilog LOC of the matching
+             configuration; we use the initial Verilog LOC for the initial
+             columns and the optimized Verilog LOC for the optimized ones.
+             The Verilog optimum anchors C_Q at 100%. *)
+          let v_best_q = Metrics.quality (Evaluate.measure v_opt) in
+          List.filter_map
+            (fun tool ->
+              if not (tool_ok tool) then None
+              else
+                let r = compute_row (Design.loc v_init) v_best_q tool in
+                (* optimized-column alpha is against the optimized Verilog *)
+                let opt_alpha =
+                  Metrics.automation ~verilog_loc:(Design.loc v_opt)
+                    ~loc:r.optimized.loc
+                in
+                Some
+                  { r with optimized = { r.optimized with alpha = opt_alpha } })
+            (List.map (fun (module T : Registry.TOOL) -> T.tool) Registry.all)
+        end
+      in
+      if failures = [] then computed := Some rows;
+      (rows, failures)
 
-let render ?jobs () =
-  let rows = compute ?jobs () in
+let compute ?jobs () = fst (compute_outcomes ?jobs ~keep_going:false ())
+let compute_result ?jobs () = compute_outcomes ?jobs ~keep_going:true ()
+
+let render_rows rows =
   let buf = Buffer.create 4096 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let header =
@@ -142,3 +174,9 @@ let render ?jobs () =
     (pair (fun r -> string_of_int r.initial.measured.Metrics.ios)
        (fun r -> string_of_int r.optimized.measured.Metrics.ios));
   Buffer.contents buf
+
+let render ?jobs () = render_rows (compute ?jobs ())
+
+let render_result ?jobs () =
+  let rows, failures = compute_result ?jobs () in
+  (render_rows rows, failures)

@@ -25,5 +25,17 @@ val compute : ?jobs:int -> unit -> row list
     the rows are then assembled sequentially from the cache, so the
     result is identical for any job count. *)
 
+val compute_result : ?jobs:int -> unit -> row list * Flow.error list
+(** Keep-going: every design is still measured, but a tool whose initial
+    or optimized design fails loses its column pair instead of aborting
+    the table; the failures come back as typed errors.  Because every
+    indicator is normalized against the Verilog anchors, a failed
+    Verilog design yields no rows at all (the failures still report
+    every broken design).  Partial results are not memoized. *)
+
 val render : ?jobs:int -> unit -> string
 (** The table in the paper's layout (rows = indicators, columns = tools). *)
+
+val render_result : ?jobs:int -> unit -> string * Flow.error list
+(** {!render} over {!compute_result}: the surviving columns plus the
+    failures for the caller's summary. *)

@@ -175,12 +175,28 @@ let group_by_design spans =
     (fun d -> (d, List.rev (Hashtbl.find tbl d)))
     (List.rev !order)
 
+(* Atomic file emission: write a sibling temp file, then rename it over
+   [path], so a crash mid-write can never leave a truncated artifact
+   behind — readers see the old complete file or the new complete file,
+   nothing in between.  (Used for [--trace] and the bench JSON files.) *)
+let write_atomic path emit =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  match emit oc with
+  | () ->
+      close_out oc;
+      Sys.rename tmp path
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
 let write_json path spans =
+  write_atomic path @@ fun oc ->
   let t0 =
     List.fold_left (fun a sp -> Float.min a sp.start_s) infinity spans
   in
   let t0 = if t0 = infinity then 0.0 else t0 in
-  let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   let rec emit_tree indent t =
     let sp = t.node in
@@ -224,8 +240,7 @@ let write_json path spans =
         trees;
       out "\n     ]}")
     groups;
-  out "\n  ]\n}\n";
-  close_out oc
+  out "\n  ]\n}\n"
 
 (* ---------------- JSON loading (for [hlsvhc stats]) ---------------- *)
 
@@ -385,6 +400,11 @@ let load_json path =
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
+  if String.trim text = "" then
+    failwith
+      (path
+     ^ ": empty trace file (the recording process died before writing, or \
+        this is not a trace)");
   let root =
     try parse_json text
     with Bad msg -> failwith (Printf.sprintf "%s: malformed trace: %s" path msg)

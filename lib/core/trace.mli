@@ -45,9 +45,17 @@ val drain : unit -> span list
 
 (** {1 JSON emission and the [stats] summary} *)
 
+val write_atomic : string -> (out_channel -> unit) -> unit
+(** Run the emitter on a sibling temp file, then rename it over the
+    target path: readers observe the old complete file or the new
+    complete file, never a truncation.  On an emitter exception the temp
+    file is removed and the target is untouched.  Shared by
+    {!write_json} and the bench JSON writers. *)
+
 val write_json : string -> span list -> unit
-(** One complete span tree per design: spans are grouped by [design] and
-    nested by depth, with per-span wall times and counters. *)
+(** One complete span tree per design ({!write_atomic}): spans are
+    grouped by [design] and nested by depth, with per-span wall times
+    and counters. *)
 
 type summary_row = {
   sum_stage : string;
@@ -62,7 +70,9 @@ val summarize : span list -> summary_row list
 val load_json : string -> span list
 (** Parse a file written by {!write_json} back into flat spans (depth and
     sequence reconstructed from the tree; start times are relative).
-    @raise Failure on malformed input. *)
+    @raise Failure on malformed or empty input (with the path and the
+    parse position in the message)
+    @raise Sys_error when the file cannot be read *)
 
 val render_stats : string -> string
 (** The [hlsvhc stats] report: per-stage counts, wall-time breakdown and

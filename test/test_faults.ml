@@ -1,0 +1,347 @@
+(* The resilience layer (DESIGN.md §11): typed Flow errors for every
+   failure class, the compiled-sim -> interpreter fallback, keep-going
+   sweep semantics, atomic trace writes and the stats diagnostics.  Every
+   fault here is injected through Core.Faultinject with a fixed seed —
+   nothing depends on wall clock or scheduling. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i =
+    if i + m > n then false
+    else if String.sub s i m = sub then true
+    else at (i + 1)
+  in
+  m = 0 || at 0
+
+let victim_design = Core.Registry.initial Core.Design.Verilog
+let victim_key = Core.Flow.span_key victim_design
+
+(* Arm [spec], run the measurement, expect a typed Flow.Error and hand
+   it to [examine]; the spec is disarmed whatever happens. *)
+let expect_error spec examine =
+  Core.Faultinject.arm spec;
+  Fun.protect ~finally:Core.Faultinject.disarm (fun () ->
+      match Core.Flow.measure_uncached ~matrices:3 victim_design with
+      | _ -> Alcotest.fail "expected a typed Flow.Error"
+      | exception Core.Flow.Error err -> examine err)
+
+(* ---------------- the error taxonomy, one class at a time ------------ *)
+
+let test_poison_not_bit_true () =
+  expect_error
+    { Core.Faultinject.fault = Poison; target = victim_key; seed = 1 }
+    (fun err ->
+      check string "design" victim_key err.Core.Flow.err_design;
+      check string "stage" "verify" err.Core.Flow.err_stage;
+      match err.Core.Flow.err_class with
+      | Core.Flow.Not_bit_true { block_index; got; expected } ->
+          (* seed 1 over 3 simulated matrices poisons block 1 mod 3. *)
+          check int "first mismatching block" 1 block_index;
+          check bool "got excerpt present" true (got <> "");
+          check bool "expected excerpt present" true (expected <> "")
+      | c ->
+          Alcotest.fail
+            ("expected not-bit-true, got " ^ Core.Flow.class_name c))
+
+let test_protocol_violation () =
+  expect_error
+    { Core.Faultinject.fault = Protocol; target = victim_key; seed = 5 }
+    (fun err ->
+      check string "stage" "verify" err.Core.Flow.err_stage;
+      match err.Core.Flow.err_class with
+      | Core.Flow.Protocol_violation msg ->
+          check bool "carries the monitor verdict" true
+            (contains ~sub:"injected protocol fault" msg)
+      | c ->
+          Alcotest.fail
+            ("expected protocol-violation, got " ^ Core.Flow.class_name c))
+
+let test_stall_times_out () =
+  expect_error
+    { Core.Faultinject.fault = Stall; target = victim_key; seed = 0 }
+    (fun err ->
+      check string "stage" "simulate" err.Core.Flow.err_stage;
+      match err.Core.Flow.err_class with
+      | Core.Flow.Sim_timeout msg ->
+          (* The stall is reported by the driver's own timeout path. *)
+          check bool "driver timeout message" true
+            (contains ~sub:"timeout after" msg)
+      | c ->
+          Alcotest.fail ("expected sim-timeout, got " ^ Core.Flow.class_name c))
+
+let test_crash_classification () =
+  let crash stage examine =
+    expect_error
+      { Core.Faultinject.fault = Crash stage; target = victim_key; seed = 0 }
+      (fun err ->
+        check string "stage" stage err.Core.Flow.err_stage;
+        examine err.Core.Flow.err_class)
+  in
+  crash "elaborate" (function
+    | Core.Flow.Engine_failure _ -> ()
+    | c -> Alcotest.fail ("elaborate: " ^ Core.Flow.class_name c));
+  crash "simulate" (function
+    (* The probe fires at stage entry, before either engine runs, so the
+       interpreter fallback cannot save it: an engine failure. *)
+    | Core.Flow.Engine_failure _ -> ()
+    | c -> Alcotest.fail ("simulate: " ^ Core.Flow.class_name c));
+  crash "synthesize" (function
+    | Core.Flow.Synth_failure _ -> ()
+    | c -> Alcotest.fail ("synthesize: " ^ Core.Flow.class_name c));
+  crash "metrics" (function
+    | Core.Flow.Unexpected _ -> ()
+    | c -> Alcotest.fail ("metrics: " ^ Core.Flow.class_name c))
+
+let test_error_rendering () =
+  let err =
+    {
+      Core.Flow.err_design = "Verilog/initial";
+      err_stage = "verify";
+      err_class =
+        Core.Flow.Not_bit_true
+          { block_index = 2; got = "row 0 [1 2]"; expected = "[1 3]" };
+    }
+  in
+  let text = Core.Flow.error_to_string err in
+  check bool "one canonical rendering" true
+    (contains ~sub:"Verilog/initial" text
+    && contains ~sub:"verify" text
+    && contains ~sub:"not-bit-true" text
+    && contains ~sub:"block 2" text);
+  (* The registered exception printer emits the same text. *)
+  check string "Printexc agrees" text
+    (Printexc.to_string (Core.Flow.Error err));
+  let summary = Core.Flow.render_failure_summary [ err ] in
+  check bool "summary counts and lists the point" true
+    (contains ~sub:"1 design point" summary
+    && contains ~sub:"Verilog/initial" summary
+    && contains ~sub:"not-bit-true" summary)
+
+(* ---------------- the compiled -> interpreter fallback --------------- *)
+
+let test_engine_fallback_recovers () =
+  let clean = Core.Flow.measure_uncached ~matrices:3 victim_design in
+  Core.Faultinject.arm
+    { Core.Faultinject.fault = Engine_crash; target = victim_key; seed = 0 };
+  let degraded =
+    Fun.protect ~finally:Core.Faultinject.disarm (fun () ->
+        Core.Trace.set_enabled true;
+        Fun.protect
+          ~finally:(fun () -> Core.Trace.set_enabled false)
+          (fun () -> Core.Flow.measure_uncached ~matrices:3 victim_design))
+  in
+  let spans = Core.Trace.drain () in
+  (* The retry on the reference interpreter reproduces the compiled
+     engine's measurement exactly... *)
+  check bool "interpreter retry is bit-identical" true (clean = degraded);
+  (* ...and the degradation is on the record. *)
+  let fallbacks =
+    List.concat_map
+      (fun (s : Core.Trace.span) ->
+        List.filter (fun (k, _) -> k = "engine_fallback") s.Core.Trace.counters)
+      spans
+  in
+  check (Alcotest.list (Alcotest.pair string int)) "fallback counter"
+    [ ("engine_fallback", 1) ]
+    fallbacks
+
+(* ---------------- keep-going sweeps ---------------- *)
+
+let test_keep_going_sweep () =
+  let designs = Core.Registry.sweep Core.Design.Verilog in
+  (* Target a point whose span key is not a substring of any sibling's,
+     so exactly one point is hit. *)
+  let victim =
+    List.find
+      (fun d ->
+        let k = Core.Flow.span_key d in
+        1
+        = List.length
+            (List.filter
+               (fun d' -> contains ~sub:k (Core.Flow.span_key d'))
+               designs))
+      designs
+  in
+  let vkey = Core.Flow.span_key victim in
+  Core.Evaluate.clear_measure_cache ();
+  Core.Faultinject.arm
+    { Core.Faultinject.fault = Poison; target = vkey; seed = 0 };
+  let faulted =
+    Fun.protect ~finally:Core.Faultinject.disarm (fun () ->
+        Core.Evaluate.measure_all_result ~jobs:2 ~matrices:3 designs)
+  in
+  Core.Evaluate.clear_measure_cache ();
+  let clean = Core.Evaluate.measure_all ~jobs:2 ~matrices:3 designs in
+  check int "one outcome per design" (List.length designs)
+    (List.length faulted);
+  List.iteri
+    (fun i (d, (r, m)) ->
+      let key = Core.Flow.span_key d in
+      if key = vkey then
+        match r with
+        | Error e ->
+            check string "failure attributed to the poisoned point" vkey
+              e.Core.Flow.err_design;
+            check string "typed as not-bit-true" "not-bit-true"
+              (Core.Flow.class_name e.Core.Flow.err_class)
+        | Ok _ -> Alcotest.fail "the poisoned point must fail"
+      else
+        match r with
+        | Ok got ->
+            check bool
+              (Printf.sprintf "survivor %d identical to fault-free run" i)
+              true (got = m)
+        | Error e ->
+            Alcotest.fail
+              (Printf.sprintf "unexpected failure on %s: %s" key
+                 (Core.Flow.error_to_string e)))
+    (List.map2 (fun d (r, m) -> (d, (r, m))) designs
+       (List.map2 (fun r m -> (r, m)) faulted clean))
+
+let test_keep_going_all_run () =
+  (* Unlike the fail-fast map, a keep-going batch measures every point
+     even when an early one fails: no Ok slot is missing. *)
+  let designs = Core.Registry.sweep Core.Design.Chisel in
+  let first_key = Core.Flow.span_key (List.hd designs) in
+  Core.Evaluate.clear_measure_cache ();
+  Core.Faultinject.arm
+    { Core.Faultinject.fault = Crash "synthesize"; target = first_key; seed = 0 };
+  let outcomes =
+    Fun.protect ~finally:Core.Faultinject.disarm (fun () ->
+        Core.Evaluate.measure_all_result ~jobs:1 ~matrices:3 designs)
+  in
+  Core.Evaluate.clear_measure_cache ();
+  let oks = List.filter (function Ok _ -> true | Error _ -> false) outcomes in
+  check int "every other point measured" (List.length designs - 1)
+    (List.length oks);
+  match List.hd outcomes with
+  | Error e ->
+      check string "typed as synth-failure" "synth-failure"
+        (Core.Flow.class_name e.Core.Flow.err_class)
+  | Ok _ -> Alcotest.fail "first point must fail"
+
+(* ---------------- fault-spec parsing ---------------- *)
+
+let test_parse_specs () =
+  (match Core.Faultinject.parse "poison" with
+  | Ok s ->
+      check bool "bare fault targets everything" true
+        (s.Core.Faultinject.target = "" && s.Core.Faultinject.seed = 0);
+      check string "round trip" "poison:*:0" (Core.Faultinject.to_string s)
+  | Error e -> Alcotest.fail e);
+  (match Core.Faultinject.parse "crash@synthesize:Verilog:3" with
+  | Ok { Core.Faultinject.fault = Crash "synthesize"; target = "Verilog"; seed = 3 }
+    -> ()
+  | Ok s -> Alcotest.fail ("misparsed: " ^ Core.Faultinject.to_string s)
+  | Error e -> Alcotest.fail e);
+  (match Core.Faultinject.parse "stall:*" with
+  | Ok { Core.Faultinject.fault = Stall; target = ""; _ } -> ()
+  | _ -> Alcotest.fail "star target must match everything");
+  let bad text fragment =
+    match Core.Faultinject.parse text with
+    | Ok _ -> Alcotest.fail ("accepted bad spec " ^ text)
+    | Error e -> check bool ("diagnostic for " ^ text) true (contains ~sub:fragment e)
+  in
+  bad "" "empty fault spec";
+  bad "meteor:*" "unknown fault";
+  bad "poison:x:-1" "bad seed"
+
+(* ---------------- atomic writes and stats diagnostics ---------------- *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_write_atomic () =
+  let path = Filename.temp_file "hlsvhc_atomic" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Core.Trace.write_atomic path (fun oc -> output_string oc "complete");
+      check string "written through the rename" "complete" (read_file path);
+      (* A crashing emitter leaves the previous content untouched... *)
+      (match
+         Core.Trace.write_atomic path (fun oc ->
+             output_string oc "torn";
+             failwith "emitter died")
+       with
+      | () -> Alcotest.fail "emitter exception must propagate"
+      | exception Failure _ -> ());
+      check string "old content survives a torn write" "complete"
+        (read_file path);
+      (* ...and no temp sibling is left behind. *)
+      let base = Filename.basename path ^ ".tmp" in
+      let litter =
+        Array.exists
+          (fun f -> contains ~sub:base f)
+          (Sys.readdir (Filename.dirname path))
+      in
+      check bool "no temp litter" false litter)
+
+let test_stats_diagnostics () =
+  (* Missing file: a clean Sys_error, which the CLI turns into exit 1. *)
+  (match Core.Trace.load_json "/nonexistent/hlsvhc-trace.json" with
+  | _ -> Alcotest.fail "missing file must not parse"
+  | exception Sys_error _ -> ());
+  (* Empty file: the recording process died before the atomic rename. *)
+  let tmp = Filename.temp_file "hlsvhc_empty" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      match Core.Trace.load_json tmp with
+      | _ -> Alcotest.fail "empty file must not parse"
+      | exception Failure m ->
+          check bool "names the file and the cause" true
+            (contains ~sub:tmp m && contains ~sub:"empty trace" m));
+  (* Truncated JSON: a diagnostic, not a crash. *)
+  let tmp = Filename.temp_file "hlsvhc_trunc" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      Out_channel.with_open_bin tmp (fun oc ->
+          output_string oc "{ \"spans\": [ { \"design\"");
+      match Core.Trace.load_json tmp with
+      | _ -> Alcotest.fail "truncated file must not parse"
+      | exception Failure m ->
+          check bool "failure names the file" true (contains ~sub:tmp m))
+
+let () =
+  (* Nothing here may depend on an ambient spec. *)
+  Core.Faultinject.disarm ();
+  Alcotest.run "faults"
+    [
+      ( "classes",
+        [
+          Alcotest.test_case "poison -> not-bit-true" `Quick
+            test_poison_not_bit_true;
+          Alcotest.test_case "protocol violation" `Quick
+            test_protocol_violation;
+          Alcotest.test_case "stall -> sim-timeout" `Quick
+            test_stall_times_out;
+          Alcotest.test_case "crash@stage classification" `Quick
+            test_crash_classification;
+          Alcotest.test_case "canonical rendering" `Quick test_error_rendering;
+        ] );
+      ( "fallback",
+        [
+          Alcotest.test_case "compiled -> interpreter" `Quick
+            test_engine_fallback_recovers;
+        ] );
+      ( "keep-going",
+        [
+          Alcotest.test_case "survivors byte-identical" `Slow
+            test_keep_going_sweep;
+          Alcotest.test_case "early failure aborts nothing" `Quick
+            test_keep_going_all_run;
+        ] );
+      ( "spec",
+        [ Alcotest.test_case "parse and round-trip" `Quick test_parse_specs ] );
+      ( "io",
+        [
+          Alcotest.test_case "atomic writes" `Quick test_write_atomic;
+          Alcotest.test_case "stats diagnostics" `Quick test_stats_diagnostics;
+        ] );
+    ]

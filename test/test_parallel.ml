@@ -39,6 +39,77 @@ let test_pool_survives_raising_job () =
     (List.map succ xs)
     (Core.Parallel.map ~jobs:3 succ xs)
 
+(* ---------------- keep-going map ---------------- *)
+
+let test_map_result_order_and_capture () =
+  let xs = List.init 40 Fun.id in
+  let run jobs =
+    Core.Parallel.map_result ~jobs
+      (fun x -> if x mod 7 = 3 then failwith (string_of_int x) else x * 2)
+      xs
+  in
+  let examine rs =
+    check int "one slot per item" 40 (List.length rs);
+    List.iteri
+      (fun i r ->
+        match r with
+        | Ok v ->
+            check bool "slot should have failed" false (i mod 7 = 3);
+            check int "value in input order" (i * 2) v
+        | Error (Failure m, _) ->
+            check bool "slot should have survived" true (i mod 7 = 3);
+            check int "exception captured in its own slot" i (int_of_string m)
+        | Error _ -> Alcotest.fail "wrong exception captured")
+      rs
+  in
+  examine (run 4);
+  (* The inline path has the same per-slot semantics. *)
+  examine (run 1)
+
+let test_map_result_runs_everything () =
+  (* No abort: every item executes even when an early one raises. *)
+  let ran = Atomic.make 0 in
+  let rs =
+    Core.Parallel.map_result ~jobs:3
+      (fun x ->
+        Atomic.incr ran;
+        if x = 0 then failwith "first";
+        x)
+      (List.init 30 Fun.id)
+  in
+  check int "every job ran" 30 (Atomic.get ran);
+  check int "every slot filled" 30 (List.length rs)
+
+(* ---------------- the shared memo cache ---------------- *)
+
+module Memo_ref = Core.Parallel.Memo (struct
+  type t = int ref
+end)
+
+let test_memo_race_first_store_wins () =
+  Memo_ref.clear ();
+  (* Both domains pass the barrier before either calls the cache, so the
+     two computations genuinely race on one missing key. *)
+  let entered = Atomic.make 0 in
+  let contender id =
+    Domain.spawn (fun () ->
+        Atomic.incr entered;
+        while Atomic.get entered < 2 do
+          Domain.cpu_relax ()
+        done;
+        Memo_ref.find_or_compute ~key:"race" (fun () -> ref id))
+  in
+  let a = contender 1 and b = contender 2 in
+  let ra = Domain.join a and rb = Domain.join b in
+  check bool "both callers get one canonical value" true (ra == rb);
+  check bool "the canonical value is one of the computed ones" true
+    (!ra = 1 || !ra = 2);
+  check int "losing store is discarded" 1 (Memo_ref.size ());
+  (* A later hit returns the same canonical value. *)
+  check bool "hit is physically the stored value" true
+    (Memo_ref.find_or_compute ~key:"race" (fun () -> ref 99) == ra);
+  Memo_ref.clear ()
+
 (* ---------------- fig1 determinism ---------------- *)
 
 let tools = [ Core.Design.Verilog; Core.Design.Chisel; Core.Design.Dslx ]
@@ -132,6 +203,15 @@ let () =
           Alcotest.test_case "empty and defaults" `Quick test_map_empty_and_env;
           Alcotest.test_case "survives raising job" `Quick
             test_pool_survives_raising_job;
+          Alcotest.test_case "map_result order and capture" `Quick
+            test_map_result_order_and_capture;
+          Alcotest.test_case "map_result runs everything" `Quick
+            test_map_result_runs_everything;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "first store wins" `Quick
+            test_memo_race_first_store_wins;
         ] );
       ( "fig1",
         [
