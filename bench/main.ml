@@ -391,6 +391,98 @@ let eval_parallel () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Design-space exploration: strategy throughput over the full space    *)
+(* ------------------------------------------------------------------ *)
+
+type dse_row = {
+  dr_strategy : string;
+  dr_seed : int;
+  dr_budget : int option;
+  dr_evaluated : int;
+  dr_seconds : float;
+  dr_cache_hits : int;
+  dr_frontier : int;
+}
+
+let dse_rows () =
+  let spaces = List.map Dse.Space.of_tool Core.Design.all_tools in
+  let timed strategy ?budget ~seed () =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Dse.Engine.run ?budget ~seed ~strategy ~objective:Dse.Engine.Quality
+        spaces
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    {
+      dr_strategy = Dse.Strategy.to_string strategy;
+      dr_seed = seed;
+      dr_budget = budget;
+      dr_evaluated = r.Dse.Engine.res_stats.Dse.Engine.st_evaluated;
+      dr_seconds = dt;
+      dr_cache_hits = r.Dse.Engine.res_stats.Dse.Engine.st_cache_hits;
+      dr_frontier = r.Dse.Engine.res_stats.Dse.Engine.st_frontier;
+    }
+  in
+  (* Exhaustive runs cold — it measures real evaluation throughput over
+     all 100 candidates.  The budgeted strategies then run warm, so their
+     cache-hit rate shows how much of a search revisits known ground. *)
+  Core.Evaluate.clear_measure_cache ();
+  Core.Fig1.clear_cache ();
+  (* explicit lets: a list literal would evaluate right-to-left and run
+     the budgeted strategies before the cold exhaustive pass *)
+  let exhaustive = timed Dse.Strategy.Exhaustive ~seed:0 () in
+  let random = timed Dse.Strategy.Random ~budget:40 ~seed:42 () in
+  let hillclimb = timed Dse.Strategy.Hillclimb ~budget:40 ~seed:42 () in
+  [ exhaustive; random; hillclimb ]
+
+let render_dse_rows rows =
+  Printf.printf "%-12s %6s %8s %10s %10s %12s %10s %10s\n" "strategy" "seed"
+    "budget" "evaluated" "seconds" "cands/sec" "cache-hit" "frontier";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %6d %8s %10d %10.3f %12.1f %9.0f%% %10d\n"
+        r.dr_strategy r.dr_seed
+        (match r.dr_budget with Some b -> string_of_int b | None -> "none")
+        r.dr_evaluated r.dr_seconds
+        (float_of_int r.dr_evaluated /. Float.max 1e-9 r.dr_seconds)
+        (100.
+        *. float_of_int r.dr_cache_hits
+        /. float_of_int (max 1 r.dr_evaluated))
+        r.dr_frontier)
+    rows
+
+let write_dse_json path rows =
+  Core.Trace.write_atomic path (fun oc ->
+      output_string oc "{\n  \"bench\": \"dse\",\n  \"strategies\": [\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"strategy\": \"%s\", \"seed\": %d, \"budget\": %s, \
+             \"evaluated\": %d, \"seconds\": %.3f, \"candidates_per_sec\": \
+             %.1f, \"cache_hits\": %d, \"cache_hit_rate\": %.3f, \
+             \"frontier_size\": %d}%s\n"
+            r.dr_strategy r.dr_seed
+            (match r.dr_budget with
+            | Some b -> string_of_int b
+            | None -> "null")
+            r.dr_evaluated r.dr_seconds
+            (float_of_int r.dr_evaluated /. Float.max 1e-9 r.dr_seconds)
+            r.dr_cache_hits
+            (float_of_int r.dr_cache_hits
+            /. float_of_int (max 1 r.dr_evaluated))
+            r.dr_frontier
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      output_string oc "  ]\n}\n");
+  Printf.printf "(wrote %s)\n%!" path
+
+let dse_bench () =
+  section "Design-space exploration: strategy throughput (full 100-point space)";
+  let rows = dse_rows () in
+  render_dse_rows rows;
+  write_dse_json "BENCH_dse.json" rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrate                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -460,12 +552,13 @@ let bechamel_suite () =
     tests
 
 let () =
-  (* [--json] runs only the engine comparisons and records BENCH_sim.json
-     and BENCH_eval.json — the fast path CI and future PRs use for a perf
-     trajectory. *)
+  (* [--json] runs only the engine comparisons and records BENCH_sim.json,
+     BENCH_eval.json and BENCH_dse.json — the fast path CI and future PRs
+     use for a perf trajectory. *)
   if Array.exists (( = ) "--json") Sys.argv then begin
     sim_engines ();
     eval_parallel ();
+    dse_bench ();
     section "done"
   end
   else begin
@@ -480,6 +573,7 @@ let () =
     extension_second_kernel ();
     sim_engines ();
     eval_parallel ();
+    dse_bench ();
     bechamel_suite ();
     section "done"
   end

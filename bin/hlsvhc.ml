@@ -4,14 +4,38 @@ open Cmdliner
 
 let tool_conv =
   (* The accepted names live on the TOOL modules, next to everything else
-     each flow registers. *)
+     each flow registers; [Registry.parse_tools] is the one shared parser
+     and its errors list the valid names. *)
   let parse s =
-    match Core.Registry.parse_tool s with
-    | Some t -> Ok t
-    | None -> Error (`Msg (Printf.sprintf "unknown tool %S" s))
+    match Core.Registry.parse_tools s with
+    | Ok [ t ] -> Ok t
+    | Ok _ -> Error (`Msg (Printf.sprintf "expected a single tool, got %S" s))
+    | Error e -> Error (`Msg e)
   in
   let print ppf t = Format.pp_print_string ppf (Core.Design.tool_name t) in
   Arg.conv (parse, print)
+
+let tools_conv =
+  let parse s =
+    match Core.Registry.parse_tools s with
+    | Ok ts -> Ok ts
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf ts =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map Core.Design.tool_name ts))
+  in
+  Arg.conv (parse, print)
+
+let tools_opt =
+  Arg.(
+    value
+    & opt (some tools_conv) None
+    & info [ "tools" ] ~docv:"TOOLS"
+        ~doc:
+          "Restrict to a comma-separated, case-insensitive list of tools \
+           (e.g. $(b,verilog,bsv)).  Unknown names fail with the list of \
+           valid tools.")
 
 let tool_pos =
   Arg.(required & pos 0 (some tool_conv) None & info [] ~docv:"TOOL")
@@ -112,16 +136,16 @@ let table1_cmd =
     Term.(const run $ const ())
 
 let table2_cmd =
-  let run jobs trace keep_going fault =
+  let run tools jobs trace keep_going fault =
     arm_fault fault;
     let failures =
       with_trace trace (fun () ->
           if keep_going then (
-            let out, failures = Core.Table2.render_result ?jobs () in
+            let out, failures = Core.Table2.render_result ?jobs ?tools () in
             print_string out;
             failures)
           else (
-            print_string (Core.Table2.render ?jobs ());
+            print_string (Core.Table2.render ?jobs ?tools ());
             []))
     in
     finish_failures failures
@@ -129,31 +153,58 @@ let table2_cmd =
   Cmd.v
     (Cmd.info "table2"
        ~doc:"Measure every initial/optimized design and print Table II.")
-    Term.(const run $ jobs_opt $ trace_opt $ keep_going_flag $ fault_opt)
+    Term.(const run $ tools_opt $ jobs_opt $ trace_opt $ keep_going_flag $ fault_opt)
+
+(* --tool (repeatable) and --tools (comma list) merge, first mention
+   first, duplicates dropped. *)
+let merge_tools repeated list_opt =
+  let merged = repeated @ Option.value list_opt ~default:[] in
+  let merged =
+    List.fold_left
+      (fun acc t -> if List.mem t acc then acc else acc @ [ t ])
+      [] merged
+  in
+  match merged with [] -> None | ts -> Some ts
 
 let fig1_cmd =
-  let tools =
+  let tool_rep =
     Arg.(value & opt_all tool_conv [] & info [ "tool" ] ~docv:"TOOL"
          ~doc:"Restrict to one tool (repeatable).")
   in
-  let run tools jobs trace keep_going fault =
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"OUT"
+          ~doc:
+            "Also write the points (tool, label, area, throughput, fmax) as \
+             JSON to $(docv), atomically — the machine-readable twin of the \
+             ASCII scatter, consumed by DSE overlays and external plotting.")
+  in
+  let run tool_rep tools jobs trace keep_going json fault =
     arm_fault fault;
-    let tools = match tools with [] -> None | ts -> Some ts in
+    let tools = merge_tools tool_rep tools in
     let failures =
       with_trace trace (fun () ->
-          if keep_going then (
-            let out, failures = Core.Fig1.render_result ?jobs ?tools () in
-            print_string out;
-            failures)
-          else (
-            print_string (Core.Fig1.render ?jobs ?tools ());
-            []))
+          let series, failures =
+            if keep_going then Core.Fig1.compute_result ?jobs ?tools ()
+            else (Core.Fig1.compute ?jobs ?tools (), [])
+          in
+          print_string (Core.Fig1.render_series series);
+          Option.iter
+            (fun path ->
+              Core.Fig1.write_json path series;
+              Printf.eprintf "fig1: wrote %s\n%!" path)
+            json;
+          failures)
     in
     finish_failures failures
   in
   Cmd.v
     (Cmd.info "fig1" ~doc:"Run the DSE sweeps and print the Fig. 1 scatter.")
-    Term.(const run $ tools $ jobs_opt $ trace_opt $ keep_going_flag $ fault_opt)
+    Term.(
+      const run $ tool_rep $ tools_opt $ jobs_opt $ trace_opt $ keep_going_flag
+      $ json $ fault_opt)
 
 let comply_cmd =
   let blocks =
@@ -308,6 +359,134 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Measure every configuration of one tool.")
     Term.(const run $ tool_pos $ jobs_opt $ trace_opt $ keep_going_flag $ fault_opt)
 
+let dse_cmd =
+  let strategy_conv =
+    Arg.conv
+      ( (fun s ->
+          match Dse.Strategy.parse s with
+          | Ok v -> Ok v
+          | Error e -> Error (`Msg e)),
+        fun ppf s -> Format.pp_print_string ppf (Dse.Strategy.to_string s) )
+  in
+  let objective_conv =
+    Arg.conv
+      ( (fun s ->
+          match Dse.Engine.parse_objective s with
+          | Ok v -> Ok v
+          | Error e -> Error (`Msg e)),
+        fun ppf o -> Format.pp_print_string ppf (Dse.Engine.objective_name o) )
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv Dse.Strategy.Exhaustive
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Search strategy: $(b,exhaustive) (the full space, sweep \
+             order), $(b,random) (a seeded permutation up to the budget) \
+             or $(b,hillclimb) (seeded multi-restart neighborhood ascent \
+             on the objective).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "PRNG seed for random/hillclimb.  The same seed gives a \
+             bit-identical run — candidate sequence and frontier — for \
+             any $(b,--jobs) count.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"K"
+          ~doc:
+            "Evaluation budget: at most $(docv) distinct candidates are \
+             measured (memoized revisits are free).  Default: the whole \
+             space.")
+  in
+  let objective =
+    Arg.(
+      value
+      & opt objective_conv Dse.Engine.Quality
+      & info [ "objective" ] ~docv:"OBJ"
+          ~doc:
+            "Hillclimb objective: $(b,quality) (Q = P/A), $(b,throughput) \
+             or $(b,area).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"OUT"
+          ~doc:"Write the run record (points, frontier, stats) to $(docv).")
+  in
+  let check_fig1 =
+    Arg.(
+      value & flag
+      & info [ "check-fig1" ]
+          ~doc:
+            "Cross-check against Fig. 1: the frontier of the exhaustive \
+             strategy over the paper's sweep space must reproduce exactly \
+             the Pareto-optimal subset of the Fig. 1 point set.  Requires \
+             $(b,--strategy exhaustive) and no $(b,--budget); exits \
+             nonzero on a mismatch.")
+  in
+  let run strategy seed budget objective tools jobs json check_fig1 trace
+      keep_going fault =
+    arm_fault fault;
+    if check_fig1 && (strategy <> Dse.Strategy.Exhaustive || budget <> None)
+    then begin
+      Printf.eprintf
+        "hlsvhc dse: --check-fig1 requires --strategy exhaustive and no \
+         --budget (the check is over the full sweep space)\n";
+      exit 2
+    end;
+    let failures =
+      with_trace trace (fun () ->
+          let selected =
+            match tools with
+            | Some ts -> ts
+            | None -> Core.Design.all_tools
+          in
+          let spaces = List.map Dse.Space.of_tool selected in
+          let result =
+            Dse.Engine.run ?jobs ~keep_going ?budget ~seed ~strategy
+              ~objective spaces
+          in
+          print_string (Dse.Report.render result);
+          Option.iter
+            (fun path ->
+              Dse.Report.write_json path result;
+              Printf.eprintf "dse: wrote %s\n%!" path)
+            json;
+          if check_fig1 then begin
+            match Dse.Report.crosscheck_fig1 ?jobs ~tools:selected result with
+            | Ok msg -> print_string (msg ^ "\n")
+            | Error diff ->
+                prerr_string diff;
+                exit 1
+          end;
+          List.filter_map
+            (fun (ev : Dse.Engine.evaluated) ->
+              match ev.Dse.Engine.ev_outcome with
+              | Error e -> Some e
+              | Ok _ -> None)
+            result.Dse.Engine.res_evaluated)
+    in
+    finish_failures failures
+  in
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:
+         "Search the configuration space (exhaustive/random/hillclimb \
+          under an evaluation budget) and print the explored cloud with \
+          its Pareto frontier.")
+    Term.(
+      const run $ strategy $ seed $ budget $ objective $ tools_opt $ jobs_opt
+      $ json $ check_fig1 $ trace_opt $ keep_going_flag $ fault_opt)
+
 let stats_cmd =
   let file =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.json")
@@ -339,7 +518,7 @@ let main =
        ~doc:
          "Reproduction of 'High-Level Synthesis versus Hardware \
           Construction' (DATE 2023).")
-    [ table1_cmd; table2_cmd; fig1_cmd; comply_cmd; emit_cmd; verilog_cmd;
-      sim_cmd; sweep_cmd; waves_cmd; stats_cmd ]
+    [ table1_cmd; table2_cmd; fig1_cmd; comply_cmd; dse_cmd; emit_cmd;
+      verilog_cmd; sim_cmd; sweep_cmd; waves_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -13,6 +13,12 @@ module Measure_cache = Parallel.Memo (struct
   type t = Metrics.measured
 end)
 
+let measure_key ~matrices ~(spec : Flow.spec) d =
+  Printf.sprintf "%s/%s@%d" spec.Flow.spec_name (design_key d) matrices
+
+let is_cached ?(matrices = 4) ?(spec = Flow.idct_spec) d =
+  Measure_cache.mem (measure_key ~matrices ~spec d)
+
 (* The measurement itself is Flow.measure_uncached — the staged
    elaborate/validate/simulate/verify/synthesize/metrics pipeline.  This
    layer adds the content-keyed cache and the root "measure" span, whose
@@ -20,9 +26,7 @@ end)
    cold pipeline runs. *)
 let measure ?(matrices = 4) ?(spec = Flow.idct_spec) (d : Design.t) :
     Metrics.measured =
-  let key =
-    Printf.sprintf "%s/%s@%d" spec.Flow.spec_name (design_key d) matrices
-  in
+  let key = measure_key ~matrices ~spec d in
   Trace.with_span ~design:(Flow.span_key d) ~stage:"measure" (fun () ->
       if Trace.enabled () then
         Trace.add_counter

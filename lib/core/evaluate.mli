@@ -21,6 +21,11 @@ val measure : ?matrices:int -> ?spec:Flow.spec -> Design.t -> Metrics.measured
 val clear_measure_cache : unit -> unit
 (** Drop every memoized measurement (tests and benchmarks). *)
 
+val is_cached : ?matrices:int -> ?spec:Flow.spec -> Design.t -> bool
+(** Whether {!measure} on this design would be a cache hit right now —
+    the probe behind the DSE engine's cache-hit accounting ([matrices]
+    and [spec] default as in {!measure}). *)
+
 val measure_all :
   ?jobs:int -> ?matrices:int -> Design.t list -> Metrics.measured list
 (** [measure] mapped over independent designs on the domain pool

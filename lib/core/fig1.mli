@@ -34,6 +34,18 @@ val clear_cache : unit -> unit
 (** Drop the per-tool series cache (tests and benchmarks).  Memoized
     measurements survive; see {!Evaluate.clear_measure_cache}. *)
 
+val points : ?jobs:int -> ?tools:Design.tool list -> unit -> (Design.tool * point) list
+(** {!compute} flattened to one [(tool, point)] list in series order —
+    the point set the DSE cross-check compares against. *)
+
+val write_json : string -> series list -> unit
+(** Write the series as JSON (tool, label, area, throughput, fmax) via
+    {!Trace.write_atomic} — the machine-readable twin of the ASCII
+    scatter ([hlsvhc fig1 --json]). *)
+
+val render_series : series list -> string
+(** Render an already-computed series list (data table + scatter). *)
+
 val render : ?jobs:int -> ?tools:Design.tool list -> unit -> string
 (** Data table plus an ASCII log-log scatter of the plane. *)
 

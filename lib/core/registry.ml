@@ -30,6 +30,25 @@ let mk_shared tool label config_desc ~shared ~listing impl =
   mk tool label config_desc ~fu ~axi ~conf:0 ~listing impl
 
 (* ------------------------------------------------------------------ *)
+(* Configuration-space axes                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A tool's knob space, exposed as data next to the sweep generator that
+   realises it.  A chart is one product block of the sweep: row-major
+   enumeration of its axes (last axis fastest) covers a contiguous run of
+   [sweep], in order.  Tools whose sweep is a genuine option grid (Bambu,
+   BSC, XLS) expose the real axes; tools explored as a hand-picked ladder
+   expose a single enumerated axis. *)
+type axis = { axis_name : string; axis_values : string list }
+
+let enum_axis name values = { axis_name = name; axis_values = values }
+
+(* The default space of a ladder sweep: one "design" axis whose values are
+   the sweep labels. *)
+let ladder_space sweep =
+  [ [ enum_axis "design" (List.map (fun d -> d.label) sweep) ] ]
+
+(* ------------------------------------------------------------------ *)
 (* The tool-module signature                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -51,6 +70,9 @@ module type TOOL = sig
   val initial : Design.t
   val optimized : Design.t
   val sweep : Design.t list
+
+  (* the knob space behind [sweep], as charts of axes (see {!axis}) *)
+  val space : axis list list
 end
 
 (* ---------------- Verilog (parsed sources) ---------------- *)
@@ -86,6 +108,7 @@ module Verilog_tool : TOOL = struct
       (lazy (Verilog_designs.rowcol_circuit ()))
 
   let sweep = [ initial; row8col; optimized ]
+  let space = ladder_space sweep
 end
 
 (* ---------------- Chisel ---------------- *)
@@ -123,6 +146,7 @@ module Chisel_tool : TOOL = struct
            ~name:"chisel_optimized"))
 
   let sweep = [ initial; row8col; optimized ]
+  let space = ladder_space sweep
 end
 
 (* ---------------- BSV ---------------- *)
@@ -163,6 +187,20 @@ module Bsv_tool : TOOL = struct
              (Bsv.Options.describe o) listing_optimized
              Bsv.Idct_bsv.optimized_design o)
          Bsv.Options.all
+
+  (* Two charts: the two designs under default options, then the BSC
+     option grid on the optimized design (the nesting order of
+     [Bsv.Options.all]: urgency, mux, aggressive, effort fastest). *)
+  let space =
+    [
+      [ enum_axis "design" [ initial.Design.label; optimized.Design.label ] ];
+      [
+        enum_axis "urgency" [ "declared"; "reversed" ];
+        enum_axis "mux-style" [ "priority"; "one-hot" ];
+        enum_axis "aggressive-conditions" [ "off"; "on" ];
+        enum_axis "scheduler-effort" [ "0"; "1"; "2" ];
+      ];
+    ]
 end
 
 (* ---------------- DSLX ---------------- *)
@@ -196,6 +234,10 @@ module Dslx_tool : TOOL = struct
   let sweep =
     initial
     :: List.init 18 (fun i -> design (Printf.sprintf "stages=%d" (i + 1)) (i + 1))
+
+  (* One genuine knob: the retiming stage count (0 = combinational). *)
+  let space =
+    [ [ enum_axis "pipeline-stages" (List.init 19 string_of_int) ] ]
 end
 
 (* ---------------- MaxJ ---------------- *)
@@ -232,6 +274,7 @@ module Maxj_tool : TOOL = struct
       Maxj.Idct_maxj.simulate_opt
 
   let sweep = [ initial; optimized ]
+  let space = ladder_space sweep
 end
 
 (* ---------------- C / Bambu ---------------- *)
@@ -262,6 +305,26 @@ module Bambu_tool : TOOL = struct
 
   let sweep =
     List.map (fun c -> design (Chls.Tool.describe_bambu c) c) Chls.Tool.bambu_grid
+
+  (* The full 7 x 2 x 3 option grid, axes in the nesting order of
+     [Chls.Tool.bambu_grid] (chaining effort fastest).  The preset names
+     are read off the grid itself so the two can never drift apart. *)
+  let space =
+    let preset_names =
+      List.filter_map
+        (fun (c : Chls.Tool.bambu_config) ->
+          if (not c.Chls.Tool.sdc) && c.Chls.Tool.chain_effort = 0 then
+            Some c.Chls.Tool.preset
+          else None)
+        Chls.Tool.bambu_grid
+    in
+    [
+      [
+        enum_axis "preset" preset_names;
+        enum_axis "speculative-sdc" [ "off"; "on" ];
+        enum_axis "chaining-effort" [ "0"; "1"; "2" ];
+      ];
+    ]
 end
 
 (* ---------------- C / Vivado HLS ---------------- *)
@@ -292,6 +355,10 @@ module Vhls_tool : TOOL = struct
 
   let sweep =
     List.map (fun c -> design (Chls.Tool.describe_vhls c) c) Chls.Tool.vhls_ladder
+
+  (* The pragma ladder is a hand-picked path through the pragma space,
+     not a product grid — one enumerated axis. *)
+  let space = [ [ enum_axis "pragmas" (List.map (fun d -> d.Design.label) sweep) ] ]
 end
 
 (* ------------------------------------------------------------------ *)
@@ -322,6 +389,32 @@ let parse_tool name =
       if List.mem name T.aliases then Some T.tool else None)
     all
 
+let tool_names () =
+  List.map (fun (module T : TOOL) -> List.hd T.aliases) all
+
+(* The one [--tools] parser shared by fig1/table2/dse: comma-separated,
+   case-insensitive, whitespace-tolerant; an unknown name fails with the
+   list of valid names rather than a generic error. *)
+let unknown_tool_msg name =
+  Printf.sprintf "unknown tool %S (valid tools: %s)" name
+    (String.concat ", " (tool_names ()))
+
+let parse_tools s =
+  let names =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun n -> n <> "")
+  in
+  if names = [] then Error "no tool names given (expected e.g. verilog,bsv)"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+          match parse_tool n with
+          | None -> Error (unknown_tool_msg n)
+          | Some t -> go (if List.mem t acc then acc else t :: acc) rest)
+    in
+    go [] names
+
 let glyph t =
   let (module T) = find t in
   T.glyph
@@ -337,6 +430,10 @@ let optimized t =
 let sweep t =
   let (module T) = find t in
   T.sweep
+
+let space t =
+  let (module T) = find t in
+  T.space
 
 let delta_loc tool =
   let a = (initial tool).listing and b = (optimized tool).listing in

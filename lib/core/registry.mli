@@ -8,6 +8,13 @@
     module here (plus its constructor in {!Design.tool}) — no scattered
     per-tool matches to keep in sync. *)
 
+type axis = { axis_name : string; axis_values : string list }
+(** One knob of a tool's configuration space: a named, ordered, discrete
+    value set.  A tool's space is a list of {e charts}, each a list of
+    axes; row-major enumeration of a chart's axes (last axis fastest)
+    covers a contiguous run of the tool's [sweep], in order — the
+    invariant {!Dse.Space} checks and builds on. *)
+
 module type TOOL = sig
   val tool : Design.tool
 
@@ -32,6 +39,12 @@ module type TOOL = sig
   (** all configurations explored for the tool (the points of Fig. 1):
       Verilog 3, Chisel 3, BSC 26, XLS 19, MaxCompiler 2, Bambu 42,
       Vivado HLS 5. *)
+
+  val space : axis list list
+  (** [sweep]'s knob space as data ({!axis}): genuine option grids for
+      Bambu (preset x SDC x chaining), BSC (urgency x mux x aggressive x
+      effort, behind a two-design default chart) and XLS (pipeline
+      stages); a single enumerated axis for the hand-picked ladders. *)
 end
 
 val all : (module TOOL) list
@@ -42,6 +55,14 @@ val find : Design.tool -> (module TOOL)
 val parse_tool : string -> Design.tool option
 (** Resolve a CLI name through the modules' alias lists
     (case-insensitive). *)
+
+val tool_names : unit -> string list
+(** The primary CLI name of every registered tool, in registry order. *)
+
+val parse_tools : string -> (Design.tool list, string) result
+(** The shared [--tools] parser: a comma-separated, case-insensitive,
+    whitespace-tolerant name list, deduplicated in first-mention order.
+    An unknown name yields an error listing the valid tool names. *)
 
 val glyph : Design.tool -> char
 
@@ -55,6 +76,7 @@ val delta_loc : Design.tool -> int
     between the initial and optimized descriptions. *)
 
 val sweep : Design.tool -> Design.t list
+val space : Design.tool -> axis list list
 
 val all_designs : unit -> Design.t list
 (** Initial and optimized designs of every tool. *)

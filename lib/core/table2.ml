@@ -45,16 +45,36 @@ let compute_row verilog_initial_loc verilog_best_q tool =
 
 let computed = ref None
 
-let compute_outcomes ?jobs ~keep_going () =
+let compute_outcomes ?jobs ?tools ~keep_going () =
+  let registry_tools =
+    List.map (fun (module T : Registry.TOOL) -> T.tool) Registry.all
+  in
+  let selected =
+    match tools with
+    | None -> registry_tools
+    | Some ts -> List.filter (fun t -> List.mem t ts) registry_tools
+  in
+  let restrict rows =
+    List.filter (fun r -> List.mem r.tool selected) rows
+  in
   match !computed with
-  | Some rows -> (rows, [])
+  | Some rows -> (restrict rows, [])
   | None ->
       (* Warm the measurement cache over every initial/optimized design on
          the domain pool; the sequential row construction below then reads
          measurements back from the cache.  Keep-going warms with
          [measure_all_result] so one failed design costs its own tool's
-         column pair, not the table. *)
-      let designs = Registry.all_designs () in
+         column pair, not the table.  A [--tools] restriction still warms
+         the Verilog pair: alpha and C_Q are normalized against it. *)
+      let warm_tools =
+        if List.mem Design.Verilog selected then selected
+        else Design.Verilog :: selected
+      in
+      let designs =
+        List.concat_map
+          (fun t -> [ Registry.initial t; Registry.optimized t ])
+          warm_tools
+      in
       let failures =
         if keep_going then
           List.filter_map
@@ -99,14 +119,18 @@ let compute_outcomes ?jobs ~keep_going () =
                 in
                 Some
                   { r with optimized = { r.optimized with alpha = opt_alpha } })
-            (List.map (fun (module T : Registry.TOOL) -> T.tool) Registry.all)
+            selected
         end
       in
-      if failures = [] then computed := Some rows;
+      (* Only a complete, fault-free table enters the cache. *)
+      if failures = [] && tools = None then computed := Some rows;
       (rows, failures)
 
-let compute ?jobs () = fst (compute_outcomes ?jobs ~keep_going:false ())
-let compute_result ?jobs () = compute_outcomes ?jobs ~keep_going:true ()
+let compute ?jobs ?tools () =
+  fst (compute_outcomes ?jobs ?tools ~keep_going:false ())
+
+let compute_result ?jobs ?tools () =
+  compute_outcomes ?jobs ?tools ~keep_going:true ()
 
 let render_rows rows =
   let buf = Buffer.create 4096 in
@@ -175,8 +199,8 @@ let render_rows rows =
        (fun r -> string_of_int r.optimized.measured.Metrics.ios));
   Buffer.contents buf
 
-let render ?jobs () = render_rows (compute ?jobs ())
+let render ?jobs ?tools () = render_rows (compute ?jobs ?tools ())
 
-let render_result ?jobs () =
-  let rows, failures = compute_result ?jobs () in
+let render_result ?jobs ?tools () =
+  let rows, failures = compute_result ?jobs ?tools () in
   (render_rows rows, failures)

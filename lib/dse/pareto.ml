@@ -1,0 +1,67 @@
+type point = { pt_key : string; pt_area : int; pt_perf : float }
+
+let dominates p q =
+  p.pt_area <= q.pt_area && p.pt_perf >= q.pt_perf
+  && (p.pt_area < q.pt_area || p.pt_perf > q.pt_perf)
+
+let compare_points a b =
+  match compare a.pt_area b.pt_area with
+  | 0 -> (
+      match compare b.pt_perf a.pt_perf with
+      | 0 -> compare a.pt_key b.pt_key
+      | c -> c)
+  | c -> c
+
+(* Straight from the definition — the explored clouds are at most a few
+   hundred points, so the O(n^2) filter costs nothing and cannot drift
+   from [dominates]. *)
+let frontier points =
+  List.filter
+    (fun p -> not (List.exists (fun q -> dominates q p) points))
+    points
+  |> List.stable_sort compare_points
+
+let log_area a = log10 (float_of_int (max 1 a))
+let log_perf p = log10 (Float.max 0.01 p)
+
+let hypervolume ?ref_area ?ref_perf points =
+  match points with
+  | [] -> 0.
+  | _ ->
+      let ref_area =
+        match ref_area with
+        | Some a -> a
+        | None -> List.fold_left (fun m p -> max m p.pt_area) min_int points
+      in
+      let ref_perf =
+        match ref_perf with
+        | Some p -> p
+        | None -> List.fold_left (fun m p -> Float.min m p.pt_perf) infinity points
+      in
+      let xr = log_area ref_area and yr = log_perf ref_perf in
+      (* Normalize by the bounding box of the points so the result is
+         comparable across clouds; a degenerate box (single area or
+         single throughput) has no 2-D volume to dominate. *)
+      let xmin = List.fold_left (fun m p -> Float.min m (log_area p.pt_area)) infinity points in
+      let ymax = List.fold_left (fun m p -> Float.max m (log_perf p.pt_perf)) neg_infinity points in
+      let box = (xr -. xmin) *. (ymax -. yr) in
+      if box <= 0. then 0.
+      else
+        (* Staircase union over the frontier, walked in area order: each
+           step contributes (ref_x - x_i) * (y_i - best_y_so_far). *)
+        let front = frontier points in
+        let hv, _ =
+          List.fold_left
+            (fun (hv, y_floor) p ->
+              let x = log_area p.pt_area and y = log_perf p.pt_perf in
+              let w = Float.max 0. (xr -. x)
+              and h = Float.max 0. (y -. y_floor) in
+              (hv +. (w *. h), Float.max y_floor y))
+            (0., yr) front
+        in
+        hv /. box
+
+let summary points =
+  let front = frontier points in
+  Printf.sprintf "frontier %d of %d explored points, hypervolume %.3f"
+    (List.length front) (List.length points) (hypervolume points)

@@ -1,0 +1,36 @@
+(** Pareto dominance in the paper's Performance x Area plane.
+
+    Throughput (MOPS) is maximized and normalized area minimized — the
+    two axes of Fig. 1.  [p] dominates [q] when it is no worse on both axes
+    and strictly better on at least one; points equal on both axes do
+    not dominate each other, so coordinate ties all survive to the
+    frontier.  Every returned frontier is in the one canonical order
+    (area ascending, then throughput descending, then key ascending), so
+    two runs that explore the same cloud print the same frontier byte
+    for byte. *)
+
+type point = {
+  pt_key : string;   (** stable identity, ["Tool/label"] *)
+  pt_area : int;     (** minimized *)
+  pt_perf : float;   (** maximized, MOPS *)
+}
+
+val dominates : point -> point -> bool
+(** [dominates p q]: no worse on both axes, strictly better on one. *)
+
+val frontier : point list -> point list
+(** The non-dominated subset, in canonical order.  Input order is
+    irrelevant; duplicate coordinates are all kept. *)
+
+val compare_points : point -> point -> int
+(** The canonical total order (area asc, perf desc, key asc). *)
+
+val hypervolume : ?ref_area:int -> ?ref_perf:float -> point list -> float
+(** Normalized staircase area dominated by the frontier of the given
+    points in the log10 plane, relative to the reference corner (worst
+    area, worst throughput; defaults: the extremes of the points
+    themselves).  0 for an empty or degenerate cloud; grows toward 1 as
+    the frontier approaches the top-left corner of the bounding box. *)
+
+val summary : point list -> string
+(** One line: frontier size over cloud size plus the hypervolume. *)

@@ -1,0 +1,36 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* splitmix64: a golden-ratio Weyl sequence through a 64-bit mix
+   finalizer.  Full period over the state, passes BigCrush, and — the
+   property the DSE engine actually needs — completely defined by the
+   seed. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform draw without modulo bias: mask to the next power of two and
+   reject out-of-range values (at most one expected retry). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask =
+    let rec go m = if m >= bound - 1 then m else go ((m lsl 1) lor 1) in
+    go 1
+  in
+  let rec draw () =
+    let v = Int64.to_int (next t) land mask in
+    if v < bound then v else draw ()
+  in
+  draw ()
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,20 @@
+(** Self-contained deterministic pseudo-random numbers (splitmix64).
+
+    The search strategies depend on nothing but the seed passed on the
+    command line — no wall clock, no global [Random] state — so the same
+    seed produces a bit-identical candidate sequence on every run, every
+    machine and every [--jobs] count.  The generator is the splitmix64
+    finalizer (Steele, Lea & Flood, OOPSLA 2014), fixed here rather than
+    inherited from the stdlib so a compiler upgrade can never silently
+    change recorded explorations. *)
+
+type t
+
+val create : seed:int -> t
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0 .. bound-1] (rejection
+    sampling, no modulo bias).  [bound] must be positive. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

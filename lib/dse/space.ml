@@ -1,0 +1,147 @@
+type chart = {
+  chart_axes : Core.Registry.axis list;
+  chart_designs : Core.Design.t array;
+}
+
+type t = { tool : Core.Design.tool; charts : chart list }
+
+type candidate = {
+  cand_tool : Core.Design.tool;
+  cand_chart : int;
+  cand_coords : int array;
+  cand_design : Core.Design.t;
+}
+
+let chart_size axes =
+  List.fold_left
+    (fun n (a : Core.Registry.axis) -> n * List.length a.Core.Registry.axis_values)
+    1 axes
+
+(* Partition the tool's sweep by the declared chart sizes.  The axes are
+   metadata over the same generators that build the sweep, so the product
+   sizes must tile the design list exactly — anything else is a
+   misregistered space, caught here rather than as a silent shift of
+   every later candidate. *)
+let of_tool tool =
+  let sweep = Array.of_list (Core.Registry.sweep tool) in
+  let space = Core.Registry.space tool in
+  let total = List.fold_left (fun n axes -> n + chart_size axes) 0 space in
+  if total <> Array.length sweep then
+    invalid_arg
+      (Printf.sprintf
+         "Dse.Space.of_tool: %s declares a %d-point space over a %d-point \
+          sweep"
+         (Core.Design.tool_name tool) total (Array.length sweep));
+  let _, charts =
+    List.fold_left
+      (fun (off, acc) axes ->
+        let n = chart_size axes in
+        let chart =
+          { chart_axes = axes; chart_designs = Array.sub sweep off n }
+        in
+        (off + n, chart :: acc))
+      (0, []) space
+  in
+  { tool; charts = List.rev charts }
+
+let size t =
+  List.fold_left (fun n c -> n + Array.length c.chart_designs) 0 t.charts
+
+(* Row-major ranking within a chart: the last axis varies fastest,
+   matching the List.concat_map nesting of every registry sweep
+   generator. *)
+let rank axes coords =
+  let r = ref 0 and i = ref 0 in
+  List.iter
+    (fun (a : Core.Registry.axis) ->
+      r := (!r * List.length a.Core.Registry.axis_values) + coords.(!i);
+      incr i)
+    axes;
+  !r
+
+let unrank axes j =
+  let dims =
+    List.map (fun (a : Core.Registry.axis) -> List.length a.Core.Registry.axis_values) axes
+  in
+  let n = List.length dims in
+  let coords = Array.make n 0 in
+  let j = ref j in
+  List.iteri
+    (fun i dim ->
+      let i' = n - 1 - i in
+      coords.(i') <- !j mod dim;
+      j := !j / dim)
+    (List.rev dims);
+  coords
+
+let candidate t ci coords =
+  let chart = List.nth t.charts ci in
+  {
+    cand_tool = t.tool;
+    cand_chart = ci;
+    cand_coords = coords;
+    cand_design = chart.chart_designs.(rank chart.chart_axes coords);
+  }
+
+let candidates t =
+  List.concat
+    (List.mapi
+       (fun ci chart ->
+         List.init (Array.length chart.chart_designs) (fun j ->
+             candidate t ci (unrank chart.chart_axes j)))
+       t.charts)
+
+let neighbors t cand =
+  let chart = List.nth t.charts cand.cand_chart in
+  let dims =
+    List.map
+      (fun (a : Core.Registry.axis) -> List.length a.Core.Registry.axis_values)
+      chart.chart_axes
+  in
+  List.concat
+    (List.mapi
+       (fun i dim ->
+         List.filter_map
+           (fun delta ->
+             let v = cand.cand_coords.(i) + delta in
+             if v < 0 || v >= dim then None
+             else
+               let coords = Array.copy cand.cand_coords in
+               coords.(i) <- v;
+               Some (candidate t cand.cand_chart coords))
+           [ -1; 1 ])
+       dims)
+
+let key cand = Core.Flow.span_key cand.cand_design
+
+let coords_desc cand =
+  (* cand_chart is always a valid index into the space it came from; the
+     axes live on the design's tool, so re-derive them from the registry. *)
+  let space = Core.Registry.space cand.cand_tool in
+  let axes = List.nth space cand.cand_chart in
+  String.concat " "
+    (List.mapi
+       (fun i (a : Core.Registry.axis) ->
+         Printf.sprintf "%s=%s" a.Core.Registry.axis_name
+           (List.nth a.Core.Registry.axis_values cand.cand_coords.(i)))
+       axes)
+
+let describe t =
+  let buf = Buffer.create 256 in
+  Printf.ksprintf (Buffer.add_string buf) "%s (%d candidates):\n"
+    (Core.Design.tool_name t.tool)
+    (size t);
+  List.iter
+    (fun chart ->
+      let axes =
+        String.concat " x "
+          (List.map
+             (fun (a : Core.Registry.axis) ->
+               Printf.sprintf "%s[%d]" a.Core.Registry.axis_name
+                 (List.length a.Core.Registry.axis_values))
+             chart.chart_axes)
+      in
+      Printf.ksprintf (Buffer.add_string buf) "  %s = %d points\n" axes
+        (Array.length chart.chart_designs))
+    t.charts;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+type t = Exhaustive | Random | Hillclimb
+
+let to_string = function
+  | Exhaustive -> "exhaustive"
+  | Random -> "random"
+  | Hillclimb -> "hillclimb"
+
+let all_names = [ "exhaustive"; "random"; "hillclimb" ]
+
+let parse s =
+  match String.lowercase_ascii s with
+  | "exhaustive" -> Ok Exhaustive
+  | "random" -> Ok Random
+  | "hillclimb" -> Ok Hillclimb
+  | other ->
+      Error
+        (Printf.sprintf "unknown strategy %S (valid strategies: %s)" other
+           (String.concat ", " all_names))
