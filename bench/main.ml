@@ -183,17 +183,22 @@ let extension_second_kernel () =
     \ favours HC even more, since the HLS designs stay memory-bound)\n"
 
 (* ------------------------------------------------------------------ *)
-(* Simulation engines: compiled (Hw.Compile, behind Hw.Sim) vs the      *)
-(* retained reference interpreter (Hw.Interp)                           *)
+(* Simulation engines: levelized batch (Hw.Compile, behind Hw.Sim) vs   *)
+(* the retained cone engine (Hw.Cone) and reference interpreter         *)
 (* ------------------------------------------------------------------ *)
 
 type engine_row = {
   er_name : string;
   er_nodes : int;          (* netlist nodes *)
-  er_compiled : int;       (* nodes left in the compiled schedule *)
+  er_compiled : int;       (* instructions in the levelized schedule *)
   er_ref_cps : float;      (* reference interpreter, cycles/sec *)
-  er_comp_cps : float;     (* compiled engine, cycles/sec *)
+  er_cone_cps : float;     (* retained cone engine, cycles/sec *)
+  er_level_cps : float;    (* levelized engine at batch 1, cycles/sec *)
+  er_batch : int;          (* lanes in the batched run *)
+  er_batch_cps : float;    (* levelized batched, aggregate lane-cycles/sec *)
 }
+
+let bench_batch = 8
 
 let stream_circuit (d : Core.Design.t) =
   match d.Core.Design.impl with
@@ -201,19 +206,68 @@ let stream_circuit (d : Core.Design.t) =
   | Core.Design.Pcie _ -> assert false
 
 (* Deterministic stimulus: every input wiggles every cycle, every output is
-   read every cycle and folded into a checksum, so neither engine can cheat
-   and the two checksums double as a correctness check. *)
+   read every cycle and folded into a checksum, so no engine can cheat and
+   the checksums double as a correctness check.  [lane_salt] perturbs the
+   stream per batch lane; lane 0 uses salt 0, so its checksum is comparable
+   with the single-lane engines'. *)
+let stimulus ~lane_salt k i = ((k * 0x9E37) lxor (i * 0x79B9)) + lane_salt
+
 let drive ~set ~get ~step (c : Hw.Netlist.t) cycles =
   let ins = List.map fst c.Hw.Netlist.inputs
   and outs = List.map fst c.Hw.Netlist.outputs in
   let sum = ref 0 in
   let t0 = Unix.gettimeofday () in
   for k = 0 to cycles - 1 do
-    List.iteri (fun i nm -> set nm ((k * 0x9E37) lxor (i * 0x79B9))) ins;
+    List.iteri (fun i nm -> set nm (stimulus ~lane_salt:0 k i)) ins;
     List.iter (fun nm -> sum := !sum lxor get nm) outs;
     step ()
   done;
   (Unix.gettimeofday () -. t0, !sum)
+
+(* Every lane driven with its own salted stream; only lane 0's outputs are
+   folded into the checksum (the per-lane streams are cross-checked by
+   Equiv.crosscheck_batch before any timing runs). *)
+let drive_batch sim (c : Hw.Netlist.t) cycles =
+  let ins = List.map fst c.Hw.Netlist.inputs
+  and outs = List.map fst c.Hw.Netlist.outputs in
+  let b = Hw.Sim.batch sim in
+  let sum = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for k = 0 to cycles - 1 do
+    for lane = 0 to b - 1 do
+      List.iteri
+        (fun i nm ->
+          Hw.Sim.set_lane sim ~lane nm (stimulus ~lane_salt:(lane * 0x5b) k i))
+        ins
+    done;
+    List.iter (fun nm -> sum := !sum lxor Hw.Sim.get_lane sim ~lane:0 nm) outs;
+    Hw.Sim.batch_step sim
+  done;
+  (Unix.gettimeofday () -. t0, !sum)
+
+(* Per-engine timing: calibrate THIS engine's cycle count until one timed
+   run takes >= 0.3 s (a count calibrated on a fast engine would let a
+   slow one take minutes, and vice versa leave the fast one measuring
+   timer noise in microseconds), then take the best of 3 runs at that
+   count.  [run] must create a fresh simulator per call so every run
+   starts from reset. *)
+let time_cps run =
+  let target = 0.3 in
+  let n = ref 512 in
+  let dt = ref (fst (run !n)) in
+  while !dt < target do
+    (* Scale toward ~1.2x the target using the measured rate; the [max]
+       guarantees progress even on a sub-resolution measurement. *)
+    let scale = 1.2 *. target /. Float.max !dt 1e-6 in
+    n := max (!n + 1) (int_of_float (float_of_int !n *. Float.min scale 64.));
+    dt := fst (run !n)
+  done;
+  let best = ref !dt in
+  for _ = 1 to 2 do
+    let d, _ = run !n in
+    if d < !best then best := d
+  done;
+  float_of_int !n /. Float.max !best epsilon_float
 
 let measure_engines name c =
   (match Hw.Equiv.crosscheck ~cycles:256 c with
@@ -222,43 +276,54 @@ let measure_engines name c =
       failwith
         (Format.asprintf "engine crosscheck failed on %s: %a" name
            Hw.Equiv.pp_result r));
-  (* Calibrate the cycle count on the compiled engine (~0.3 s), then run
-     the same count on both engines so the checksums are comparable. *)
-  let cycles =
-    let sim = Hw.Sim.create c in
-    let t0 = Unix.gettimeofday () in
-    let n = ref 0 in
-    while Unix.gettimeofday () -. t0 < 0.3 do
-      let dt, _ =
-        drive ~set:(Hw.Sim.set sim) ~get:(Hw.Sim.get sim)
-          ~step:(fun () -> Hw.Sim.step sim)
-          c 512
-      in
-      ignore dt;
-      n := !n + 512
-    done;
-    max 2048 !n
-  in
-  let sim = Hw.Sim.create c in
-  let comp_dt, comp_sum =
-    drive ~set:(Hw.Sim.set sim) ~get:(Hw.Sim.get sim)
-      ~step:(fun () -> Hw.Sim.step sim)
-      c cycles
-  in
-  let itp = Hw.Interp.create c in
-  let ref_dt, ref_sum =
+  (match Hw.Equiv.crosscheck_batch ~cycles:128 ~lanes:bench_batch c with
+  | Hw.Equiv.Equivalent -> ()
+  | r ->
+      failwith
+        (Format.asprintf "batched crosscheck failed on %s: %a" name
+           Hw.Equiv.pp_result r));
+  let run_ref n =
+    let itp = Hw.Interp.create c in
     drive ~set:(Hw.Interp.set itp) ~get:(Hw.Interp.get itp)
       ~step:(fun () -> Hw.Interp.step itp)
-      c cycles
+      c n
   in
-  if comp_sum <> ref_sum then
-    failwith (Printf.sprintf "engine checksum mismatch on %s" name);
+  let run_cone n =
+    let sim = Hw.Cone.create c in
+    drive ~set:(Hw.Cone.set sim) ~get:(Hw.Cone.get sim)
+      ~step:(fun () -> Hw.Cone.step sim)
+      c n
+  in
+  let run_level n =
+    let sim = Hw.Sim.create c in
+    drive ~set:(Hw.Sim.set sim) ~get:(Hw.Sim.get sim)
+      ~step:(fun () -> Hw.Sim.step sim)
+      c n
+  in
+  let run_batch n = drive_batch (Hw.Sim.create_batch ~batch:bench_batch c) c n in
+  (* Fixed-length checksum pass on fresh instances: all engines (and the
+     batched run's lane 0) must fold the identical output stream. *)
+  let check_cycles = 2048 in
+  let _, ref_sum = run_ref check_cycles in
+  let _, cone_sum = run_cone check_cycles in
+  let _, level_sum = run_level check_cycles in
+  let _, batch_sum = run_batch check_cycles in
+  if not (cone_sum = ref_sum && level_sum = ref_sum && batch_sum = ref_sum)
+  then failwith (Printf.sprintf "engine checksum mismatch on %s" name);
+  let ref_cps = time_cps run_ref in
+  let cone_cps = time_cps run_cone in
+  let level_cps = time_cps run_level in
+  (* Aggregate throughput: each batched step advances [bench_batch] lanes. *)
+  let batch_cps = time_cps run_batch *. float_of_int bench_batch in
   {
     er_name = name;
     er_nodes = Hw.Netlist.num_nodes c;
     er_compiled = Hw.Compile.compiled_nodes (Hw.Compile.create c);
-    er_ref_cps = float_of_int cycles /. ref_dt;
-    er_comp_cps = float_of_int cycles /. comp_dt;
+    er_ref_cps = ref_cps;
+    er_cone_cps = cone_cps;
+    er_level_cps = level_cps;
+    er_batch = bench_batch;
+    er_batch_cps = batch_cps;
   }
 
 let sim_engine_rows () =
@@ -276,14 +341,24 @@ let sim_engine_rows () =
   List.map (fun (name, c) -> measure_engines name c) [ verilog; bambu_largest ]
 
 let render_engine_rows rows =
-  Printf.printf "%-18s %8s %9s %14s %14s %9s\n" "design" "nodes" "compiled"
-    "ref cyc/s" "compiled cyc/s" "speedup";
+  Printf.printf "%-18s %7s %8s %12s %12s %12s %14s %9s %9s\n" "design" "nodes"
+    "compiled" "ref cyc/s" "cone cyc/s" "level cyc/s"
+    (Printf.sprintf "batch%d lc/s" bench_batch)
+    "lvl/ref" "bat/cone";
   List.iter
     (fun r ->
-      Printf.printf "%-18s %8d %9d %14.0f %14.0f %8.2fx\n" r.er_name
-        r.er_nodes r.er_compiled r.er_ref_cps r.er_comp_cps
-        (r.er_comp_cps /. r.er_ref_cps))
+      Printf.printf "%-18s %7d %8d %12.0f %12.0f %12.0f %14.0f %8.2fx %8.2fx\n"
+        r.er_name r.er_nodes r.er_compiled r.er_ref_cps r.er_cone_cps
+        r.er_level_cps r.er_batch_cps
+        (r.er_level_cps /. r.er_ref_cps)
+        (r.er_batch_cps /. r.er_cone_cps))
     rows
+
+(* The perf trajectory across PRs, per design: what the recorded engine of
+   each era did on this benchmark.  PR 1's numbers are the committed
+   BENCH_sim.json of that era (closure cone engine, this machine class);
+   the current entry is re-measured by this run. *)
+let pr1_recorded = [ ("verilog_initial", 45563.6, 3.302); ("bambu_initial", 200362.5, 3.135) ]
 
 let write_engine_json path rows =
   (* temp-file + rename: a crash mid-bench never truncates the recorded
@@ -294,16 +369,52 @@ let write_engine_json path rows =
     (fun i r ->
       Printf.fprintf oc
         "    {\"name\": \"%s\", \"nodes\": %d, \"compiled_nodes\": %d, \
-         \"reference_cps\": %.1f, \"compiled_cps\": %.1f, \"speedup\": %.3f}%s\n"
-        r.er_name r.er_nodes r.er_compiled r.er_ref_cps r.er_comp_cps
-        (r.er_comp_cps /. r.er_ref_cps)
+         \"reference_cps\": %.1f, \"cone_cps\": %.1f, \"level_cps\": %.1f, \
+         \"batch\": %d, \"batch_lane_cps\": %.1f, \"speedup_vs_reference\": \
+         %.3f, \"batch_speedup_vs_cone\": %.3f}%s\n"
+        r.er_name r.er_nodes r.er_compiled r.er_ref_cps r.er_cone_cps
+        r.er_level_cps r.er_batch r.er_batch_cps
+        (r.er_level_cps /. r.er_ref_cps)
+        (r.er_batch_cps /. r.er_cone_cps)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ],\n  \"trajectory\": [\n";
+  List.iteri
+    (fun i r ->
+      let pr1 =
+        List.find_opt (fun (nm, _, _) -> nm = r.er_name) pr1_recorded
+      in
+      (match pr1 with
+      | Some (_, cps, speedup) ->
+          Printf.fprintf oc
+            "    {\"design\": \"%s\", \"engine\": \"cone (PR 1, recorded)\", \
+             \"cps\": %.1f, \"speedup_vs_reference\": %.3f},\n"
+            r.er_name cps speedup
+      | None -> ());
+      Printf.fprintf oc
+        "    {\"design\": \"%s\", \"engine\": \"cone (this run)\", \"cps\": \
+         %.1f, \"speedup_vs_reference\": %.3f},\n"
+        r.er_name r.er_cone_cps
+        (r.er_cone_cps /. r.er_ref_cps);
+      Printf.fprintf oc
+        "    {\"design\": \"%s\", \"engine\": \"levelized batch=1\", \
+         \"cps\": %.1f, \"speedup_vs_reference\": %.3f},\n"
+        r.er_name r.er_level_cps
+        (r.er_level_cps /. r.er_ref_cps);
+      Printf.fprintf oc
+        "    {\"design\": \"%s\", \"engine\": \"levelized batch=%d\", \
+         \"cps\": %.1f, \"speedup_vs_reference\": %.3f}%s\n"
+        r.er_name r.er_batch r.er_batch_cps
+        (r.er_batch_cps /. r.er_ref_cps)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "  ]\n}\n");
   Printf.printf "(wrote %s)\n%!" path
 
 let sim_engines () =
-  section "Simulation engines: compiled (Hw.Sim) vs reference interpreter";
+  section
+    "Simulation engines: levelized batch (Hw.Sim) vs cone engine vs \
+     reference interpreter";
   let rows = sim_engine_rows () in
   render_engine_rows rows;
   write_engine_json "BENCH_sim.json" rows

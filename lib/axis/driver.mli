@@ -7,7 +7,13 @@
 
     Beats within one matrix are issued back to back (the adapters'
     streaming contract); [input_gap] idle cycles may be inserted between
-    matrices, and [ready_pattern] can exercise back-pressure. *)
+    matrices, and [ready_pattern] can exercise back-pressure.
+
+    With [batch > 1] the matrix list is split into contiguous chunks, one
+    per simulation lane of the levelized engine, and every lane runs its
+    own independent copy of the testbench on a shared clock — one pass
+    over the compiled schedule advances all of them.  Results concatenate
+    back in input order; protocol monitoring runs per lane. *)
 
 type result = {
   outputs : Idct.Block.t list;
@@ -16,22 +22,26 @@ type result = {
           output beat (measured on the final matrix) *)
   periodicity : int;
       (** steady-state distance in cycles between consecutive matrices'
-          first input beats *)
+          first input beats; in a batched run, measured within the lane
+          holding the final matrix *)
   cycles : int;              (** total simulated cycles *)
   violations : Monitor.violation list;
 }
 
 type engine = Compiled | Reference
 (** Which simulation engine runs the testbench: [Compiled] is {!Hw.Sim}
-    (the compiled engine — the default and the historical behavior);
-    [Reference] is the retained interpreter {!Hw.Interp}, kept drivable
-    end to end so the measurement flow can degrade onto it when the
-    compiled engine fails on a design.  The two are cycle-equivalent
+    (the levelized batch engine — the default and the historical
+    behavior); [Reference] is the retained interpreter {!Hw.Interp}, kept
+    drivable end to end so the measurement flow can degrade onto it when
+    the compiled engine fails on a design.  [Reference] has no batch
+    dimension, so a batched run instantiates one interpreter per lane and
+    steps them in lockstep.  The engines are cycle-equivalent
     ({!Hw.Equiv.crosscheck}); only wall time and the schedule-size hook
     counter differ ([sim_thunks] vs [interp_nodes]). *)
 
 val run :
   ?engine:engine ->
+  ?batch:int ->
   ?input_gap:int ->
   ?ready_pattern:(int -> bool) ->
   ?timeout:int ->
@@ -39,17 +49,33 @@ val run :
   Hw.Netlist.t ->
   Idct.Block.t list ->
   result
-(** @raise Failure if the circuit lacks the port convention or the
+(** [batch] (default 1) is the number of simulation lanes the matrices
+    are spread across.
+    @raise Failure if the circuit lacks the port convention or the
     simulation exceeds [timeout] cycles.  The default budget of 200 per
-    matrix + 2000 (plus input gaps) is scaled by the inverse of
-    [ready_pattern]'s duty cycle, sampled over the first 1024 cycles, so
-    a slow-but-correct consumer is not misreported as a timeout —
-    patterns must therefore be pure functions of the cycle number.  The
-    timeout message reports collected-vs-expected output beats and
-    consumed input beats.  [hook] is a stage hook for observability
-    layers: called with [sim_thunks] (compiled schedule size) after the
-    simulator is built and [cycles] when the stream drains; it must not
-    affect the result. *)
+    matrix + 2000 (plus input gaps) is sized by the longest lane's chunk —
+    not the whole stream — so a batched run is never held to a budget it
+    cannot meet, and is scaled by the inverse of [ready_pattern]'s duty
+    cycle, sampled over the first 1024 cycles, so a slow-but-correct
+    consumer is not misreported as a timeout — patterns must therefore be
+    pure functions of the cycle number.  The timeout message reports
+    cycles simulated, the sampled duty cycle, the batch width, and
+    collected-vs-expected output beats and consumed input beats.  [hook]
+    is a stage hook for observability layers: called with [sim_thunks]
+    (compiled schedule size) after the simulator is built, [sim_batch]
+    (lane count, only when batching is actually in effect) and [cycles]
+    when the stream drains; it must not affect the result. *)
 
 val transform : Hw.Netlist.t -> Idct.Block.t -> Idct.Block.t
 (** Convenience: push one matrix through and return the result. *)
+
+val transform_batch :
+  ?hook:(string -> int -> unit) ->
+  Hw.Netlist.t ->
+  Idct.Block.t list ->
+  Idct.Block.t list
+(** Bulk [transform]: each matrix is an independent fresh-reset
+    single-matrix run mapped onto its own simulation lane (capped at 64
+    lanes per simulator instance), so the outputs are byte-for-byte what
+    per-matrix {!transform} calls would return — at a fraction of the
+    schedule sweeps. *)

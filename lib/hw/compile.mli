@@ -1,66 +1,85 @@
-(** Compiled cycle-accurate simulation of {!Netlist} circuits.
+(** Levelized batch-parallel compiled simulation of {!Netlist} circuits.
 
-    The netlist is specialized once at {!create} time: every live node in
-    the levelized combinational order becomes a closure with its operand
-    indices, masks and sign-extension constants resolved, so the per-cycle
-    hot loop is an indirect call per node instead of a kind dispatch plus
-    width-table lookups.  Nodes outside the fan-in cone of the outputs,
-    register inputs and memory write ports are eliminated from the schedule
-    (they remain observable through {!peek}), and settling re-evaluates only
-    the schedule slots downstream of what actually changed.
+    The live schedule is levelized once at {!create} time into a flat
+    struct-of-arrays instruction table — integer opcodes with all masks,
+    shift amounts and sign constants resolved — and every node's value
+    lives in one preallocated [int array].  The steady-state path
+    allocates nothing and makes no indirect calls: settling is a single
+    sweep of the table.
 
-    {!Sim} — the simulation interface the rest of the system uses — is a
-    façade over this module; {!Interp} is the retained reference
-    interpreter it is cross-checked against ({!Equiv.crosscheck}). *)
+    [create ?batch] adds a batch dimension: the value array is laid out
+    [uid * batch + lane] and each instruction's inner loop evaluates all
+    lanes, so one pass over the schedule advances [batch] independent
+    simulations of the same circuit in lockstep.  All lanes share the
+    clock ({!step} advances every lane); they differ only in the inputs
+    driven per lane and the state that evolves from them.
+
+    Dead-node elimination and concat-chain fusion are inherited from the
+    retained cone engine ({!Cone}); {!peek} of an eliminated node falls
+    back to per-lane on-demand evaluation.  {!Equiv.crosscheck} checks
+    this engine against both {!Interp} and {!Cone} on every design. *)
 
 type t
 
-val create : Netlist.t -> t
-(** Compiles the evaluation schedule.  The circuit must already be valid. *)
+val create : ?batch:int -> Netlist.t -> t
+(** Levelizes the evaluation schedule.  The circuit must already be
+    valid.  [batch] (default 1) is the number of independent simulation
+    lanes; it is fixed for the lifetime of the instance.
+    @raise Invalid_argument if [batch < 1]. *)
 
 val circuit : t -> Netlist.t
 
+val batch : t -> int
+(** The number of lanes this instance was created with. *)
+
 val compiled_nodes : t -> int
-(** Number of nodes in the compiled schedule (after dead-node elimination
-    and source removal). *)
+(** Number of instructions in the levelized schedule (after dead-node
+    elimination, source removal and concat fusion). *)
 
 val total_nodes : t -> int
 (** Number of nodes in the underlying netlist. *)
 
 val reset : t -> unit
-(** Loads every register with its [init] value and zeroes the memories.
-    Inputs keep their current values (initially 0). *)
+(** Loads every register with its [init] value and zeroes the memories,
+    in every lane.  Inputs keep their current values (initially 0). *)
 
-val set : t -> string -> int -> unit
-(** [set sim port v] drives input [port] with [v] (masked to the port
-    width; negative values are taken as two's complement).  Marks only the
-    changed input's downstream cone for re-evaluation — a no-change [set]
-    is free.
-    @raise Invalid_argument on an unknown input name, listing the circuit's
-    input ports. *)
+val set : ?lane:int -> t -> string -> int -> unit
+(** [set ~lane sim port v] drives input [port] of lane [lane] (default 0)
+    with [v] (masked to the port width; negative values are taken as
+    two's complement).
+    @raise Invalid_argument on an unknown input name (listing the
+    circuit's input ports) or an out-of-range lane. *)
 
-val get : t -> string -> int
-(** Unsigned value of an output port, after settling the fabric.
-    @raise Invalid_argument on an unknown output name. *)
+val get : ?lane:int -> t -> string -> int
+(** Unsigned value of an output port in lane [lane] (default 0), after
+    settling the fabric.
+    @raise Invalid_argument on an unknown output name or a bad lane. *)
 
-val get_signed : t -> string -> int
+val get_signed : ?lane:int -> t -> string -> int
 
 val step : t -> unit
-(** One rising clock edge: settle, gather enabled memory writes, latch all
-    registers, then apply the writes in declared port order (on an address
-    conflict the later-declared port wins). *)
+(** One rising clock edge for every lane: settle, gather enabled memory
+    writes, latch all registers, then apply the writes in declared port
+    order (on an address conflict the later-declared port wins — the
+    resolution is per lane). *)
+
+val batch_step : t -> unit
+(** Explicit batched entry point; identical to {!step}.  The name exists
+    so batched drivers read as what they are. *)
 
 val step_n : t -> int -> unit
 
-val peek : t -> Netlist.uid -> int
-(** Unsigned value of an arbitrary node, after settling.  Nodes eliminated
-    from the schedule are evaluated on demand (memoized until the next
-    state change), so waveform recording over dead logic still works. *)
+val peek : ?lane:int -> t -> Netlist.uid -> int
+(** Unsigned value of an arbitrary node in lane [lane] (default 0), after
+    settling.  Nodes eliminated from the schedule are evaluated on demand
+    (memoized per lane until the next state change), so waveform
+    recording over dead logic still works. *)
 
-val peek_signed : t -> Netlist.uid -> int
+val peek_signed : ?lane:int -> t -> Netlist.uid -> int
 
 val cycle_count : t -> int
 (** Number of {!step}s since creation or the last {!reset}. *)
 
-val mem_word : t -> Netlist.mem_id -> int -> int
-(** Current contents of one memory word (for state cross-checks). *)
+val mem_word : ?lane:int -> t -> Netlist.mem_id -> int -> int
+(** Current contents of one memory word in lane [lane] (for state
+    cross-checks). *)

@@ -1,0 +1,691 @@
+(* Closure-specialized dirty-cone simulation engine.
+
+   This was the production engine between PR 1 and PR 6; it is retained —
+   like the reference interpreter ({!Interp}) — as an independent oracle
+   for the levelized batch engine ({!Compile}) that replaced it behind
+   {!Sim}.  {!Equiv.crosscheck} runs all three on every design.
+
+   [create] walks the levelized combinational order once and specializes
+   every live node into a [unit -> unit] closure whose operand indices,
+   masks and sign-extension constants are resolved at compile time — the
+   per-cycle [match nd.kind] dispatch and width-table lookups of the
+   reference interpreter ({!Interp}) disappear from the hot loop.
+
+   Two further cuts on the schedule:
+
+   - dead-node elimination: only nodes inside the fan-in cone of an output,
+     a register input (d/enable) or a memory write port are scheduled.
+     [peek] on an eliminated node falls back to an on-demand recursive
+     evaluation memoized per state generation, so observability (waves,
+     debugging) is preserved.
+
+   - dirty cones: [set] marks only the schedule positions downstream of the
+     changed input, [step] marks only the positions downstream of registers
+     and memory reads, and [settle] re-evaluates just the marked slots.  A
+     [set] that does not change the input's value marks nothing. *)
+
+type wport = {
+  wp_mem : int;
+  wp_en : Netlist.uid;
+  wp_addr : Netlist.uid;
+  wp_data : Netlist.uid;
+  wp_size : int;
+}
+
+type t = {
+  c : Netlist.t;
+  values : int array;                 (* by uid *)
+  masks : int array;                  (* by uid *)
+  widths : int array;                 (* by uid *)
+  (* Compiled combinational schedule (topological order over live nodes). *)
+  thunks : (unit -> unit) array;      (* by schedule position *)
+  pending : Bytes.t;                  (* scratch for sparse settles *)
+  mutable queued : int array list;    (* dirty cones since the last settle *)
+  mutable queued_all : bool;
+  seq_cone : int array;               (* positions downstream of regs/memories *)
+  resident : bool array;              (* uid: value is current after [settle] *)
+  ports_in : (string, Netlist.uid * int array) Hashtbl.t;  (* name -> uid, cone *)
+  ports_out : (string, Netlist.uid) Hashtbl.t;
+  (* Registers, flattened for the latch loop. *)
+  regs : Netlist.uid array;
+  reg_d : int array;
+  reg_en : int array;                 (* -1 = always enabled *)
+  reg_init : int array;
+  reg_next : int array;               (* scratch for atomic update *)
+  (* Memories and their write ports in declared order. *)
+  mem_data : int array array;
+  wports : wport array;
+  w_addr_s : int array;               (* gather scratch, by port *)
+  w_data_s : int array;
+  w_live : bool array;
+  (* On-demand evaluation of eliminated nodes. *)
+  dead_gen : int array;               (* by uid; = generation when memoized *)
+  mutable generation : int;
+  mutable cycles : int;
+}
+
+let mask_of_width = Interp.mask_of_width
+
+(* ------------------------------------------------------------------ *)
+(* Closure specialization                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* All operand indices are < |values| by construction and every stored
+   value is pre-masked, so the closures use unsafe array accesses; memory
+   addresses are still range-checked. *)
+(* Every branch builds a single flat closure over raw [Array.unsafe_get] /
+   [Array.unsafe_set] so an evaluation is exactly one indirect call — no
+   helper closures inside the thunk bodies (those cost a second indirect
+   call per operand on the default compiler). *)
+let compile_node values widths mem_data ~concat_plan (nd : Netlist.node) masks
+    =
+  let u = nd.uid in
+  let m = masks.(u) in
+  let v = values in
+  match nd.kind with
+  | Netlist.Input _ | Netlist.Const _ | Netlist.Reg _ ->
+      assert false (* sources are never scheduled *)
+  | Netlist.Unop (Netlist.Not, a) ->
+      fun () -> Array.unsafe_set v u (lnot (Array.unsafe_get v a) land m)
+  | Netlist.Unop (Netlist.Neg, a) ->
+      fun () -> Array.unsafe_set v u (-Array.unsafe_get v a land m)
+  | Netlist.Binop (op, a, b) -> (
+      match op with
+      | Netlist.Add ->
+          fun () ->
+            Array.unsafe_set v u
+              ((Array.unsafe_get v a + Array.unsafe_get v b) land m)
+      | Netlist.Sub ->
+          fun () ->
+            Array.unsafe_set v u
+              ((Array.unsafe_get v a - Array.unsafe_get v b) land m)
+      | Netlist.Mul ->
+          if widths.(a) <= 31 then
+            fun () ->
+              Array.unsafe_set v u
+                (Array.unsafe_get v a * Array.unsafe_get v b land m)
+          else
+            fun () ->
+              let x = Array.unsafe_get v a and y = Array.unsafe_get v b in
+              Array.unsafe_set v u
+                ((((x land 0xFFFF) * y) + (((x lsr 16) * y) lsl 16)) land m)
+      | Netlist.And ->
+          fun () ->
+            Array.unsafe_set v u (Array.unsafe_get v a land Array.unsafe_get v b)
+      | Netlist.Or ->
+          fun () ->
+            Array.unsafe_set v u (Array.unsafe_get v a lor Array.unsafe_get v b)
+      | Netlist.Xor ->
+          fun () ->
+            Array.unsafe_set v u (Array.unsafe_get v a lxor Array.unsafe_get v b)
+      | Netlist.Shl ->
+          (* Guard against the result width: the result node may be wider
+             than the operand, and those shifts are legal. *)
+          let rw = widths.(u) in
+          fun () ->
+            let y = Array.unsafe_get v b in
+            Array.unsafe_set v u
+              (if y >= rw then 0 else Array.unsafe_get v a lsl y land m)
+      | Netlist.Shr ->
+          let wa = widths.(a) in
+          fun () ->
+            let y = Array.unsafe_get v b in
+            Array.unsafe_set v u
+              (if y >= wa then 0 else Array.unsafe_get v a lsr y)
+      | Netlist.Sra ->
+          let sign = 1 lsl (widths.(a) - 1) in
+          let adj = 1 lsl widths.(a) and hi = widths.(a) - 1 in
+          fun () ->
+            let x = Array.unsafe_get v a in
+            let x = if x land sign <> 0 then x - adj else x in
+            Array.unsafe_set v u (x asr min (Array.unsafe_get v b) hi land m)
+      | Netlist.Eq ->
+          fun () ->
+            Array.unsafe_set v u
+              (if Array.unsafe_get v a = Array.unsafe_get v b then 1 else 0)
+      | Netlist.Ne ->
+          fun () ->
+            Array.unsafe_set v u
+              (if Array.unsafe_get v a <> Array.unsafe_get v b then 1 else 0)
+      | Netlist.Lt Netlist.Unsigned ->
+          fun () ->
+            Array.unsafe_set v u
+              (if Array.unsafe_get v a < Array.unsafe_get v b then 1 else 0)
+      | Netlist.Le Netlist.Unsigned ->
+          fun () ->
+            Array.unsafe_set v u
+              (if Array.unsafe_get v a <= Array.unsafe_get v b then 1 else 0)
+      | Netlist.Lt Netlist.Signed ->
+          let sga = 1 lsl (widths.(a) - 1) and ada = 1 lsl widths.(a) in
+          let sgb = 1 lsl (widths.(b) - 1) and adb = 1 lsl widths.(b) in
+          fun () ->
+            let x = Array.unsafe_get v a and y = Array.unsafe_get v b in
+            let x = if x land sga <> 0 then x - ada else x in
+            let y = if y land sgb <> 0 then y - adb else y in
+            Array.unsafe_set v u (if x < y then 1 else 0)
+      | Netlist.Le Netlist.Signed ->
+          let sga = 1 lsl (widths.(a) - 1) and ada = 1 lsl widths.(a) in
+          let sgb = 1 lsl (widths.(b) - 1) and adb = 1 lsl widths.(b) in
+          fun () ->
+            let x = Array.unsafe_get v a and y = Array.unsafe_get v b in
+            let x = if x land sga <> 0 then x - ada else x in
+            let y = if y land sgb <> 0 then y - adb else y in
+            Array.unsafe_set v u (if x <= y then 1 else 0))
+  | Netlist.Mux (s, a, b) ->
+      fun () ->
+        Array.unsafe_set v u
+          (if Array.unsafe_get v s <> 0 then Array.unsafe_get v a
+           else Array.unsafe_get v b)
+  | Netlist.Slice (a, _, lo) ->
+      fun () -> Array.unsafe_set v u (Array.unsafe_get v a lsr lo land m)
+  | Netlist.Concat _ -> (
+      (* [concat_plan] flattens absorbed fanout-1 concat chains into this
+         node, so one call assembles the whole word from its leaves.
+         Operands are pre-masked and offsets sum to the result width, so
+         no final mask is needed. *)
+      match concat_plan u with
+      | [| (a, sa); (b, sb) |] ->
+          fun () ->
+            Array.unsafe_set v u
+              (Array.unsafe_get v a lsl sa lor Array.unsafe_get v b lsl sb)
+      | [| (a, sa); (b, sb); (c, sc) |] ->
+          fun () ->
+            Array.unsafe_set v u
+              (Array.unsafe_get v a lsl sa
+              lor Array.unsafe_get v b lsl sb
+              lor Array.unsafe_get v c lsl sc)
+      | [| (a, sa); (b, sb); (c, sc); (d, sd) |] ->
+          fun () ->
+            Array.unsafe_set v u
+              (Array.unsafe_get v a lsl sa
+              lor Array.unsafe_get v b lsl sb
+              lor Array.unsafe_get v c lsl sc
+              lor Array.unsafe_get v d lsl sd)
+      | leaves ->
+          let k = Array.length leaves in
+          let uids = Array.map fst leaves and shifts = Array.map snd leaves in
+          fun () ->
+            let acc = ref 0 in
+            for i = 0 to k - 1 do
+              acc :=
+                !acc
+                lor Array.unsafe_get v (Array.unsafe_get uids i)
+                    lsl Array.unsafe_get shifts i
+            done;
+            Array.unsafe_set v u !acc)
+  | Netlist.Uext a -> fun () -> Array.unsafe_set v u (Array.unsafe_get v a)
+  | Netlist.Sext a ->
+      let sign = 1 lsl (widths.(a) - 1) and adj = 1 lsl widths.(a) in
+      fun () ->
+        let x = Array.unsafe_get v a in
+        Array.unsafe_set v u
+          ((if x land sign <> 0 then x - adj else x) land m)
+  | Netlist.Mem_read (mem, addr) ->
+      let contents = mem_data.(mem) in
+      let len = Array.length contents in
+      fun () ->
+        let a = Array.unsafe_get v addr in
+        Array.unsafe_set v u
+          (if a < len then Array.unsafe_get contents a else 0)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let is_source (nd : Netlist.node) =
+  match nd.kind with
+  | Netlist.Input _ | Netlist.Const _ | Netlist.Reg _ -> true
+  | _ -> false
+
+let create c =
+  let n = Netlist.num_nodes c in
+  let masks = Array.make n 0 and widths = Array.make n 0 in
+  Array.iter
+    (fun (nd : Netlist.node) ->
+      masks.(nd.uid) <- mask_of_width nd.width;
+      widths.(nd.uid) <- nd.width)
+    c.Netlist.nodes;
+  (* Liveness: backward closure from outputs, register inputs and memory
+     write ports.  Everything else is dead combinational logic. *)
+  let live = Array.make n false in
+  let rec mark u =
+    if not live.(u) then begin
+      live.(u) <- true;
+      List.iter mark (Netlist.operands (Netlist.node c u))
+    end
+  in
+  List.iter (fun (_, u) -> mark u) c.Netlist.outputs;
+  Array.iter
+    (fun (nd : Netlist.node) ->
+      match nd.kind with
+      | Netlist.Reg { d; enable; _ } ->
+          mark d;
+          Option.iter mark enable
+      | _ -> ())
+    c.Netlist.nodes;
+  Array.iter
+    (fun (m : Netlist.mem) ->
+      List.iter
+        (fun (w : Netlist.write_port) ->
+          mark w.Netlist.w_enable;
+          mark w.Netlist.w_addr;
+          mark w.Netlist.w_data)
+        m.Netlist.mem_writes)
+    c.Netlist.mems;
+  (* Concat-tree fusion: elaborated netlists assemble wide words bit by
+     bit, so concat chains dominate real schedules.  A live concat whose
+     only consumer is another live concat (and which feeds nothing else —
+     no output, register or memory port) is absorbed into its consumer:
+     the surviving apex reads the chain's leaves directly and the
+     intermediates drop out of the schedule entirely.  [peek] on an
+     absorbed node falls back to the on-demand path like any dead node. *)
+  let uses = Array.make n 0 and sole_user = Array.make n (-1) in
+  let rooted = Array.make n false in
+  Array.iter
+    (fun (nd : Netlist.node) ->
+      if live.(nd.uid) then
+        List.iter
+          (fun o ->
+            uses.(o) <- uses.(o) + 1;
+            sole_user.(o) <- nd.uid)
+          (Netlist.operands nd))
+    c.Netlist.nodes;
+  List.iter (fun (_, u) -> rooted.(u) <- true) c.Netlist.outputs;
+  Array.iter
+    (fun (nd : Netlist.node) ->
+      match nd.kind with
+      | Netlist.Reg { d; enable; _ } ->
+          rooted.(d) <- true;
+          Option.iter (fun e -> rooted.(e) <- true) enable
+      | _ -> ())
+    c.Netlist.nodes;
+  Array.iter
+    (fun (m : Netlist.mem) ->
+      List.iter
+        (fun (w : Netlist.write_port) ->
+          rooted.(w.Netlist.w_enable) <- true;
+          rooted.(w.Netlist.w_addr) <- true;
+          rooted.(w.Netlist.w_data) <- true)
+        m.Netlist.mem_writes)
+    c.Netlist.mems;
+  let is_concat u =
+    match (Netlist.node c u).kind with Netlist.Concat _ -> true | _ -> false
+  in
+  let absorbed = Array.make n false in
+  Array.iter
+    (fun (nd : Netlist.node) ->
+      let u = nd.uid in
+      absorbed.(u) <-
+        live.(u) && is_concat u && uses.(u) = 1 && (not rooted.(u))
+        && sole_user.(u) >= 0
+        && live.(sole_user.(u))
+        && is_concat sole_user.(u))
+    c.Netlist.nodes;
+  (* Leaves of a surviving concat, with the bit offset of each leaf.  The
+     operands of an absorbed child are inlined recursively. *)
+  let rec leaves_of u shift acc =
+    if absorbed.(u) then
+      match (Netlist.node c u).kind with
+      | Netlist.Concat (a, b) ->
+          let wb = widths.(b) in
+          leaves_of a (shift + wb) (leaves_of b shift acc)
+      | _ -> assert false
+    else (u, shift) :: acc
+  in
+  let concat_plan u =
+    match (Netlist.node c u).kind with
+    | Netlist.Concat (a, b) ->
+        let wb = widths.(b) in
+        Array.of_list (leaves_of a wb (leaves_of b 0 []))
+    | _ -> assert false
+  in
+  (* Schedule = live non-source, non-absorbed nodes in levelized order. *)
+  let sched_uid =
+    Netlist.comb_order c |> Array.to_list
+    |> List.filter (fun u ->
+           live.(u)
+           && (not (is_source (Netlist.node c u)))
+           && not absorbed.(u))
+    |> Array.of_list
+  in
+  let nsched = Array.length sched_uid in
+  let pos_of = Array.make n (-1) in
+  Array.iteri (fun pos u -> pos_of.(u) <- pos) sched_uid;
+  let resident = Array.make n false in
+  Array.iter
+    (fun (nd : Netlist.node) ->
+      resident.(nd.uid) <- pos_of.(nd.uid) >= 0 || is_source nd)
+    c.Netlist.nodes;
+  (* Combinational dependency edges into scheduled nodes, for the cones.
+     A fused concat depends directly on its leaves — the absorbed
+     intermediates have no schedule position to re-evaluate. *)
+  let eff_operands u =
+    let nd = Netlist.node c u in
+    match nd.Netlist.kind with
+    | Netlist.Concat _ ->
+        Array.to_list (Array.map fst (concat_plan u))
+    | _ -> Netlist.operands nd
+  in
+  let dependents = Array.make n [] in
+  Array.iter
+    (fun u ->
+      List.iter
+        (fun o -> dependents.(o) <- u :: dependents.(o))
+        (eff_operands u))
+    sched_uid;
+  let cone_from seeds =
+    (* Schedule positions reachable from [seeds] through combinational
+       edges; a seed that is itself scheduled is included. *)
+    let seen = Array.make n false in
+    let acc = ref [] in
+    let rec visit u =
+      if not seen.(u) then begin
+        seen.(u) <- true;
+        if pos_of.(u) >= 0 then acc := pos_of.(u) :: !acc;
+        List.iter visit dependents.(u)
+      end
+    in
+    List.iter visit seeds;
+    Array.of_list (List.sort_uniq compare !acc)
+  in
+  let mem_data =
+    Array.map (fun (m : Netlist.mem) -> Array.make m.Netlist.mem_size 0)
+      c.Netlist.mems
+  in
+  let values = Array.make n 0 in
+  let thunks =
+    Array.map
+      (fun u ->
+        compile_node values widths mem_data ~concat_plan (Netlist.node c u)
+          masks)
+      sched_uid
+  in
+  let ports_in = Hashtbl.create 16 and ports_out = Hashtbl.create 16 in
+  List.iter
+    (fun (nm, u) -> Hashtbl.replace ports_in nm (u, cone_from [ u ]))
+    c.Netlist.inputs;
+  List.iter (fun (nm, u) -> Hashtbl.replace ports_out nm u) c.Netlist.outputs;
+  (* After a clock edge, registers and memory contents may have changed:
+     everything downstream of a register or a memory read is re-evaluated. *)
+  let seq_seeds =
+    Array.to_list c.Netlist.nodes
+    |> List.filter_map (fun (nd : Netlist.node) ->
+           match nd.kind with
+           | Netlist.Reg _ -> Some nd.uid
+           | Netlist.Mem_read _ when pos_of.(nd.uid) >= 0 -> Some nd.uid
+           | _ -> None)
+  in
+  let regs =
+    Array.of_list
+      (Array.to_list c.Netlist.nodes
+      |> List.filter Netlist.is_reg
+      |> List.map (fun (nd : Netlist.node) -> nd.uid))
+  in
+  let nregs = Array.length regs in
+  let reg_d = Array.make nregs 0
+  and reg_en = Array.make nregs (-1)
+  and reg_init = Array.make nregs 0 in
+  Array.iteri
+    (fun i u ->
+      match (Netlist.node c u).kind with
+      | Netlist.Reg { d; enable; init } ->
+          reg_d.(i) <- d;
+          (match enable with Some e -> reg_en.(i) <- e | None -> ());
+          reg_init.(i) <- Bits.to_int init
+      | _ -> assert false)
+    regs;
+  let wports =
+    Array.to_list c.Netlist.mems
+    |> List.concat_map (fun (m : Netlist.mem) ->
+           List.map
+             (fun (w : Netlist.write_port) ->
+               {
+                 wp_mem = m.Netlist.mem_id;
+                 wp_en = w.Netlist.w_enable;
+                 wp_addr = w.Netlist.w_addr;
+                 wp_data = w.Netlist.w_data;
+                 wp_size = m.Netlist.mem_size;
+               })
+             m.Netlist.mem_writes)
+    |> Array.of_list
+  in
+  let nports = Array.length wports in
+  let t =
+    {
+      c;
+      values;
+      masks;
+      widths;
+      thunks;
+      pending = Bytes.make nsched '\000';
+      queued = [];
+      queued_all = true;
+      seq_cone = cone_from seq_seeds;
+      resident;
+      ports_in;
+      ports_out;
+      regs;
+      reg_d;
+      reg_en;
+      reg_init;
+      reg_next = Array.make nregs 0;
+      mem_data;
+      wports;
+      w_addr_s = Array.make nports 0;
+      w_data_s = Array.make nports 0;
+      w_live = Array.make nports false;
+      dead_gen = Array.make n (-1);
+      generation = 0;
+      cycles = 0;
+    }
+  in
+  (* Sources: constants are loaded once, registers take their init value,
+     inputs start at 0 (already the case). *)
+  Array.iter
+    (fun (nd : Netlist.node) ->
+      match nd.kind with
+      | Netlist.Const b -> values.(nd.uid) <- Bits.to_int b
+      | _ -> ())
+    c.Netlist.nodes;
+  Array.iteri (fun i u -> values.(u) <- reg_init.(i)) regs;
+  t
+
+let circuit t = t.c
+let compiled_nodes t = Array.length t.thunks
+let total_nodes t = Array.length t.values
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Marking a dirty source only queues its (precomputed, sorted) cone; the
+   merge cost is paid once in [settle], and a settle that covers most of
+   the schedule skips the per-slot flags entirely and just sweeps. *)
+let mark_cone t cone = if Array.length cone > 0 then t.queued <- cone :: t.queued
+
+let mark_all t = t.queued_all <- true
+
+let run_all t =
+  let thunks = t.thunks in
+  for i = 0 to Array.length thunks - 1 do
+    (Array.unsafe_get thunks i) ()
+  done
+
+let run_sparse t cones =
+  let pend = t.pending in
+  let thunks = t.thunks in
+  List.iter
+    (fun cone -> Array.iter (fun p -> Bytes.unsafe_set pend p '\001') cone)
+    cones;
+  for i = 0 to Array.length thunks - 1 do
+    if Bytes.unsafe_get pend i <> '\000' then begin
+      Bytes.unsafe_set pend i '\000';
+      (Array.unsafe_get thunks i) ()
+    end
+  done
+
+let settle t =
+  if t.queued_all then begin
+    t.queued_all <- false;
+    t.queued <- [];
+    run_all t
+  end
+  else
+    match t.queued with
+    | [] -> ()
+    | cones ->
+        t.queued <- [];
+        let total =
+          List.fold_left (fun acc c -> acc + Array.length c) 0 cones
+        in
+        (* Evaluating a clean node is idempotent, so once the union covers
+           a good share of the schedule the straight sweep is cheaper than
+           flag maintenance. *)
+        if 2 * total >= Array.length t.thunks then run_all t
+        else run_sparse t cones
+
+let set t port v =
+  match Hashtbl.find_opt t.ports_in port with
+  | None -> Netlist.port_error t.c `In ~caller:"Sim.set" port
+  | Some (u, cone) ->
+      let v = v land t.masks.(u) in
+      if t.values.(u) <> v then begin
+        t.values.(u) <- v;
+        t.generation <- t.generation + 1;
+        mark_cone t cone
+      end
+
+let get t port =
+  match Hashtbl.find_opt t.ports_out port with
+  | None -> Netlist.port_error t.c `Out ~caller:"Sim.get" port
+  | Some u ->
+      settle t;
+      t.values.(u)
+
+let signed_of t uid v =
+  let w = t.widths.(uid) in
+  if v land (1 lsl (w - 1)) <> 0 then v - (1 lsl w) else v
+
+let get_signed t port =
+  match Hashtbl.find_opt t.ports_out port with
+  | None -> Netlist.port_error t.c `Out ~caller:"Sim.get_signed" port
+  | Some u ->
+      settle t;
+      signed_of t u t.values.(u)
+
+let step t =
+  settle t;
+  (* Gather enabled memory writes first: their enable/address/data read the
+     settled pre-edge values, which the register latch below clobbers. *)
+  let nw = Array.length t.wports in
+  for i = 0 to nw - 1 do
+    let p = t.wports.(i) in
+    if t.values.(p.wp_en) <> 0 then begin
+      let a = t.values.(p.wp_addr) in
+      if a < p.wp_size then begin
+        t.w_live.(i) <- true;
+        t.w_addr_s.(i) <- a;
+        t.w_data_s.(i) <- t.values.(p.wp_data)
+      end
+      else t.w_live.(i) <- false
+    end
+    else t.w_live.(i) <- false
+  done;
+  let nr = Array.length t.regs in
+  for i = 0 to nr - 1 do
+    let e = Array.unsafe_get t.reg_en i in
+    let load = e < 0 || Array.unsafe_get t.values e <> 0 in
+    Array.unsafe_set t.reg_next i
+      (Array.unsafe_get t.values
+         (if load then Array.unsafe_get t.reg_d i else Array.unsafe_get t.regs i))
+  done;
+  for i = 0 to nr - 1 do
+    Array.unsafe_set t.values (Array.unsafe_get t.regs i)
+      (Array.unsafe_get t.reg_next i)
+  done;
+  (* Apply the writes in declared port order: on an address conflict the
+     later-declared port wins. *)
+  for i = 0 to nw - 1 do
+    if t.w_live.(i) then
+      t.mem_data.(t.wports.(i).wp_mem).(t.w_addr_s.(i)) <- t.w_data_s.(i)
+  done;
+  t.generation <- t.generation + 1;
+  mark_cone t t.seq_cone;
+  t.cycles <- t.cycles + 1
+
+let step_n t n =
+  for _ = 1 to n do
+    step t
+  done
+
+let reset t =
+  Array.iter
+    (fun contents -> Array.fill contents 0 (Array.length contents) 0)
+    t.mem_data;
+  Array.iteri (fun i u -> t.values.(u) <- t.reg_init.(i)) t.regs;
+  t.generation <- t.generation + 1;
+  mark_all t;
+  t.cycles <- 0
+
+(* On-demand evaluation of nodes outside the compiled schedule, memoized
+   per state generation.  Only reachable from [peek]; the netlist is a DAG
+   so the recursion terminates, and resident operands are already settled
+   by the caller. *)
+let rec force t u =
+  if t.resident.(u) || t.dead_gen.(u) = t.generation then t.values.(u)
+  else begin
+    let nd = Netlist.node t.c u in
+    let value o = force t o in
+    let r =
+      match nd.kind with
+      | Netlist.Input _ | Netlist.Const _ | Netlist.Reg _ -> t.values.(u)
+      | Netlist.Unop (Netlist.Not, a) -> lnot (value a)
+      | Netlist.Unop (Netlist.Neg, a) -> -value a
+      | Netlist.Binop (op, a, b) -> (
+          let x = value a and y = value b in
+          match op with
+          | Netlist.Add -> x + y
+          | Netlist.Sub -> x - y
+          | Netlist.Mul ->
+              if t.widths.(a) <= 31 then x * y
+              else ((x land 0xFFFF) * y) + (((x lsr 16) * y) lsl 16)
+          | Netlist.And -> x land y
+          | Netlist.Or -> x lor y
+          | Netlist.Xor -> x lxor y
+          | Netlist.Shl -> if y >= t.widths.(nd.uid) then 0 else x lsl y
+          | Netlist.Shr -> if y >= t.widths.(a) then 0 else x lsr y
+          | Netlist.Sra ->
+              let s = min y (t.widths.(a) - 1) in
+              signed_of t a x asr s
+          | Netlist.Eq -> if x = y then 1 else 0
+          | Netlist.Ne -> if x <> y then 1 else 0
+          | Netlist.Lt Netlist.Unsigned -> if x < y then 1 else 0
+          | Netlist.Lt Netlist.Signed ->
+              if signed_of t a x < signed_of t b y then 1 else 0
+          | Netlist.Le Netlist.Unsigned -> if x <= y then 1 else 0
+          | Netlist.Le Netlist.Signed ->
+              if signed_of t a x <= signed_of t b y then 1 else 0)
+      | Netlist.Mux (s, a, b) -> if value s <> 0 then value a else value b
+      | Netlist.Slice (a, _, lo) -> value a lsr lo
+      | Netlist.Concat (a, b) -> value a lsl t.widths.(b) lor value b
+      | Netlist.Uext a -> value a
+      | Netlist.Sext a -> signed_of t a (value a)
+      | Netlist.Mem_read (mem, addr) ->
+          let contents = t.mem_data.(mem) in
+          let a = value addr in
+          if a < Array.length contents then contents.(a) else 0
+    in
+    t.values.(u) <- r land t.masks.(u);
+    t.dead_gen.(u) <- t.generation;
+    t.values.(u)
+  end
+
+let peek t uid =
+  settle t;
+  if t.resident.(uid) then t.values.(uid) else force t uid
+
+let peek_signed t uid = signed_of t uid (peek t uid)
+
+let cycle_count t = t.cycles
+
+let mem_word t mem addr = t.mem_data.(mem).(addr)

@@ -1,0 +1,67 @@
+(** Closure-specialized dirty-cone simulation of {!Netlist} circuits.
+
+    The netlist is specialized once at {!create} time: every live node in
+    the levelized combinational order becomes a closure with its operand
+    indices, masks and sign-extension constants resolved, so the per-cycle
+    hot loop is an indirect call per node instead of a kind dispatch plus
+    width-table lookups.  Nodes outside the fan-in cone of the outputs,
+    register inputs and memory write ports are eliminated from the schedule
+    (they remain observable through {!peek}), and settling re-evaluates only
+    the schedule slots downstream of what actually changed.
+
+    This engine backed {!Sim} until the levelized batch engine
+    ({!Compile}) replaced it; it is retained — alongside the reference
+    interpreter {!Interp} — as a second independent oracle, and
+    {!Equiv.crosscheck} runs all three on every design. *)
+
+type t
+
+val create : Netlist.t -> t
+(** Compiles the evaluation schedule.  The circuit must already be valid. *)
+
+val circuit : t -> Netlist.t
+
+val compiled_nodes : t -> int
+(** Number of nodes in the compiled schedule (after dead-node elimination
+    and source removal). *)
+
+val total_nodes : t -> int
+(** Number of nodes in the underlying netlist. *)
+
+val reset : t -> unit
+(** Loads every register with its [init] value and zeroes the memories.
+    Inputs keep their current values (initially 0). *)
+
+val set : t -> string -> int -> unit
+(** [set sim port v] drives input [port] with [v] (masked to the port
+    width; negative values are taken as two's complement).  Marks only the
+    changed input's downstream cone for re-evaluation — a no-change [set]
+    is free.
+    @raise Invalid_argument on an unknown input name, listing the circuit's
+    input ports. *)
+
+val get : t -> string -> int
+(** Unsigned value of an output port, after settling the fabric.
+    @raise Invalid_argument on an unknown output name. *)
+
+val get_signed : t -> string -> int
+
+val step : t -> unit
+(** One rising clock edge: settle, gather enabled memory writes, latch all
+    registers, then apply the writes in declared port order (on an address
+    conflict the later-declared port wins). *)
+
+val step_n : t -> int -> unit
+
+val peek : t -> Netlist.uid -> int
+(** Unsigned value of an arbitrary node, after settling.  Nodes eliminated
+    from the schedule are evaluated on demand (memoized until the next
+    state change), so waveform recording over dead logic still works. *)
+
+val peek_signed : t -> Netlist.uid -> int
+
+val cycle_count : t -> int
+(** Number of {!step}s since creation or the last {!reset}. *)
+
+val mem_word : t -> Netlist.mem_id -> int -> int
+(** Current contents of one memory word (for state cross-checks). *)

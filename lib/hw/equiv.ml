@@ -2,6 +2,14 @@ type result =
   | Equivalent
   | Mismatch of { cycle : int; port : string; a : int; b : int }
 
+(* Uniform w-bit draw composed from 30-bit chunks.  [Random.State.int]
+   cannot produce bounds >= 2^30 (it raises) and would in any case leave
+   bits >= 30 of a wide port permanently at 0 — exactly the width band
+   where masking bugs live — so wide ports compose several [bits] draws. *)
+let rec draw rng w =
+  if w <= 30 then Random.State.bits rng land ((1 lsl w) - 1)
+  else (draw rng (w - 30) lsl 30) lor Random.State.bits rng
+
 let check ?(cycles = 64) ?(seed = 42) ?(settle = 0) (ca : Netlist.t)
     (cb : Netlist.t) =
   let ports c =
@@ -20,7 +28,7 @@ let check ?(cycles = 64) ?(seed = 42) ?(settle = 0) (ca : Netlist.t)
      for cycle = 0 to cycles - 1 do
        List.iter
          (fun (nm, w) ->
-           let v = Random.State.int rng (1 lsl min w 30) in
+           let v = draw rng w in
            Sim.set sa nm v;
            Sim.set sb nm v)
          (ports ca);
@@ -39,13 +47,27 @@ let check ?(cycles = 64) ?(seed = 42) ?(settle = 0) (ca : Netlist.t)
    with Exit -> ());
   !result
 
-(* Random cross-check of the two simulation engines on ONE circuit: the
-   retained reference interpreter ([Interp]) against the compiled engine
-   ([Compile], which backs [Sim]).  Outputs and register state are compared
-   every cycle, every node (including logic the compiled engine eliminated
-   as dead) and all memory words at the end. *)
+(* Shared stimulus for the crosschecks: 62 random bits with occasional
+   all-ones / sign-bit extremes (the engines mask to port width on set). *)
+let wide_random rng =
+  match Random.State.int rng 8 with
+  | 0 -> -1
+  | 1 -> 1 lsl 61
+  | _ ->
+      Random.State.bits rng
+      lor (Random.State.bits rng lsl 30)
+      lor (Random.State.bits rng lsl 60)
+
+(* Random cross-check of all three simulation engines on ONE circuit: the
+   reference interpreter ([Interp]), the retained closure-specialized cone
+   engine ([Cone]) and the levelized batch engine ([Compile], which backs
+   [Sim], run here at batch 1).  Outputs and register state are compared
+   every cycle, every node (including logic the compiled engines
+   eliminated as dead) and all memory words at the end. *)
 let crosscheck ?(cycles = 1000) ?(seed = 7) (c : Netlist.t) =
-  let si = Interp.create c and sc = Compile.create c in
+  let si = Interp.create c
+  and sk = Cone.create c
+  and sc = Compile.create c in
   let rng = Random.State.make [| seed; 0x5eed |] in
   let ins =
     List.map
@@ -63,51 +85,112 @@ let crosscheck ?(cycles = 1000) ?(seed = 7) (c : Netlist.t) =
     result := Mismatch { cycle; port; a; b };
     raise Exit
   in
-  let wide_random () =
-    (* 62 random bits, with occasional all-ones / sign-bit extremes. *)
-    match Random.State.int rng 8 with
-    | 0 -> -1
-    | 1 -> 1 lsl 61
-    | _ ->
-        Random.State.bits rng
-        lor (Random.State.bits rng lsl 30)
-        lor (Random.State.bits rng lsl 60)
+  (* The interpreter value is the reference [a]; whichever engine strays
+     from it is [b], labelled so the culprit is identifiable. *)
+  let compare3 cycle label a k v =
+    if a <> k then fail cycle (label ^ " [cone]") a k;
+    if a <> v then fail cycle (label ^ " [level]") a v
   in
   (try
      for cycle = 0 to cycles - 1 do
        List.iter
          (fun (nm, _) ->
-           let v = wide_random () in
+           let v = wide_random rng in
            Interp.set si nm v;
+           Cone.set sk nm v;
            Compile.set sc nm v)
          ins;
        List.iter
          (fun nm ->
-           let a = Interp.get si nm and b = Compile.get sc nm in
-           if a <> b then fail cycle nm a b)
+           compare3 cycle nm (Interp.get si nm) (Cone.get sk nm)
+             (Compile.get sc nm))
          outs;
        List.iter
          (fun u ->
-           let a = Interp.peek si u and b = Compile.peek sc u in
-           if a <> b then fail cycle (Printf.sprintf "reg n%d" u) a b)
+           compare3 cycle
+             (Printf.sprintf "reg n%d" u)
+             (Interp.peek si u) (Cone.peek sk u) (Compile.peek sc u))
          regs;
        Interp.step si;
+       Cone.step sk;
        Compile.step sc
      done;
      (* Final architectural and combinational state, node by node — this
-        exercises the compiled engine's on-demand path for dead nodes. *)
+        exercises both compiled engines' on-demand path for dead nodes. *)
      for u = 0 to Netlist.num_nodes c - 1 do
-       let a = Interp.peek si u and b = Compile.peek sc u in
-       if a <> b then fail cycles (Printf.sprintf "n%d" u) a b
+       compare3 cycles
+         (Printf.sprintf "n%d" u)
+         (Interp.peek si u) (Cone.peek sk u) (Compile.peek sc u)
      done;
      Array.iteri
        (fun mi (m : Netlist.mem) ->
          for a = 0 to m.Netlist.mem_size - 1 do
-           let x = Interp.mem_word si mi a and y = Compile.mem_word sc mi a in
-           if x <> y then
-             fail cycles (Printf.sprintf "%s[%d]" m.Netlist.mem_name a) x y
+           compare3 cycles
+             (Printf.sprintf "%s[%d]" m.Netlist.mem_name a)
+             (Interp.mem_word si mi a)
+             (Cone.mem_word sk mi a)
+             (Compile.mem_word sc mi a)
          done)
        c.Netlist.mems
+   with Exit -> ());
+  !result
+
+(* Batched cross-check: ONE levelized instance with [lanes] lanes against
+   [lanes] independent interpreter instances, each lane driven by its own
+   random stream.  Catches lane-indexing bugs (cross-lane bleed, shared
+   state that should be per-lane) that the batch-1 crosscheck cannot. *)
+let crosscheck_batch ?(cycles = 500) ?(seed = 7) ~lanes (c : Netlist.t) =
+  if lanes < 1 then invalid_arg "Equiv.crosscheck_batch: lanes must be >= 1";
+  let sc = Compile.create ~batch:lanes c in
+  let refs = Array.init lanes (fun _ -> Interp.create c) in
+  let rngs =
+    Array.init lanes (fun l -> Random.State.make [| seed; 0x5eed; l |])
+  in
+  let ins = List.map fst c.Netlist.inputs in
+  let outs = List.map fst c.Netlist.outputs in
+  let result = ref Equivalent in
+  let fail cycle port a b =
+    result := Mismatch { cycle; port; a; b };
+    raise Exit
+  in
+  (try
+     for cycle = 0 to cycles - 1 do
+       for l = 0 to lanes - 1 do
+         List.iter
+           (fun nm ->
+             let v = wide_random rngs.(l) in
+             Interp.set refs.(l) nm v;
+             Compile.set ~lane:l sc nm v)
+           ins
+       done;
+       for l = 0 to lanes - 1 do
+         List.iter
+           (fun nm ->
+             let a = Interp.get refs.(l) nm
+             and b = Compile.get ~lane:l sc nm in
+             if a <> b then fail cycle (Printf.sprintf "%s [lane %d]" nm l) a b)
+           outs
+       done;
+       Array.iter Interp.step refs;
+       Compile.batch_step sc
+     done;
+     for l = 0 to lanes - 1 do
+       for u = 0 to Netlist.num_nodes c - 1 do
+         let a = Interp.peek refs.(l) u and b = Compile.peek ~lane:l sc u in
+         if a <> b then fail cycles (Printf.sprintf "n%d [lane %d]" u l) a b
+       done;
+       Array.iteri
+         (fun mi (m : Netlist.mem) ->
+           for ad = 0 to m.Netlist.mem_size - 1 do
+             let x = Interp.mem_word refs.(l) mi ad
+             and y = Compile.mem_word ~lane:l sc mi ad in
+             if x <> y then
+               fail cycles
+                 (Printf.sprintf "%s[%d] [lane %d]" m.Netlist.mem_name ad l)
+                 x y
+           done)
+         c.Netlist.mems
+     done
    with Exit -> ());
   !result
 

@@ -36,4 +36,19 @@ val run : ?blocks:int -> (Block.t -> Block.t) -> (range * stats * verdict) list
 
 val compliant : ?blocks:int -> (Block.t -> Block.t) -> bool
 
+val measure_batch :
+  ?blocks:int -> ?seed:int -> range -> (Block.t list -> Block.t list) -> stats
+(** As {!measure}, but the dut receives the whole coefficient list in one
+    call (and must return outputs in order), so a stream implementation
+    can spread the blocks across simulation lanes.  Numerically identical
+    to {!measure} for a dut that maps blocks independently: the random
+    draw sequence and the error-accumulation order are the same. *)
+
+val run_batch :
+  ?blocks:int ->
+  (Block.t list -> Block.t list) ->
+  (range * stats * verdict) list
+
+val compliant_batch : ?blocks:int -> (Block.t list -> Block.t list) -> bool
+
 val pp_stats : Format.formatter -> stats -> unit

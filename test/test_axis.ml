@@ -169,6 +169,58 @@ let test_driver_timeout () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "expected timeout"
 
+let test_driver_timeout_reports_batch () =
+  (* The diagnostic must carry the lane count and per-lane progress, and
+     keep the "timeout after" marker the flow layer keys on. *)
+  let b = Hw.Builder.create "dead" in
+  ignore (Axis.Stream.declare_inputs b);
+  Axis.Stream.expose_outputs b
+    ~s_ready:(Hw.Builder.one b 1)
+    ~m_valid:(Hw.Builder.zero b 1)
+    ~m_last:(Hw.Builder.zero b 1)
+    ~m_data:(Array.init 8 (fun _ -> Hw.Builder.zero b 9));
+  let c = Hw.Builder.finalize b in
+  match Axis.Driver.run ~batch:4 ~timeout:200 c (mats 8) with
+  | exception Failure msg ->
+      let has needle =
+        let nl = String.length needle and hl = String.length msg in
+        let rec go i =
+          i + nl <= hl && (String.sub msg i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      check bool "mentions timeout after" true (has "timeout after");
+      check bool "mentions batch" true (has "batch 4");
+      check bool "mentions duty" true (has "duty")
+  | _ -> Alcotest.fail "expected timeout"
+
+let test_driver_batched_matches_sequential () =
+  (* Lane-parallel runs must reproduce the sequential outputs exactly,
+     for every split of matrices across lanes (including uneven ones). *)
+  let c =
+    Axis.Adapter.wrap_matrix_kernel ~name:"pt" ~latency:0
+      ~kernel:passthrough_kernel ()
+  in
+  let inputs = mats 7 in
+  let seq = Axis.Driver.run c inputs in
+  List.iter
+    (fun batch ->
+      let r = Axis.Driver.run ~batch c inputs in
+      check int
+        (Printf.sprintf "batch %d: clean protocol" batch)
+        0
+        (List.length r.Axis.Driver.violations);
+      check bool
+        (Printf.sprintf "batch %d: same outputs" batch)
+        true
+        (List.for_all2 Idct.Block.equal r.Axis.Driver.outputs
+           seq.Axis.Driver.outputs))
+    [ 1; 3; 7; 16 ];
+  (* transform_batch is the one-matrix-per-lane convenience wrapper *)
+  let got = Axis.Driver.transform_batch c inputs in
+  check bool "transform_batch matches" true
+    (List.for_all2 Idct.Block.equal got seq.Axis.Driver.outputs)
+
 let () =
   Alcotest.run "axis"
     [
@@ -188,5 +240,9 @@ let () =
           Alcotest.test_case "row/col back-pressure" `Quick test_wrap_row_col_backpressure;
           Alcotest.test_case "pipelined kernel" `Quick test_pipelined_kernel_wrap;
           Alcotest.test_case "driver timeout" `Quick test_driver_timeout;
+          Alcotest.test_case "timeout reports batch" `Quick
+            test_driver_timeout_reports_batch;
+          Alcotest.test_case "batched run == sequential run" `Quick
+            test_driver_batched_matches_sequential;
         ] );
     ]

@@ -97,6 +97,36 @@ let test_equiv_port_check () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected port width rejection"
 
+(* Regression for the wide-port stimulus blind spot: the checker used to
+   draw inputs with [Random.State.int rng (1 lsl min w 30)], which raises
+   for w >= 30 on a 64-bit runtime and — had it not raised — would never
+   have driven bits 30 and up.  Two circuits that differ only in how they
+   treat the high bits of a 40-bit input must be distinguished. *)
+let test_equiv_wide_port_blindness () =
+  let ident =
+    let b = Builder.create "wide_id" in
+    let x = Builder.input b "x" 40 in
+    Builder.output b "o" x;
+    Builder.finalize b
+  in
+  let low30_only =
+    let b = Builder.create "wide_tr" in
+    let x = Builder.input b "x" 40 in
+    (* keeps the low 30 bits, zeroes bits 30..39 — indistinguishable from
+       [ident] under any stimulus confined below bit 30 *)
+    Builder.output b "o"
+      (Builder.and_ b x (Builder.const b ~width:40 ((1 lsl 30) - 1)));
+    Builder.finalize b
+  in
+  (match Equiv.check ident low30_only with
+  | Equiv.Mismatch { port = "o"; _ } -> ()
+  | Equiv.Mismatch _ | Equiv.Equivalent ->
+      Alcotest.fail "high-bit truncation went undetected");
+  (* and the full 62-bit width must be drivable without an exception *)
+  match Equiv.check (adder 62 "a") (adder 62 "b") with
+  | Equiv.Equivalent -> ()
+  | r -> Alcotest.fail (Format.asprintf "62-bit check: unexpected %a" Equiv.pp_result r)
+
 let test_equiv_settle () =
   (* A 1-deep pipeline of the adder is equivalent after one settle cycle
      when inputs are held... it is not cycle-identical, and Equiv with
@@ -316,12 +346,14 @@ let random_circuit seed =
         push q;
         (q, w))
   in
-  let m = Builder.mem b "m" ~size:8 ~width:16 in
+  (* memory words wider than 31 bits, so the engines' memory paths are
+     exercised past the old narrow-stimulus range *)
+  let m = Builder.mem b "m" ~size:8 ~width:33 in
   (* two write ports on purpose: same-cycle conflicts must resolve the
      same way (later-declared wins) in both engines *)
   for _ = 1 to 2 do
     Builder.mem_write b m ~enable:(coerce 1 (any ())) ~addr:(coerce 3 (any ()))
-      ~data:(coerce 16 (any ()))
+      ~data:(coerce 33 (any ()))
   done;
   push (Builder.mem_read b m (coerce 3 (any ())));
   for _ = 1 to 25 + Random.State.int rng 25 do
@@ -355,11 +387,26 @@ let random_circuit seed =
   Builder.finalize b
 
 let engine_crosscheck_prop =
-  QCheck.Test.make ~name:"compiled engine == reference interpreter"
+  (* [crosscheck] is three-way: the reference interpreter against both the
+     retained cone engine and the levelized engine behind Hw.Sim. *)
+  QCheck.Test.make ~name:"3-way: interpreter == cone == levelized"
     ~count:15
     QCheck.(int_range 0 10_000)
     (fun seed ->
       match Equiv.crosscheck ~cycles:1000 ~seed (random_circuit seed) with
+      | Equiv.Equivalent -> true
+      | Equiv.Mismatch _ as r ->
+          QCheck.Test.fail_reportf "%a" Equiv.pp_result r)
+
+let batch_crosscheck_prop lanes =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "batched engine, %d lanes == %d interpreters" lanes lanes)
+    ~count:8
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      match
+        Equiv.crosscheck_batch ~cycles:400 ~seed ~lanes (random_circuit seed)
+      with
       | Equiv.Equivalent -> true
       | Equiv.Mismatch _ as r ->
           QCheck.Test.fail_reportf "%a" Equiv.pp_result r)
@@ -377,6 +424,8 @@ let () =
           Alcotest.test_case "accepts equals" `Quick test_equiv_accepts;
           Alcotest.test_case "detects difference" `Quick test_equiv_detects;
           Alcotest.test_case "port discipline" `Quick test_equiv_port_check;
+          Alcotest.test_case "wide ports get real stimulus" `Quick
+            test_equiv_wide_port_blindness;
           Alcotest.test_case "cycle-exact by default" `Quick test_equiv_settle;
         ] );
       ("waves", [ Alcotest.test_case "vcd output" `Quick test_vcd ]);
@@ -387,7 +436,11 @@ let () =
         :: Alcotest.test_case "port error messages" `Quick test_port_errors
         :: Alcotest.test_case "shl result wider than operand" `Quick
              test_shl_wider_result
-        :: [ QCheck_alcotest.to_alcotest engine_crosscheck_prop ] );
+        :: QCheck_alcotest.to_alcotest engine_crosscheck_prop
+        :: [
+             QCheck_alcotest.to_alcotest (batch_crosscheck_prop 3);
+             QCheck_alcotest.to_alcotest (batch_crosscheck_prop 8);
+           ] );
       ( "device",
         [
           Alcotest.test_case "capacity check" `Quick test_capacity_check;
