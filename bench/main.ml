@@ -594,6 +594,102 @@ let dse_bench () =
   write_dse_json "BENCH_dse.json" rows
 
 (* ------------------------------------------------------------------ *)
+(* Serve daemon: request throughput, cold store vs warm store           *)
+(* ------------------------------------------------------------------ *)
+
+(* One in-process daemon over a fresh store.  The cold pass computes and
+   publishes every result; the warm passes clear the in-process memo
+   before each batch, so every answer is served from the validated disk
+   store — the restart-survival path a fresh client actually takes. *)
+
+let serve_bench () =
+  section "Serve daemon: batch throughput, cold store vs warm store";
+  let tmp = Filename.get_temp_dir_name () in
+  let socket =
+    Filename.concat tmp (Printf.sprintf "hlsvhc_bench_%d.sock" (Unix.getpid ()))
+  in
+  let store_dir =
+    Filename.concat tmp (Printf.sprintf "hlsvhc_bench_store_%d" (Unix.getpid ()))
+  in
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat store_dir f) with Sys_error _ -> ())
+    (if Sys.file_exists store_dir then Sys.readdir store_dir else [||]);
+  Store.detach ();
+  Core.Evaluate.clear_measure_cache ();
+  let store = Result.get_ok (Store.attach store_dir) in
+  let cfg =
+    {
+      Serve.socket_path = socket;
+      jobs = Some 2;
+      store = Some store;
+      max_conns = None;
+    }
+  in
+  let server = Domain.spawn (fun () -> Serve.run cfg) in
+  let batch =
+    List.map
+      (fun label -> Serve.Client.eval_line ~tool:"verilog" ~label ~matrices:2)
+      [ "initial"; "1 row + 8 col units"; "optimized" ]
+  in
+  let finish () =
+    (try ignore (Serve.Client.request ~socket [ "shutdown" ])
+     with _ -> ());
+    ignore (Domain.join server);
+    Store.detach ();
+    Core.Evaluate.clear_measure_cache ()
+  in
+  Fun.protect ~finally:finish (fun () ->
+      Serve.Client.wait_ready ~socket ();
+      let timed_batches n =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to n do
+          Core.Evaluate.clear_measure_cache ();
+          let rs = Serve.Client.request ~socket batch in
+          List.iter
+            (fun r ->
+              match Serve.Client.parse_metrics r with
+              | Ok _ -> ()
+              | Error e -> failwith ("serve bench: bad response: " ^ e))
+            rs
+        done;
+        Unix.gettimeofday () -. t0
+      in
+      let cold_s = timed_batches 1 in
+      let s_cold = Store.stats store in
+      let warm_batches = 10 in
+      let warm_s = timed_batches warm_batches in
+      let s_all = Store.stats store in
+      let reqs = List.length batch in
+      let cold_rps = float_of_int reqs /. Float.max cold_s 1e-9 in
+      let warm_reqs = reqs * warm_batches in
+      let warm_rps = float_of_int warm_reqs /. Float.max warm_s 1e-9 in
+      let warm_hits = s_all.Store.st_hits - s_cold.Store.st_hits in
+      let warm_hit_rate = float_of_int warm_hits /. float_of_int warm_reqs in
+      Printf.printf
+        "cold: %d requests in %.3fs (%.1f req/s, %d store misses, %d writes)\n"
+        reqs cold_s cold_rps s_cold.Store.st_misses s_cold.Store.st_writes;
+      Printf.printf
+        "warm: %d requests in %.3fs (%.1f req/s, store hit rate %.2f) -> %.1fx\n"
+        warm_reqs warm_s warm_rps warm_hit_rate (warm_rps /. cold_rps);
+      Core.Trace.write_atomic "BENCH_serve.json" (fun oc ->
+          Printf.fprintf oc
+            "{\n\
+            \  \"bench\": \"serve\",\n\
+            \  \"batch_size\": %d,\n\
+            \  \"cold\": {\"requests\": %d, \"seconds\": %.3f, \
+             \"requests_per_sec\": %.1f, \"store_misses\": %d, \
+             \"store_writes\": %d},\n\
+            \  \"warm\": {\"requests\": %d, \"seconds\": %.3f, \
+             \"requests_per_sec\": %.1f, \"store_hits\": %d, \
+             \"store_hit_rate\": %.3f},\n\
+            \  \"warm_speedup\": %.3f\n\
+             }\n"
+            reqs reqs cold_s cold_rps s_cold.Store.st_misses
+            s_cold.Store.st_writes warm_reqs warm_s warm_rps warm_hits
+            warm_hit_rate (warm_rps /. cold_rps));
+      Printf.printf "(wrote BENCH_serve.json)\n%!")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrate                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -670,6 +766,7 @@ let () =
     sim_engines ();
     eval_parallel ();
     dse_bench ();
+    serve_bench ();
     section "done"
   end
   else begin
@@ -685,6 +782,7 @@ let () =
     sim_engines ();
     eval_parallel ();
     dse_bench ();
+    serve_bench ();
     bechamel_suite ();
     section "done"
   end

@@ -64,6 +64,30 @@ let trace_opt =
            JSON to $(docv).  Summarize with $(b,hlsvhc stats) $(docv).  \
            Tracing does not change any printed artifact.")
 
+let store_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Back the measurement cache with a persistent content-addressed \
+           result store rooted at $(docv) (created if missing).  Results \
+           survive restarts and are shared with every other client of the \
+           same directory — a warm second run re-reads every point instead \
+           of re-measuring it.  Entries are validated (schema version, \
+           checksum, key) on read; invalid ones are re-measured.")
+
+(* Attach the persistent store before any evaluation fans out; a store
+   that cannot be opened is a usage error, not a measurement result. *)
+let attach_store = function
+  | None -> ()
+  | Some dir -> (
+      match Store.attach dir with
+      | Ok _ -> ()
+      | Error e ->
+          Printf.eprintf "hlsvhc: --store %s: %s\n" dir e;
+          exit 2)
+
 let keep_going_flag =
   Arg.(
     value & flag
@@ -136,8 +160,9 @@ let table1_cmd =
     Term.(const run $ const ())
 
 let table2_cmd =
-  let run tools jobs trace keep_going fault =
+  let run tools jobs trace keep_going fault store =
     arm_fault fault;
+    attach_store store;
     let failures =
       with_trace trace (fun () ->
           if keep_going then (
@@ -153,7 +178,9 @@ let table2_cmd =
   Cmd.v
     (Cmd.info "table2"
        ~doc:"Measure every initial/optimized design and print Table II.")
-    Term.(const run $ tools_opt $ jobs_opt $ trace_opt $ keep_going_flag $ fault_opt)
+    Term.(
+      const run $ tools_opt $ jobs_opt $ trace_opt $ keep_going_flag
+      $ fault_opt $ store_opt)
 
 (* --tool (repeatable) and --tools (comma list) merge, first mention
    first, duplicates dropped. *)
@@ -181,8 +208,9 @@ let fig1_cmd =
              JSON to $(docv), atomically — the machine-readable twin of the \
              ASCII scatter, consumed by DSE overlays and external plotting.")
   in
-  let run tool_rep tools jobs trace keep_going json fault =
+  let run tool_rep tools jobs trace keep_going json fault store =
     arm_fault fault;
+    attach_store store;
     let tools = merge_tools tool_rep tools in
     let failures =
       with_trace trace (fun () ->
@@ -204,7 +232,7 @@ let fig1_cmd =
     (Cmd.info "fig1" ~doc:"Run the DSE sweeps and print the Fig. 1 scatter.")
     Term.(
       const run $ tool_rep $ tools_opt $ jobs_opt $ trace_opt $ keep_going_flag
-      $ json $ fault_opt)
+      $ json $ fault_opt $ store_opt)
 
 let comply_cmd =
   let blocks =
@@ -327,8 +355,9 @@ let waves_cmd =
     Term.(const run $ tool_pos $ opt_flag $ out $ cycles)
 
 let sweep_cmd =
-  let run tool jobs trace keep_going fault =
+  let run tool jobs trace keep_going fault store =
     arm_fault fault;
+    attach_store store;
     let point_line (d : Core.Design.t) (m : Core.Metrics.measured) =
       Printf.printf "%-34s A=%7d  P=%8.2f MOPS  f=%7.2f MHz\n%!"
         d.Core.Design.label m.Core.Metrics.area m.Core.Metrics.throughput_mops
@@ -357,7 +386,9 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Measure every configuration of one tool.")
-    Term.(const run $ tool_pos $ jobs_opt $ trace_opt $ keep_going_flag $ fault_opt)
+    Term.(
+      const run $ tool_pos $ jobs_opt $ trace_opt $ keep_going_flag
+      $ fault_opt $ store_opt)
 
 let dse_cmd =
   let strategy_conv =
@@ -434,8 +465,9 @@ let dse_cmd =
              nonzero on a mismatch.")
   in
   let run strategy seed budget objective tools jobs json check_fig1 trace
-      keep_going fault =
+      keep_going fault store =
     arm_fault fault;
+    attach_store store;
     if check_fig1 && (strategy <> Dse.Strategy.Exhaustive || budget <> None)
     then begin
       Printf.eprintf
@@ -485,7 +517,65 @@ let dse_cmd =
           its Pareto frontier.")
     Term.(
       const run $ strategy $ seed $ budget $ objective $ tools_opt $ jobs_opt
-      $ json $ check_fig1 $ trace_opt $ keep_going_flag $ fault_opt)
+      $ json $ check_fig1 $ trace_opt $ keep_going_flag $ fault_opt
+      $ store_opt)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix domain socket to listen on (created; unlinked on exit).")
+  in
+  let max_conns =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Exit after serving $(docv) connections (soak tests and \
+             benchmarks); default: serve until a $(b,shutdown) request.")
+  in
+  let run socket jobs store max_conns fault =
+    arm_fault fault;
+    let store_t =
+      match store with
+      | None -> None
+      | Some dir -> (
+          match Store.attach dir with
+          | Ok t -> Some t
+          | Error e ->
+              Printf.eprintf "hlsvhc serve: --store %s: %s\n" dir e;
+              exit 2)
+    in
+    Printf.eprintf "hlsvhc serve: listening on %s (store: %s, jobs: %s)\n%!"
+      socket
+      (match store_t with Some t -> Store.dir t | None -> "none")
+      (match jobs with
+      | Some j -> string_of_int j
+      | None -> "default");
+    let counters =
+      Serve.run
+        { Serve.socket_path = socket; jobs; store = store_t; max_conns }
+    in
+    Printf.eprintf
+      "hlsvhc serve: done — %d connections, %d evals (%d errors, %d memo \
+       hits)\n\
+       %!"
+      (Atomic.get counters.Serve.conns)
+      (Atomic.get counters.Serve.evals)
+      (Atomic.get counters.Serve.eval_errors)
+      (Atomic.get counters.Serve.memo_hits)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the evaluation daemon: accept batched evaluation requests \
+          over a Unix socket, fan each batch onto the domain pool, answer \
+          with typed results, and (with $(b,--store)) share one persistent \
+          warm cache across clients and restarts.")
+    Term.(const run $ socket $ jobs_opt $ store_opt $ max_conns $ fault_opt)
 
 let stats_cmd =
   let file =
@@ -519,6 +609,6 @@ let main =
          "Reproduction of 'High-Level Synthesis versus Hardware \
           Construction' (DATE 2023).")
     [ table1_cmd; table2_cmd; fig1_cmd; comply_cmd; dse_cmd; emit_cmd;
-      verilog_cmd; sim_cmd; sweep_cmd; waves_cmd; stats_cmd ]
+      verilog_cmd; sim_cmd; sweep_cmd; serve_cmd; waves_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -19,11 +19,28 @@ let measure_key ~matrices ~(spec : Flow.spec) d =
 let is_cached ?(matrices = 4) ?(spec = Flow.idct_spec) d =
   Measure_cache.mem (measure_key ~matrices ~spec d)
 
+(* The persistent layer beneath the in-process memo: a content-addressed
+   result store (Store, in lib/store) registers itself here, so [core]
+   never depends on the store's on-disk format.  The backend is consulted
+   only on a memo miss, and a fresh measurement is written through to it;
+   with no backend attached (the default) the measure path is exactly the
+   historical one — all paper artifacts byte-identical. *)
+type store_backend = {
+  sb_name : string;  (** for diagnostics, e.g. the store directory *)
+  sb_find : string -> Metrics.measured option;
+  sb_add : string -> Metrics.measured -> unit;
+}
+
+let store_backend : store_backend option Atomic.t = Atomic.make None
+let set_store_backend b = Atomic.set store_backend b
+let active_store_backend () = Atomic.get store_backend
+
 (* The measurement itself is Flow.measure_uncached — the staged
    elaborate/validate/simulate/verify/synthesize/metrics pipeline.  This
    layer adds the content-keyed cache and the root "measure" span, whose
-   cache_hit/cache_miss counters let a trace distinguish warm reads from
-   cold pipeline runs. *)
+   cache_hit/cache_miss (memo) and store_hit/store_miss (persistent
+   backend) counters let a trace distinguish warm reads from cold
+   pipeline runs. *)
 let measure ?(matrices = 4) ?(spec = Flow.idct_spec) (d : Design.t) :
     Metrics.measured =
   let key = measure_key ~matrices ~spec d in
@@ -33,8 +50,22 @@ let measure ?(matrices = 4) ?(spec = Flow.idct_spec) (d : Design.t) :
           (if Measure_cache.mem key then "cache_hit" else "cache_miss")
           1;
       Measure_cache.find_or_compute ~key (fun () ->
-          Flow.measure_uncached ~matrices ~spec d))
+          match Atomic.get store_backend with
+          | None -> Flow.measure_uncached ~matrices ~spec d
+          | Some sb -> (
+              match sb.sb_find key with
+              | Some m ->
+                  if Trace.enabled () then Trace.add_counter "store_hit" 1;
+                  m
+              | None ->
+                  if Trace.enabled () then Trace.add_counter "store_miss" 1;
+                  let m = Flow.measure_uncached ~matrices ~spec d in
+                  sb.sb_add key m;
+                  m)))
 
+(* Clears the in-process memo only: entries in an attached persistent
+   store survive (the store is the whole point — results outliving the
+   process), which the store coherence tests pin down. *)
 let clear_measure_cache = Measure_cache.clear
 
 (* Map [measure] over independent designs on the domain pool.  Each

@@ -19,7 +19,37 @@ val measure : ?matrices:int -> ?spec:Flow.spec -> Design.t -> Metrics.measured
     [matrices]), shared across domains behind a mutex. *)
 
 val clear_measure_cache : unit -> unit
-(** Drop every memoized measurement (tests and benchmarks). *)
+(** Drop every memoized measurement (tests and benchmarks).  Only the
+    in-process memo is cleared: entries in an attached persistent store
+    survive, so a subsequent {!measure} re-reads them from disk. *)
+
+(** {1 Persistent store backend}
+
+    The content-addressed on-disk result store (lib/store) plugs in
+    beneath the in-process memo through this interface, so [core] stays
+    independent of the on-disk format.  On a memo miss with a backend
+    attached, {!measure} first consults [sb_find] (counted as
+    [store_hit]/[store_miss] in the trace); a fresh measurement is
+    written through with [sb_add].  With no backend (the default) the
+    measure path is byte-identical to the historical one. *)
+
+type store_backend = {
+  sb_name : string;  (** for diagnostics, e.g. the store directory *)
+  sb_find : string -> Metrics.measured option;
+  sb_add : string -> Metrics.measured -> unit;
+}
+
+val set_store_backend : store_backend option -> unit
+(** Attach (or detach, with [None]) the persistent layer, process-wide.
+    Attach before fanning out: workers observe the backend through an
+    atomic. *)
+
+val active_store_backend : unit -> store_backend option
+
+val measure_key : matrices:int -> spec:Flow.spec -> Design.t -> string
+(** The content key a measurement is cached (and stored) under:
+    spec × tool × label × digest(config, listing) × matrices.  Exposed
+    for the persistent store's tooling and tests. *)
 
 val is_cached : ?matrices:int -> ?spec:Flow.spec -> Design.t -> bool
 (** Whether {!measure} on this design would be a cache hit right now —

@@ -72,6 +72,10 @@ exception Error of error
 val class_name : error_class -> string
 (** Stable kebab-case tag, e.g. ["not-bit-true"]. *)
 
+val class_detail : error_class -> string
+(** The human-readable payload of a class (mismatch excerpt, message...)
+    — the detail column of the failure summary and the serve protocol. *)
+
 val pp_error : Format.formatter -> error -> unit
 (** The one canonical rendering:
     ["design D failed at S [class]: detail"].  Also registered with

@@ -22,6 +22,46 @@ let controllability ~best ~verilog_best = 100. *. best /. verilog_best
 let flexibility ~best ~initial ~delta_loc =
   if delta_loc = 0 then 0. else (best -. initial) /. float_of_int delta_loc
 
+(* One-line lossless codec, shared by the persistent result store and the
+   serve wire protocol.  Floats travel as hex floats (%h), which
+   [float_of_string] parses back bit-exactly, so a stored measurement is
+   indistinguishable from a fresh one. *)
+let to_wire m =
+  Printf.sprintf "%h %h %d %d %d %d %d %d %d %d %d" m.fmax_mhz
+    m.throughput_mops m.latency m.periodicity m.area m.luts_nodsp m.ffs_nodsp
+    m.luts m.ffs m.dsps m.ios
+
+let of_wire s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ fmax; mops; lat; per; area; lutsn; ffsn; luts; ffs; dsps; ios ] -> (
+      match
+        ( float_of_string_opt fmax,
+          float_of_string_opt mops,
+          List.map int_of_string_opt [ lat; per; area; lutsn; ffsn; luts; ffs; dsps; ios ] )
+      with
+      | Some fmax_mhz, Some throughput_mops,
+        [ Some latency; Some periodicity; Some area; Some luts_nodsp;
+          Some ffs_nodsp; Some luts; Some ffs; Some dsps; Some ios ] ->
+          Ok
+            {
+              fmax_mhz;
+              throughput_mops;
+              latency;
+              periodicity;
+              area;
+              luts_nodsp;
+              ffs_nodsp;
+              luts;
+              ffs;
+              dsps;
+              ios;
+            }
+      | _ -> Error (Printf.sprintf "unparseable metrics field in %S" s))
+  | fields ->
+      Error
+        (Printf.sprintf "expected 11 metrics fields, got %d in %S"
+           (List.length fields) s)
+
 let pp_measured ppf m =
   Format.fprintf ppf
     "f=%.2fMHz P=%.2fMOPS T_L=%d T_P=%d A=%d (LUT*=%d FF*=%d LUT=%d FF=%d DSP=%d IO=%d)"

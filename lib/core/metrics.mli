@@ -35,3 +35,11 @@ val flexibility : best:float -> initial:float -> delta_loc:int -> float
 (** Quality gained per changed line. *)
 
 val pp_measured : Format.formatter -> measured -> unit
+
+val to_wire : measured -> string
+(** One-line lossless encoding (floats as hex floats), shared by the
+    persistent result store and the serve wire protocol:
+    [of_wire (to_wire m) = Ok m] bit-exactly. *)
+
+val of_wire : string -> (measured, string) result
+(** Inverse of {!to_wire}; [Error] describes the malformed field. *)

@@ -59,6 +59,10 @@ val parse_tool : string -> Design.tool option
 val tool_names : unit -> string list
 (** The primary CLI name of every registered tool, in registry order. *)
 
+val unknown_tool_msg : string -> string
+(** The canonical "unknown tool" diagnostic, listing the valid names —
+    shared by {!parse_tools} and the serve request parser. *)
+
 val parse_tools : string -> (Design.tool list, string) result
 (** The shared [--tools] parser: a comma-separated, case-insensitive,
     whitespace-tolerant name list, deduplicated in first-mention order.

@@ -178,14 +178,91 @@ let group_by_design spans =
 (* Atomic file emission: write a sibling temp file, then rename it over
    [path], so a crash mid-write can never leave a truncated artifact
    behind — readers see the old complete file or the new complete file,
-   nothing in between.  (Used for [--trace] and the bench JSON files.) *)
+   nothing in between.  (Used for [--trace], the bench JSON files and
+   every persistent-store entry.) *)
+
+exception Write_error of { wr_path : string; wr_reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Write_error { wr_path; wr_reason } ->
+        Some (Printf.sprintf "cannot write %s: %s" wr_path wr_reason)
+    | _ -> None)
+
+(* The temp suffix carries a per-process atomic counter besides the pid:
+   two domains (or systhreads) of one process racing [write_atomic] onto
+   the same path must never share a temp file, or one writer's rename
+   publishes the other's half-written bytes. *)
+let tmp_seq = Atomic.make 0
+
+let fresh_tmp path =
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+    (Atomic.fetch_and_add tmp_seq 1)
+
+(* Rename with an EXDEV fallback: when [dst] sits on a different
+   filesystem than [src] (a store directory on another mount, TMPDIR on
+   tmpfs...), [rename] cannot cross the boundary, so the bytes are copied
+   into a fresh temp sibling of [dst], fsynced, and renamed within that
+   directory — the publish step stays atomic on [dst]'s own filesystem.
+   Failures surface as the typed {!Write_error}, never a bare
+   [Sys_error]/[Unix_error]. *)
+let rename_durable ~src ~dst =
+  let fail reason =
+    (try Sys.remove src with Sys_error _ -> ());
+    raise (Write_error { wr_path = dst; wr_reason = reason })
+  in
+  match Unix.rename src dst with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EXDEV, _, _) -> (
+      let tmp2 = fresh_tmp dst in
+      let copy () =
+        let ic = Unix.openfile src [ Unix.O_RDONLY ] 0 in
+        Fun.protect
+          ~finally:(fun () -> Unix.close ic)
+          (fun () ->
+            let oc =
+              Unix.openfile tmp2
+                [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+                0o644
+            in
+            Fun.protect
+              ~finally:(fun () -> Unix.close oc)
+              (fun () ->
+                let buf = Bytes.create 65536 in
+                let rec pump () =
+                  let k = Unix.read ic buf 0 (Bytes.length buf) in
+                  if k > 0 then begin
+                    let w = Unix.write oc buf 0 k in
+                    if w <> k then failwith "short write";
+                    pump ()
+                  end
+                in
+                pump ();
+                Unix.fsync oc))
+      in
+      match
+        copy ();
+        Unix.rename tmp2 dst
+      with
+      | () -> ( try Sys.remove src with Sys_error _ -> ())
+      | exception e ->
+          (try Sys.remove tmp2 with Sys_error _ -> ());
+          fail
+            (Printf.sprintf "cross-device publish failed: %s"
+               (Printexc.to_string e)))
+  | exception Unix.Unix_error (e, _, _) -> fail (Unix.error_message e)
+  | exception Sys_error m -> fail m
+
 let write_atomic path emit =
-  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
-  let oc = open_out tmp in
+  let tmp = fresh_tmp path in
+  let oc =
+    try open_out tmp
+    with Sys_error m -> raise (Write_error { wr_path = path; wr_reason = m })
+  in
   match emit oc with
   | () ->
       close_out oc;
-      Sys.rename tmp path
+      rename_durable ~src:tmp ~dst:path
   | exception e ->
       close_out_noerr oc;
       (try Sys.remove tmp with Sys_error _ -> ());

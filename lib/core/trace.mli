@@ -45,12 +45,30 @@ val drain : unit -> span list
 
 (** {1 JSON emission and the [stats] summary} *)
 
+exception Write_error of { wr_path : string; wr_reason : string }
+(** A failed atomic publish — the path that could not be written and the
+    underlying reason.  Raised by {!write_atomic} and {!rename_durable}
+    instead of a bare [Sys_error]/[Unix_error], so keep-going callers can
+    report it as a typed condition. *)
+
 val write_atomic : string -> (out_channel -> unit) -> unit
 (** Run the emitter on a sibling temp file, then rename it over the
     target path: readers observe the old complete file or the new
     complete file, never a truncation.  On an emitter exception the temp
-    file is removed and the target is untouched.  Shared by
-    {!write_json} and the bench JSON writers. *)
+    file is removed and the target is untouched.  The temp name carries
+    the pid {e and} a per-process atomic counter, so concurrent domains
+    writing the same path never clobber each other's temp file.  Shared
+    by {!write_json}, the bench JSON writers and the persistent result
+    store.
+    @raise Write_error when the file cannot be created or published *)
+
+val rename_durable : src:string -> dst:string -> unit
+(** Atomically publish [src] as [dst].  A plain [rename] when both sit
+    on one filesystem; across filesystems ([EXDEV]) the bytes are copied
+    to a fresh temp sibling of [dst], fsynced, and renamed within that
+    directory, so the publish step itself stays atomic.  [src] is
+    consumed on success.
+    @raise Write_error on failure (with [src] cleaned up) *)
 
 val write_json : string -> span list -> unit
 (** One complete span tree per design ({!write_atomic}): spans are

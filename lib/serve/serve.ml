@@ -1,0 +1,298 @@
+(* The evaluation daemon behind [hlsvhc serve] (DESIGN.md §14).
+
+   A long-lived loop on a Unix domain socket: clients connect, send one
+   batch of tab-separated request lines terminated by a blank line, and
+   get back exactly one response line per request, in request order.
+   All [eval] requests of a batch are fanned out together onto the
+   [Core.Parallel] domain pool (grouped by stream length, since the
+   measure key includes it), under keep-going semantics: a design point
+   that fails mid-request answers with its typed [Flow.error] while the
+   rest of the batch completes — an injected engine crash takes down one
+   response, never the daemon.
+
+   Layered under the pool is the usual cache stack: the in-process memo
+   first, then (when attached) the persistent content-addressed store,
+   so every client of one daemon — and every future daemon over the same
+   store directory — shares one warm result set.
+
+   Wire protocol (one line per request/response, fields tab-separated;
+   labels may contain spaces but never tabs):
+
+     eval\tTOOL\tMATRICES\tLABEL   ->  ok\tMETRICS-WIRE
+                                   |   err\tDESIGN\tSTAGE\tCLASS\tDETAIL
+     ping                          ->  ok\tpong
+     stats                         ->  ok\tk=v ...
+     shutdown                      ->  ok\tbye     (daemon exits after
+                                                    answering the batch)
+   A request the server cannot parse (unknown verb, unknown tool or
+   label, bad matrices) answers  bad\tREASON  and poisons nothing. *)
+
+type request =
+  | Eval of { design : Core.Design.t; matrices : int }
+  | Ping
+  | Stats
+  | Shutdown
+
+type config = {
+  socket_path : string;
+  jobs : int option;          (* Parallel pool size for each batch *)
+  store : Store.t option;     (* already attached; here for [stats] *)
+  max_conns : int option;     (* stop after N connections (tests/bench) *)
+}
+
+type counters = {
+  conns : int Atomic.t;
+  evals : int Atomic.t;
+  eval_errors : int Atomic.t;
+  memo_hits : int Atomic.t;
+}
+
+let label_index tool =
+  Core.Registry.sweep tool
+  @ [ Core.Registry.initial tool; Core.Registry.optimized tool ]
+
+let find_design ~tool ~label =
+  List.find_opt (fun (d : Core.Design.t) -> d.Core.Design.label = label)
+    (label_index tool)
+
+let parse_request line =
+  match String.split_on_char '\t' line with
+  | [ "ping" ] -> Ok Ping
+  | [ "stats" ] -> Ok Stats
+  | [ "shutdown" ] -> Ok Shutdown
+  | [ "eval"; tool; matrices; label ] -> (
+      match Core.Registry.parse_tool tool with
+      | None -> Error (Core.Registry.unknown_tool_msg tool)
+      | Some t -> (
+          match int_of_string_opt matrices with
+          | Some m when m >= 1 -> (
+              match find_design ~tool:t ~label with
+              | Some design -> Ok (Eval { design; matrices = m })
+              | None ->
+                  Error
+                    (Printf.sprintf "unknown %s design label %S" tool label))
+          | _ ->
+              Error
+                (Printf.sprintf "bad matrices count %S (want a positive int)"
+                   matrices)))
+  | verb :: _ -> Error (Printf.sprintf "unknown request %S" verb)
+  | [] -> Error "empty request"
+
+(* Response lines must stay single-line, tab-clean in the detail field. *)
+let clean s =
+  String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
+
+let err_line (e : Core.Flow.error) =
+  Printf.sprintf "err\t%s\t%s\t%s\t%s"
+    (clean e.Core.Flow.err_design)
+    (clean e.Core.Flow.err_stage)
+    (Core.Flow.class_name e.Core.Flow.err_class)
+    (clean (Core.Flow.class_detail e.Core.Flow.err_class))
+
+let stats_line cfg c =
+  let store_part =
+    match cfg.store with
+    | None -> "store=none"
+    | Some st ->
+        let s = Store.stats st in
+        Printf.sprintf
+          "store=%s store_hits=%d store_misses=%d store_writes=%d \
+           store_invalid=%d"
+          (clean (Store.dir st))
+          s.Store.st_hits s.Store.st_misses s.Store.st_writes
+          s.Store.st_invalid
+  in
+  Printf.sprintf "ok\tconns=%d evals=%d errors=%d memo_hits=%d %s"
+    (Atomic.get c.conns) (Atomic.get c.evals) (Atomic.get c.eval_errors)
+    (Atomic.get c.memo_hits) store_part
+
+(* One connection = one batch.  Evals are grouped by matrices (the pool
+   API takes one stream length per batch) and each group fans out on the
+   domain pool; responses reassemble in request order. *)
+let handle_batch cfg counters lines =
+  let parsed = List.map parse_request lines in
+  (* indexed evals, grouped by matrices *)
+  let indexed =
+    List.mapi (fun i r -> (i, r)) parsed
+    |> List.filter_map (fun (i, r) ->
+           match r with
+           | Ok (Eval { design; matrices }) -> Some (i, design, matrices)
+           | _ -> None)
+  in
+  let groups =
+    List.fold_left
+      (fun acc (i, design, matrices) ->
+        let prev = Option.value (List.assoc_opt matrices acc) ~default:[] in
+        (matrices, (i, design) :: prev) :: List.remove_assoc matrices acc)
+      [] indexed
+  in
+  let outcomes = Hashtbl.create 16 in
+  List.iter
+    (fun (matrices, rev_items) ->
+      let items = List.rev rev_items in
+      let designs = List.map snd items in
+      List.iter
+        (fun d ->
+          Atomic.incr counters.evals;
+          if Core.Evaluate.is_cached ~matrices d then
+            Atomic.incr counters.memo_hits)
+        designs;
+      let results =
+        Core.Evaluate.measure_all_result ?jobs:cfg.jobs ~matrices designs
+      in
+      List.iter2
+        (fun (i, _) r ->
+          (match r with
+          | Error _ -> Atomic.incr counters.eval_errors
+          | Ok _ -> ());
+          Hashtbl.replace outcomes i r)
+        items results)
+    groups;
+  let shutdown = ref false in
+  let responses =
+    List.mapi
+      (fun i r ->
+        match r with
+        | Error reason -> "bad\t" ^ clean reason
+        | Ok Ping -> "ok\tpong"
+        | Ok Stats -> stats_line cfg counters
+        | Ok Shutdown ->
+            shutdown := true;
+            "ok\tbye"
+        | Ok (Eval _) -> (
+            match Hashtbl.find outcomes i with
+            | Ok m -> "ok\t" ^ Core.Metrics.to_wire m
+            | Error e -> err_line e))
+      parsed
+  in
+  (responses, !shutdown)
+
+let read_batch ic =
+  let rec go acc =
+    match input_line ic with
+    | "" -> List.rev acc
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let handle_conn cfg counters fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr (Unix.dup fd) in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      close_in_noerr ic)
+    (fun () ->
+      match read_batch ic with
+      | [] -> false
+      | lines ->
+          let responses, shutdown = handle_batch cfg counters lines in
+          List.iter
+            (fun r ->
+              output_string oc r;
+              output_char oc '\n')
+            responses;
+          flush oc;
+          shutdown)
+
+let run cfg =
+  (* A client that hangs up mid-response must cost one EPIPE-aborted
+     connection, not the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let counters =
+    {
+      conns = Atomic.make 0;
+      evals = Atomic.make 0;
+      eval_errors = Atomic.make 0;
+      memo_hits = Atomic.make 0;
+    }
+  in
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX cfg.socket_path);
+      Unix.listen sock 64;
+      let stop = ref false in
+      while not !stop do
+        let fd, _ = Unix.accept sock in
+        Atomic.incr counters.conns;
+        (match handle_conn cfg counters fd with
+        | shutdown -> if shutdown then stop := true
+        | exception e ->
+            (* a wedged or malicious client aborts its own connection *)
+            Printf.eprintf "hlsvhc serve: connection failed: %s\n%!"
+              (Printexc.to_string e));
+        match cfg.max_conns with
+        | Some n when Atomic.get counters.conns >= n -> stop := true
+        | _ -> ()
+      done);
+  counters
+
+(* ---------------- client side ---------------- *)
+
+module Client = struct
+  let eval_line ~tool ~label ~matrices =
+    Printf.sprintf "eval\t%s\t%d\t%s" tool matrices label
+
+  let connect socket_path =
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect sock (Unix.ADDR_UNIX socket_path);
+      sock
+    with e ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      raise e
+
+  let request ~socket lines =
+    let fd = connect socket in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr (Unix.dup fd) in
+    Fun.protect
+      ~finally:(fun () ->
+        close_out_noerr oc;
+        close_in_noerr ic)
+      (fun () ->
+        List.iter
+          (fun l ->
+            output_string oc l;
+            output_char oc '\n')
+          lines;
+        output_char oc '\n';
+        flush oc;
+        List.map
+          (fun _ ->
+            try input_line ic
+            with End_of_file ->
+              failwith "serve client: connection closed mid-response")
+          lines)
+
+  (* Poll until the daemon answers a ping — the test/bench handshake
+     after spawning the server domain. *)
+  let wait_ready ?(timeout_s = 30.0) ~socket () =
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec go () =
+      match request ~socket [ "ping" ] with
+      | [ "ok\tpong" ] -> ()
+      | other ->
+          failwith
+            (Printf.sprintf "serve client: unexpected ping reply %s"
+               (String.concat "; " other))
+      | exception _ when Unix.gettimeofday () < deadline ->
+          Unix.sleepf 0.05;
+          go ()
+    in
+    go ()
+
+  let parse_metrics line =
+    match String.index_opt line '\t' with
+    | Some i when String.sub line 0 i = "ok" ->
+        Core.Metrics.of_wire
+          (String.sub line (i + 1) (String.length line - i - 1))
+    | _ -> Error (Printf.sprintf "not an ok response: %S" line)
+end

@@ -1,0 +1,65 @@
+(** The [hlsvhc serve] evaluation daemon (DESIGN.md §14).
+
+    A long-lived loop on a Unix domain socket: one connection carries one
+    batch of tab-separated request lines (terminated by a blank line) and
+    receives exactly one response line per request, in order.  Every
+    [eval] of a batch fans out together onto the {!Core.Parallel} domain
+    pool under keep-going semantics — a failing design point answers with
+    its typed {!Core.Flow.error} while the rest of the batch completes —
+    and reads through the memo cache plus, when attached, the persistent
+    content-addressed {!Store}.
+
+    Protocol:
+    {v
+    eval\tTOOL\tMATRICES\tLABEL  ->  ok\tMETRICS-WIRE
+                                 |   err\tDESIGN\tSTAGE\tCLASS\tDETAIL
+    ping                         ->  ok\tpong
+    stats                        ->  ok\tk=v ...
+    shutdown                     ->  ok\tbye   (daemon exits)
+    bad\tREASON  answers any request the server cannot parse.
+    v} *)
+
+type request =
+  | Eval of { design : Core.Design.t; matrices : int }
+  | Ping
+  | Stats
+  | Shutdown
+
+type config = {
+  socket_path : string;
+  jobs : int option;       (** pool size per batch (default: as {!Core.Parallel}) *)
+  store : Store.t option;  (** attached store, reported by [stats] *)
+  max_conns : int option;  (** stop after N connections (tests/bench) *)
+}
+
+type counters = {
+  conns : int Atomic.t;
+  evals : int Atomic.t;
+  eval_errors : int Atomic.t;
+  memo_hits : int Atomic.t;
+}
+
+val parse_request : string -> (request, string) result
+(** One wire line to a typed request; [Error] is the [bad] diagnostic. *)
+
+val run : config -> counters
+(** Bind, listen and serve until a [shutdown] request or [max_conns]
+    connections; the socket file is unlinked on exit.  Returns the final
+    counters. *)
+
+(** Blocking one-shot client (tests, bench, scripting). *)
+module Client : sig
+  val eval_line : tool:string -> label:string -> matrices:int -> string
+  (** Format an [eval] request line. *)
+
+  val request : socket:string -> string list -> string list
+  (** Connect, send the lines plus the blank-line terminator, read one
+      response line per request, close. *)
+
+  val wait_ready : ?timeout_s:float -> socket:string -> unit -> unit
+  (** Poll [ping] until the daemon answers (after spawning it).
+      @raise Failure on timeout or a malformed reply *)
+
+  val parse_metrics : string -> (Core.Metrics.measured, string) result
+  (** Decode an [ok\tMETRICS] response. *)
+end

@@ -1,0 +1,195 @@
+(* Persistent content-addressed result store (DESIGN.md §14).
+
+   One measurement = one entry file, named by the digest of the
+   [Evaluate] measure key (spec × tool × label × digest(config, listing)
+   × matrices), so two processes that construct the same design content
+   address the same entry — the on-disk twin of the in-process memo
+   cache.  Entries are published with [Trace.write_atomic] (temp +
+   rename, EXDEV-safe), so concurrent writers and crashes can never
+   leave a truncated entry: readers see a complete old entry, a complete
+   new entry, or nothing.
+
+   Reads trust nothing: an entry must carry the current schema version,
+   a checksum that matches its payload, the full key it claims to cache
+   (digest collisions and foreign files are rejected), and a parseable
+   metrics line.  Anything else is reported once per path, counted, and
+   treated as a miss — the caller re-measures and the fresh write
+   replaces the bad entry. *)
+
+let schema_version = 1
+let magic = "hlsvhc-store"
+
+type stats = {
+  st_hits : int;
+  st_misses : int;
+  st_writes : int;
+  st_invalid : int;
+}
+
+type t = {
+  dir : string;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  writes : int Atomic.t;
+  invalid : int Atomic.t;
+  (* entry paths already complained about, so a corrupt entry that is hit
+     repeatedly (e.g. under a sweep) warns exactly once *)
+  reported : (string, unit) Hashtbl.t;
+  reported_lock : Mutex.t;
+}
+
+let dir t = t.dir
+
+let stats t =
+  {
+    st_hits = Atomic.get t.hits;
+    st_misses = Atomic.get t.misses;
+    st_writes = Atomic.get t.writes;
+    st_invalid = Atomic.get t.invalid;
+  }
+
+(* mkdir -p: create every missing component, tolerate the race where a
+   concurrent client creates one first. *)
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_store dirname =
+  match
+    mkdir_p dirname;
+    Sys.is_directory dirname
+  with
+  | true ->
+      Ok
+        {
+          dir = dirname;
+          hits = Atomic.make 0;
+          misses = Atomic.make 0;
+          writes = Atomic.make 0;
+          invalid = Atomic.make 0;
+          reported = Hashtbl.create 16;
+          reported_lock = Mutex.create ();
+        }
+  | false -> Error (Printf.sprintf "%s exists and is not a directory" dirname)
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "cannot create %s: %s" dirname (Unix.error_message e))
+  | exception Sys_error m -> Error m
+
+let entry_path t ~key =
+  Filename.concat t.dir (Digest.to_hex (Digest.string key) ^ ".entry")
+
+(* The checksummed payload: everything above the checksum line, verbatim.
+   The version line is covered too, so a version edit cannot smuggle an
+   old payload past the checksum. *)
+let payload ~key ~wire =
+  Printf.sprintf "%s %d\nkey: %s\nmetrics: %s\n" magic schema_version key wire
+
+let add t ~key (m : Core.Metrics.measured) =
+  let body = payload ~key ~wire:(Core.Metrics.to_wire m) in
+  Core.Trace.write_atomic (entry_path t ~key) (fun oc ->
+      output_string oc body;
+      Printf.fprintf oc "checksum: %s\n" (Digest.to_hex (Digest.string body)));
+  Atomic.incr t.writes
+
+let report_once t path reason =
+  let fresh =
+    Mutex.protect t.reported_lock (fun () ->
+        if Hashtbl.mem t.reported path then false
+        else begin
+          Hashtbl.add t.reported path ();
+          true
+        end)
+  in
+  if fresh then
+    Printf.eprintf "hlsvhc: store: ignoring entry %s (%s); re-measuring\n%!"
+      path reason
+
+(* Validation, strictest-to-loosest diagnosis: a missing file is a plain
+   miss; everything else present-but-untrustworthy counts as invalid. *)
+let load_entry path ~key =
+  let text =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match String.split_on_char '\n' text with
+  | [ header; key_line; metrics_line; checksum_line; "" ] -> (
+      (match String.split_on_char ' ' header with
+      | [ m; v ] when m = magic ->
+          if v <> string_of_int schema_version then
+            Error
+              (Printf.sprintf "schema version skew: entry v%s, expected v%d" v
+                 schema_version)
+          else Ok ()
+      | _ -> Error "not a store entry (bad magic)")
+      |> function
+      | Error _ as e -> e
+      | Ok () ->
+          let field prefix line =
+            if String.length line >= String.length prefix
+               && String.sub line 0 (String.length prefix) = prefix
+            then
+              Ok
+                (String.sub line (String.length prefix)
+                   (String.length line - String.length prefix))
+            else Error (Printf.sprintf "malformed %S line" prefix)
+          in
+          Result.bind (field "key: " key_line) @@ fun stored_key ->
+          Result.bind (field "metrics: " metrics_line) @@ fun wire ->
+          Result.bind (field "checksum: " checksum_line) @@ fun sum ->
+          let body = payload ~key:stored_key ~wire in
+          if sum <> Digest.to_hex (Digest.string body) then
+            Error "checksum mismatch (corrupt or tampered entry)"
+          else if stored_key <> key then
+            Error
+              (Printf.sprintf "key mismatch: entry caches %S" stored_key)
+          else Core.Metrics.of_wire wire)
+  | _ -> Error "truncated or malformed entry"
+
+let find t ~key =
+  let path = entry_path t ~key in
+  if not (Sys.file_exists path) then begin
+    Atomic.incr t.misses;
+    None
+  end
+  else
+    match load_entry path ~key with
+    | Ok m ->
+        Atomic.incr t.hits;
+        Some m
+    | Error reason ->
+        Atomic.incr t.invalid;
+        Atomic.incr t.misses;
+        report_once t path reason;
+        None
+    | exception Sys_error m | exception Failure m ->
+        Atomic.incr t.invalid;
+        Atomic.incr t.misses;
+        report_once t path m;
+        None
+
+let entry_count t =
+  Array.fold_left
+    (fun n f -> if Filename.check_suffix f ".entry" then n + 1 else n)
+    0 (Sys.readdir t.dir)
+
+let backend t =
+  {
+    Core.Evaluate.sb_name = t.dir;
+    sb_find = (fun key -> find t ~key);
+    sb_add = (fun key m -> add t ~key m);
+  }
+
+let attach dirname =
+  match open_store dirname with
+  | Ok t ->
+      Core.Evaluate.set_store_backend (Some (backend t));
+      Ok t
+  | Error _ as e -> e
+
+let detach () = Core.Evaluate.set_store_backend None

@@ -1,0 +1,58 @@
+(** Persistent content-addressed result store (DESIGN.md §14).
+
+    The on-disk twin of {!Core.Evaluate}'s in-process memo cache: one
+    measurement per entry file, named by the digest of the measure key
+    (spec × tool × label × digest(config, listing) × matrices), written
+    atomically (temp + rename via {!Core.Trace.write_atomic}), read back
+    with schema-version, checksum and key validation.  Attached to
+    [Evaluate] it makes results survive restarts and lets concurrent
+    clients share one warm cache; invalid entries (corrupt, truncated,
+    version-skewed, colliding) are reported once, counted, and
+    re-measured — never trusted. *)
+
+type t
+
+type stats = {
+  st_hits : int;     (** valid entries served *)
+  st_misses : int;   (** absent or invalid entries (invalid counted in both) *)
+  st_writes : int;   (** entries published *)
+  st_invalid : int;  (** entries rejected by validation *)
+}
+
+val schema_version : int
+
+val open_store : string -> (t, string) result
+(** Open (creating directories as needed) a store rooted at the given
+    path.  [Error] when the path exists and is not a directory, or
+    cannot be created. *)
+
+val dir : t -> string
+val stats : t -> stats
+
+val entry_path : t -> key:string -> string
+(** The entry file a key content-addresses (exists or not). *)
+
+val find : t -> key:string -> Core.Metrics.measured option
+(** Validated read: [None] on a missing entry {e and} on any entry that
+    fails validation (reported once per path on stderr, counted in
+    [st_invalid]); the caller re-measures and {!add} replaces it. *)
+
+val add : t -> key:string -> Core.Metrics.measured -> unit
+(** Publish an entry atomically (checksummed, schema-tagged); concurrent
+    writers of one key are safe — last complete write wins, and both
+    wrote identical content.
+    @raise Core.Trace.Write_error when the entry cannot be written *)
+
+val entry_count : t -> int
+(** Number of [.entry] files currently on disk. *)
+
+val backend : t -> Core.Evaluate.store_backend
+(** This store as an [Evaluate] persistent layer. *)
+
+val attach : string -> (t, string) result
+(** [open_store] + {!Core.Evaluate.set_store_backend}: every subsequent
+    [Evaluate.measure] miss in this process reads through (and writes
+    through to) the store — the [--store DIR] flag. *)
+
+val detach : unit -> unit
+(** Detach whatever backend is attached. *)

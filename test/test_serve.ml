@@ -1,0 +1,201 @@
+(* Soak test for the [hlsvhc serve] daemon (DESIGN.md §14): concurrent
+   clients, mixed memo/store hits and misses, and an injected engine
+   crash mid-request.
+
+   One in-process daemon on a Unix socket, backed by a fresh persistent
+   store, takes batches from three concurrent client domains while a
+   [Crash "synthesize"] fault targets exactly one design.  The faulted
+   point must answer with its typed error line — batch after batch —
+   while its batch-mates keep answering metrics; after disarming, the
+   same request heals to an [ok].  The daemon itself must survive all of
+   it, report truthful counters, shut down on request, and leave exactly
+   the successful measurements in the store. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+let faulted_label = "1 row + 8 col units"
+(* span key = "Tool/label", and the Verilog tool's display name is its
+   toolchain, Vivado *)
+let faulted_key = "Vivado/" ^ faulted_label
+
+let eval_initial = Serve.Client.eval_line ~tool:"verilog" ~label:"initial" ~matrices:2
+let eval_optimized = Serve.Client.eval_line ~tool:"verilog" ~label:"optimized" ~matrices:2
+let eval_faulted = Serve.Client.eval_line ~tool:"verilog" ~label:faulted_label ~matrices:1
+
+let batch = [ eval_initial; eval_optimized; eval_faulted; "ping" ]
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let check_batch_responses who responses =
+  match responses with
+  | [ r1; r2; r3; r4 ] ->
+      (match Serve.Client.parse_metrics r1 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (who ^ ": initial not ok: " ^ e));
+      (match Serve.Client.parse_metrics r2 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (who ^ ": optimized not ok: " ^ e));
+      check bool (who ^ ": faulted point answers err") true
+        (has_prefix ~prefix:"err\t" r3);
+      check bool (who ^ ": error names the design") true
+        (contains ~sub:faulted_key r3);
+      check bool (who ^ ": error typed synth-failure") true
+        (contains ~sub:"synth-failure" r3);
+      check string (who ^ ": ping still answered") "ok\tpong" r4
+  | rs ->
+      Alcotest.fail
+        (Printf.sprintf "%s: %d responses to a 4-request batch" who
+           (List.length rs))
+
+let test_soak () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hlsvhc_serve_%d.sock" (Unix.getpid ()))
+  in
+  let store_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hlsvhc_serve_store_%d" (Unix.getpid ()))
+  in
+  Store.detach ();
+  Core.Evaluate.clear_measure_cache ();
+  let store = Result.get_ok (Store.attach store_dir) in
+  let cfg =
+    {
+      Serve.socket_path = socket;
+      jobs = Some 2;
+      store = Some store;
+      max_conns = None;
+    }
+  in
+  let server = Domain.spawn (fun () -> Serve.run cfg) in
+  let cleanup () =
+    Core.Faultinject.disarm ();
+    Store.detach ();
+    Core.Evaluate.clear_measure_cache ();
+    try Unix.unlink socket with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      Serve.Client.wait_ready ~socket ();
+      (* one design's synthesis stage crashes on every attempt *)
+      Core.Faultinject.arm
+        { Core.Faultinject.fault = Crash "synthesize";
+          target = faulted_key;
+          seed = 0;
+        };
+      let clients =
+        List.init 3 (fun _c ->
+            Domain.spawn (fun () ->
+                List.init 2 (fun _ -> Serve.Client.request ~socket batch)))
+      in
+      let all_responses = List.map Domain.join clients in
+      List.iteri
+        (fun c batches ->
+          List.iteri
+            (fun b rs ->
+              check_batch_responses (Printf.sprintf "client %d batch %d" c b) rs)
+            batches)
+        all_responses;
+      (* heal: disarm and re-request the point that kept failing *)
+      Core.Faultinject.disarm ();
+      (match Serve.Client.request ~socket [ eval_faulted ] with
+      | [ r ] -> (
+          match Serve.Client.parse_metrics r with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail ("healed request not ok: " ^ e))
+      | rs ->
+          Alcotest.fail
+            (Printf.sprintf "%d responses to the healed request"
+               (List.length rs)));
+      (* truthful counters: 3 clients x 2 batches x 3 evals + 1 healed *)
+      (match Serve.Client.request ~socket [ "stats" ] with
+      | [ s ] ->
+          check bool "stats is ok" true (has_prefix ~prefix:"ok\t" s);
+          check bool "19 evals served" true (contains ~sub:"evals=19" s);
+          check bool "6 injected failures" true (contains ~sub:"errors=6" s);
+          check bool "stats reports the store" true
+            (contains ~sub:("store=" ^ store_dir) s)
+      | rs ->
+          Alcotest.fail
+            (Printf.sprintf "%d responses to stats" (List.length rs)));
+      (* orderly shutdown *)
+      (match Serve.Client.request ~socket [ "shutdown" ] with
+      | [ "ok\tbye" ] -> ()
+      | rs ->
+          Alcotest.fail ("unexpected shutdown reply: " ^ String.concat "; " rs));
+      let counters = Domain.join server in
+      check int "daemon counted every error" 6
+        (Atomic.get counters.Serve.eval_errors);
+      check int "daemon counted every eval" 19
+        (Atomic.get counters.Serve.evals);
+      (* only successful measurements persist: initial@2, optimized@2 and
+         the healed faulted point@1 *)
+      check int "store holds the three good results" 3
+        (Store.entry_count store))
+
+let test_bad_requests () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hlsvhc_serve_bad_%d.sock" (Unix.getpid ()))
+  in
+  Store.detach ();
+  Core.Evaluate.clear_measure_cache ();
+  let cfg =
+    { Serve.socket_path = socket; jobs = Some 1; store = None; max_conns = None }
+  in
+  let server = Domain.spawn (fun () -> Serve.run cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      Core.Evaluate.clear_measure_cache ();
+      try Unix.unlink socket with Unix.Unix_error _ -> ())
+    (fun () ->
+      Serve.Client.wait_ready ~socket ();
+      let lines =
+        [
+          "eval\tnosuchtool\t2\tinitial";
+          "eval\tverilog\t0\tinitial";
+          "eval\tverilog\t2\tno such label";
+          "frobnicate";
+          "ping";
+        ]
+      in
+      (match Serve.Client.request ~socket lines with
+      | [ b1; b2; b3; b4; ok ] ->
+          List.iter
+            (fun b ->
+              check bool "malformed request answers bad" true
+                (has_prefix ~prefix:"bad\t" b))
+            [ b1; b2; b3; b4 ];
+          check string "daemon unpoisoned" "ok\tpong" ok
+      | rs ->
+          Alcotest.fail
+            (Printf.sprintf "%d responses to a 5-request batch"
+               (List.length rs)));
+      (match Serve.Client.request ~socket [ "shutdown" ] with
+      | [ "ok\tbye" ] -> ()
+      | rs ->
+          Alcotest.fail ("unexpected shutdown reply: " ^ String.concat "; " rs));
+      ignore (Domain.join server))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "daemon",
+        [
+          Alcotest.test_case "soak: concurrent clients + injected crash" `Quick
+            test_soak;
+          Alcotest.test_case "malformed requests poison nothing" `Quick
+            test_bad_requests;
+        ] );
+    ]
