@@ -29,7 +29,7 @@ let pct a b = 100. *. a /. b
 
 let ablation_verilog () =
   section "Ablation (paper IV, Verilog): 8x8 units -> 1x8 -> 1x1";
-  let m d = Core.Evaluate.measure ~matrices:4 d in
+  let m d = Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:4 d in
   match Core.Registry.sweep Core.Design.Verilog with
   | [ d0; d1; d2 ] ->
       let m0 = m d0 and m1 = m d1 and m2 = m d2 in
@@ -52,8 +52,8 @@ let ablation_verilog () =
 
 let ablation_maxj () =
   section "Ablation (paper IV, MaxJ): matrix/tick vs row/tick";
-  let mi = Core.Evaluate.measure (Core.Registry.initial Core.Design.Maxj) in
-  let mo = Core.Evaluate.measure (Core.Registry.optimized Core.Design.Maxj) in
+  let mi = Core.Evaluate.measure ~spec:Core.Flow.idct_spec (Core.Registry.initial Core.Design.Maxj) in
+  let mo = Core.Evaluate.measure ~spec:Core.Flow.idct_spec (Core.Registry.optimized Core.Design.Maxj) in
   Printf.printf "initial: P=%.1f MOPS (PCIe bound), A=%d, depth=%d ticks\n"
     mi.Core.Metrics.throughput_mops mi.Core.Metrics.area
     mi.Core.Metrics.latency;
@@ -61,13 +61,13 @@ let ablation_maxj () =
     "optimized: area /%.2f, throughput /%.2f   (paper: /2.8 area, /2.7 throughput)\n"
     (float_of_int mi.Core.Metrics.area /. float_of_int mo.Core.Metrics.area)
     (mi.Core.Metrics.throughput_mops /. mo.Core.Metrics.throughput_mops);
-  let v = Core.Evaluate.measure (Core.Registry.initial Core.Design.Verilog) in
+  let v = Core.Evaluate.measure ~spec:Core.Flow.idct_spec (Core.Registry.initial Core.Design.Verilog) in
   Printf.printf "quality vs initial Verilog: %.0f%%   (paper: 963%%)\n"
     (pct (Core.Metrics.quality mi) (Core.Metrics.quality v))
 
 let ablation_chls () =
   section "Ablation (paper IV, C): Bambu presets and Vivado HLS pragmas";
-  let m d = Core.Evaluate.measure ~matrices:3 d in
+  let m d = Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:3 d in
   let bi = m (Core.Registry.initial Core.Design.Bambu) in
   let bo = m (Core.Registry.optimized Core.Design.Bambu) in
   Printf.printf "Bambu default: periodicity %d cycles @ %.1f MHz -> %.2f MOPS\n"
@@ -112,10 +112,10 @@ let ablation_scheduler () =
               ~name:(Printf.sprintf "ab_%d_%.0f" ports chain)
               cfg Chls.Transform.default_options Chls.Idct_c.program
           in
-          let rng = Idct.Block.Rand.create ~seed:5 () in
+          let rng = Axis.Block.Rand.create ~seed:5 () in
           let mats =
             List.init 2 (fun _ ->
-                Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255))
+                Idct.Reference.fdct (Axis.Block.Rand.block rng ~lo:(-256) ~hi:255))
           in
           let r = Axis.Driver.run ~timeout:30000 c mats in
           let rep = Hw.Synth.run c in
@@ -153,7 +153,7 @@ let extension_second_kernel () =
     "P MOPS" "A" "Q";
   let idct_q = ref [] and fir_q = ref [] in
   let idct_row tool =
-    let m = Core.Evaluate.measure ~matrices:3 (Core.Registry.optimized tool) in
+    let m = Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:3 (Core.Registry.optimized tool) in
     idct_q := (Core.Design.tool_name tool, Core.Metrics.quality m) :: !idct_q
   in
   List.iter idct_row [ Core.Design.Chisel; Core.Design.Dslx; Core.Design.Bambu ];
@@ -161,7 +161,8 @@ let extension_second_kernel () =
      same staged pipeline measures them, including the bit-true check the
      old inline harness did by hand. *)
   List.iter
-    (fun (name, d) ->
+    (fun (tool, d) ->
+      let name = Core.Design.tool_name tool in
       let m =
         Core.Evaluate.measure ~matrices:3 ~spec:Core.Second_kernel.spec d
       in
@@ -594,6 +595,92 @@ let dse_bench () =
   write_dse_json "BENCH_dse.json" rows
 
 (* ------------------------------------------------------------------ *)
+(* Kernel registry: per-kernel evaluation throughput, cold vs warm      *)
+(* ------------------------------------------------------------------ *)
+
+type kernel_row = {
+  kr_kernel : string;
+  kr_designs : int;
+  kr_cold_s : float;
+  kr_warm_s : float;
+  kr_cycles : int;
+  kr_cps : float;  (* simulated cycles per wall second, cold *)
+}
+
+(* Each registered kernel's initial+optimized inventory, measured cold
+   (fresh memo) then warm (pure memo reads).  The cycle count is the
+   simulated stream length (latency + 2 further matrices at the design's
+   periodicity), so cycles/sec compares kernels of very different
+   design sizes on one scale. *)
+let kernel_rows () =
+  List.map
+    (fun k ->
+      let spec = Core.Kernel.spec k in
+      let designs =
+        List.sort_uniq
+          (fun a b -> compare (Core.Flow.span_key a) (Core.Flow.span_key b))
+          (List.concat_map
+             (fun tool ->
+               [ Core.Kernel.initial k tool; Core.Kernel.optimized k tool ])
+             (Core.Kernel.tools k))
+      in
+      Core.Evaluate.clear_measure_cache ();
+      let t0 = Unix.gettimeofday () in
+      let ms = List.map (Core.Evaluate.measure ~matrices:3 ~spec) designs in
+      let cold = Unix.gettimeofday () -. t0 in
+      let t1 = Unix.gettimeofday () in
+      let _ = List.map (Core.Evaluate.measure ~matrices:3 ~spec) designs in
+      let warm = Unix.gettimeofday () -. t1 in
+      let cycles =
+        List.fold_left
+          (fun acc (m : Core.Metrics.measured) ->
+            acc + m.Core.Metrics.latency + (2 * m.Core.Metrics.periodicity))
+          0 ms
+      in
+      {
+        kr_kernel = Core.Kernel.name k;
+        kr_designs = List.length designs;
+        kr_cold_s = cold;
+        kr_warm_s = warm;
+        kr_cycles = cycles;
+        kr_cps = float_of_int cycles /. Float.max 1e-9 cold;
+      })
+    Core.Kernel.all
+
+let render_kernel_rows rows =
+  Printf.printf "%-10s %8s %10s %10s %10s %12s %12s\n" "kernel" "designs"
+    "cold s" "warm s" "speedup" "sim cycles" "cycles/sec";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %8d %10.3f %10.4f %9.0fx %12d %12.0f\n"
+        r.kr_kernel r.kr_designs r.kr_cold_s r.kr_warm_s
+        (r.kr_cold_s /. Float.max 1e-9 r.kr_warm_s)
+        r.kr_cycles r.kr_cps)
+    rows
+
+let write_kernels_json path rows =
+  Core.Trace.write_atomic path (fun oc ->
+      output_string oc "{\n  \"bench\": \"kernels\",\n  \"kernels\": [\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"kernel\": \"%s\", \"designs\": %d, \"cold_seconds\": \
+             %.3f, \"warm_seconds\": %.4f, \"sim_cycles\": %d, \
+             \"cycles_per_sec\": %.0f}%s\n"
+            r.kr_kernel r.kr_designs r.kr_cold_s r.kr_warm_s r.kr_cycles
+            r.kr_cps
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      output_string oc "  ]\n}\n");
+  Printf.printf "(wrote %s)\n%!" path
+
+let kernels_bench () =
+  section "Kernel registry: per-kernel evaluation throughput (cold vs warm)";
+  let rows = kernel_rows () in
+  render_kernel_rows rows;
+  write_kernels_json "BENCH_kernels.json" rows
+
+(* ------------------------------------------------------------------ *)
 (* Serve daemon: request throughput, cold store vs warm store           *)
 (* ------------------------------------------------------------------ *)
 
@@ -628,7 +715,7 @@ let serve_bench () =
   let server = Domain.spawn (fun () -> Serve.run cfg) in
   let batch =
     List.map
-      (fun label -> Serve.Client.eval_line ~tool:"verilog" ~label ~matrices:2)
+      (fun label -> Serve.Client.eval_line ~tool:"verilog" ~label ~matrices:2 ())
       [ "initial"; "1 row + 8 col units"; "optimized" ]
   in
   let finish () =
@@ -697,9 +784,9 @@ let bechamel_suite () =
   section "Substrate micro-benchmarks (Bechamel)";
   let open Bechamel in
   let open Toolkit in
-  let rng = Idct.Block.Rand.create ~seed:1 () in
+  let rng = Axis.Block.Rand.create ~seed:1 () in
   let coeffs =
-    Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255)
+    Idct.Reference.fdct (Axis.Block.Rand.block rng ~lo:(-256) ~hi:255)
   in
   let verilog_opt =
     match (Core.Registry.optimized Core.Design.Verilog).Core.Design.impl with
@@ -760,12 +847,13 @@ let bechamel_suite () =
 
 let () =
   (* [--json] runs only the engine comparisons and records BENCH_sim.json,
-     BENCH_eval.json and BENCH_dse.json — the fast path CI and future PRs
-     use for a perf trajectory. *)
+     BENCH_eval.json, BENCH_dse.json and BENCH_kernels.json — the fast
+     path CI and future PRs use for a perf trajectory. *)
   if Array.exists (( = ) "--json") Sys.argv then begin
     sim_engines ();
     eval_parallel ();
     dse_bench ();
+    kernels_bench ();
     serve_bench ();
     section "done"
   end
@@ -782,6 +870,7 @@ let () =
     sim_engines ();
     eval_parallel ();
     dse_bench ();
+    kernels_bench ();
     serve_bench ();
     bechamel_suite ();
     section "done"

@@ -40,6 +40,58 @@ let tools_opt =
 let tool_pos =
   Arg.(required & pos 0 (some tool_conv) None & info [] ~docv:"TOOL")
 
+(* Kernel selection mirrors tool selection: names live on the KERNEL
+   modules, [Core.Kernel.parse_kernel] is the one shared parser and the
+   error lists the registered kernels. *)
+let kernel_conv =
+  let parse s =
+    match Core.Kernel.parse_kernel s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Core.Kernel.unknown_kernel_msg s))
+  in
+  let print ppf k = Format.pp_print_string ppf (Core.Kernel.name k) in
+  Arg.conv (parse, print)
+
+let kernel_opt =
+  Arg.(
+    value
+    & opt kernel_conv Core.Kernel.idct
+    & info [ "kernel" ] ~docv:"KERNEL"
+        ~doc:
+          "Benchmark kernel to evaluate (case-insensitive; default \
+           $(b,idct), the paper's IEEE-1180 inverse DCT).  Registered \
+           kernels: $(b,idct), $(b,fir8), $(b,matmul8).  Unknown names \
+           fail with the list of valid kernels.")
+
+(* A tool restriction must stay inside the kernel's inventory — a tool
+   the kernel does not implement is a usage error, not an empty
+   artifact. *)
+let check_kernel_tools kernel = function
+  | None -> ()
+  | Some ts ->
+      let have = Core.Kernel.tools kernel in
+      List.iter
+        (fun t ->
+          if not (List.mem t have) then begin
+            Printf.eprintf "hlsvhc: kernel %s has no %s designs (tools: %s)\n"
+              (Core.Kernel.name kernel)
+              (Core.Design.tool_name t)
+              (String.concat ", " (List.map Core.Design.tool_name have));
+            exit 2
+          end)
+        ts
+
+let kernel_inventory kernel tool =
+  match Core.Kernel.inventory kernel tool with
+  | Some inv -> inv
+  | None ->
+      Printf.eprintf "hlsvhc: kernel %s has no %s designs (tools: %s)\n"
+        (Core.Kernel.name kernel)
+        (Core.Design.tool_name tool)
+        (String.concat ", "
+           (List.map Core.Design.tool_name (Core.Kernel.tools kernel)));
+      exit 2
+
 let opt_flag =
   Arg.(value & flag & info [ "opt"; "optimized" ] ~doc:"Use the optimized design.")
 
@@ -151,8 +203,10 @@ let with_trace trace f =
           Printf.eprintf "trace: %d spans -> %s\n%!" (List.length spans) file)
         f
 
-let pick_design tool optimized =
-  if optimized then Core.Registry.optimized tool else Core.Registry.initial tool
+let pick_design kernel tool optimized =
+  let inv = kernel_inventory kernel tool in
+  if optimized then inv.Core.Kernel.inv_optimized
+  else inv.Core.Kernel.inv_initial
 
 let table1_cmd =
   let run () = print_string (Core.Table1.render ()) in
@@ -160,17 +214,20 @@ let table1_cmd =
     Term.(const run $ const ())
 
 let table2_cmd =
-  let run tools jobs trace keep_going fault store =
+  let run kernel tools jobs trace keep_going fault store =
     arm_fault fault;
     attach_store store;
+    check_kernel_tools kernel tools;
     let failures =
       with_trace trace (fun () ->
           if keep_going then (
-            let out, failures = Core.Table2.render_result ?jobs ?tools () in
+            let out, failures =
+              Core.Table2.render_result ?jobs ?tools ~kernel ()
+            in
             print_string out;
             failures)
           else (
-            print_string (Core.Table2.render ?jobs ?tools ());
+            print_string (Core.Table2.render ?jobs ?tools ~kernel ());
             []))
     in
     finish_failures failures
@@ -179,8 +236,8 @@ let table2_cmd =
     (Cmd.info "table2"
        ~doc:"Measure every initial/optimized design and print Table II.")
     Term.(
-      const run $ tools_opt $ jobs_opt $ trace_opt $ keep_going_flag
-      $ fault_opt $ store_opt)
+      const run $ kernel_opt $ tools_opt $ jobs_opt $ trace_opt
+      $ keep_going_flag $ fault_opt $ store_opt)
 
 (* --tool (repeatable) and --tools (comma list) merge, first mention
    first, duplicates dropped. *)
@@ -208,20 +265,21 @@ let fig1_cmd =
              JSON to $(docv), atomically — the machine-readable twin of the \
              ASCII scatter, consumed by DSE overlays and external plotting.")
   in
-  let run tool_rep tools jobs trace keep_going json fault store =
+  let run kernel tool_rep tools jobs trace keep_going json fault store =
     arm_fault fault;
     attach_store store;
     let tools = merge_tools tool_rep tools in
+    check_kernel_tools kernel tools;
     let failures =
       with_trace trace (fun () ->
           let series, failures =
-            if keep_going then Core.Fig1.compute_result ?jobs ?tools ()
-            else (Core.Fig1.compute ?jobs ?tools (), [])
+            if keep_going then Core.Fig1.compute_result ?jobs ?tools ~kernel ()
+            else (Core.Fig1.compute ?jobs ?tools ~kernel (), [])
           in
-          print_string (Core.Fig1.render_series series);
+          print_string (Core.Fig1.render_series ~kernel series);
           Option.iter
             (fun path ->
-              Core.Fig1.write_json path series;
+              Core.Fig1.write_json ~kernel path series;
               Printf.eprintf "fig1: wrote %s\n%!" path)
             json;
           failures)
@@ -231,19 +289,27 @@ let fig1_cmd =
   Cmd.v
     (Cmd.info "fig1" ~doc:"Run the DSE sweeps and print the Fig. 1 scatter.")
     Term.(
-      const run $ tool_rep $ tools_opt $ jobs_opt $ trace_opt $ keep_going_flag
-      $ json $ fault_opt $ store_opt)
+      const run $ kernel_opt $ tool_rep $ tools_opt $ jobs_opt $ trace_opt
+      $ keep_going_flag $ json $ fault_opt $ store_opt)
 
 let comply_cmd =
   let blocks =
     Arg.(value & opt int 500 & info [ "blocks" ] ~doc:"Blocks per condition (500 is about the statistical minimum).")
   in
-  let run blocks jobs trace keep_going fault =
+  let run kernel blocks jobs trace keep_going fault =
     arm_fault fault;
     let failures =
       with_trace trace (fun () ->
+          let spec = Core.Kernel.spec kernel in
           let designs =
-            List.map Core.Registry.optimized Core.Design.all_tools
+            List.map (Core.Kernel.optimized kernel) (Core.Kernel.tools kernel)
+          in
+          (* The pass text names the procedure the kernel's spec runs:
+             the IEEE 1180-1990 statistical test for the IDCT, bit-true
+             against the golden reference for the extension kernels. *)
+          let pass_text =
+            if Core.Kernel.name kernel = "idct" then "IEEE 1180-1990 PASS"
+            else "bit-true PASS"
           in
           let verdict_line (d : Core.Design.t) verdict =
             Printf.printf "%-12s optimized: %s\n%!"
@@ -252,13 +318,12 @@ let comply_cmd =
           in
           if keep_going then (
             let outcomes =
-              Core.Evaluate.compliance_all_result ?jobs ~blocks designs
+              Core.Evaluate.compliance_all_result ?jobs ~blocks ~spec designs
             in
             List.iter
               (fun (d, r) ->
                 match r with
-                | Ok ok ->
-                    verdict_line d (if ok then "IEEE 1180-1990 PASS" else "FAIL")
+                | Ok ok -> verdict_line d (if ok then pass_text else "FAIL")
                 | Error _ -> verdict_line d "ERROR")
               outcomes;
             List.filter_map
@@ -267,31 +332,34 @@ let comply_cmd =
               outcomes)
           else (
             List.iter
-              (fun (d, ok) ->
-                verdict_line d (if ok then "IEEE 1180-1990 PASS" else "FAIL"))
-              (Core.Evaluate.compliance_all ?jobs ~blocks designs);
+              (fun (d, ok) -> verdict_line d (if ok then pass_text else "FAIL"))
+              (Core.Evaluate.compliance_all ?jobs ~blocks ~spec designs);
             []))
     in
     finish_failures failures
   in
   Cmd.v
     (Cmd.info "comply"
-       ~doc:"IEEE 1180-1990 accuracy test of every optimized design.")
-    Term.(const run $ blocks $ jobs_opt $ trace_opt $ keep_going_flag $ fault_opt)
+       ~doc:
+         "Accuracy test of every optimized design (IEEE 1180-1990 for the \
+          IDCT, bit-true for extension kernels).")
+    Term.(
+      const run $ kernel_opt $ blocks $ jobs_opt $ trace_opt $ keep_going_flag
+      $ fault_opt)
 
 let emit_cmd =
-  let run tool optimized =
-    let d = pick_design tool optimized in
+  let run kernel tool optimized =
+    let d = pick_design kernel tool optimized in
     print_string d.Core.Design.listing;
     print_newline ()
   in
   Cmd.v
     (Cmd.info "emit" ~doc:"Print a design's source listing.")
-    Term.(const run $ tool_pos $ opt_flag)
+    Term.(const run $ kernel_opt $ tool_pos $ opt_flag)
 
 let verilog_cmd =
-  let run tool optimized =
-    let d = pick_design tool optimized in
+  let run kernel tool optimized =
+    let d = pick_design kernel tool optimized in
     match d.Core.Design.impl with
     | Core.Design.Stream c -> print_string (Hw.Verilog.emit (Lazy.force c))
     | Core.Design.Pcie p ->
@@ -301,12 +369,12 @@ let verilog_cmd =
   Cmd.v
     (Cmd.info "verilog"
        ~doc:"Emit the synthesized design as structural Verilog.")
-    Term.(const run $ tool_pos $ opt_flag)
+    Term.(const run $ kernel_opt $ tool_pos $ opt_flag)
 
 let sim_cmd =
-  let run tool optimized =
-    let d = pick_design tool optimized in
-    let m = Core.Evaluate.measure d in
+  let run kernel tool optimized =
+    let d = pick_design kernel tool optimized in
+    let m = Core.Evaluate.measure ~spec:(Core.Kernel.spec kernel) d in
     Format.printf "%s %s (%s)@.  %a@.  Q = %.0f OPS/(LUT+FF)@."
       (Core.Design.tool_name tool) d.Core.Design.label
       d.Core.Design.config_desc Core.Metrics.pp_measured m
@@ -314,7 +382,7 @@ let sim_cmd =
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Simulate and synthesize one design; print metrics.")
-    Term.(const run $ tool_pos $ opt_flag)
+    Term.(const run $ kernel_opt $ tool_pos $ opt_flag)
 
 let waves_cmd =
   let out =
@@ -323,17 +391,21 @@ let waves_cmd =
   let cycles =
     Arg.(value & opt int 64 & info [ "cycles" ] ~doc:"Cycles to record.")
   in
-  let run tool optimized out cycles =
-    let d = pick_design tool optimized in
+  let run kernel tool optimized out cycles =
+    let d = pick_design kernel tool optimized in
     match d.Core.Design.impl with
     | Core.Design.Pcie _ -> prerr_endline "MaxJ kernels: use the stream simulators"
     | Core.Design.Stream c ->
         let circuit = Lazy.force c in
         let sim = Hw.Sim.create circuit in
         Hw.Sim.reset sim;
-        (* drive one matrix so the trace shows real activity *)
-        let rng = Idct.Block.Rand.create () in
-        let m = Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255) in
+        (* drive one matrix of the kernel's own stimulus so the trace
+           shows real activity *)
+        let m =
+          match (Core.Kernel.spec kernel).Core.Flow.stimulus 1 with
+          | m :: _ -> m
+          | [] -> Axis.Block.create ()
+        in
         let w = Hw.Waves.create sim in
         Hw.Sim.set sim Axis.Stream.m_ready 1;
         for cyc = 0 to cycles - 1 do
@@ -342,7 +414,7 @@ let waves_cmd =
           Hw.Sim.set sim Axis.Stream.s_last (if beat = 7 then 1 else 0);
           for l = 0 to 7 do
             Hw.Sim.set sim (Axis.Stream.s_data l)
-              (Idct.Block.get m ~row:beat ~col:l)
+              (Axis.Block.get m ~row:beat ~col:l)
           done;
           Hw.Waves.step w
         done;
@@ -352,10 +424,10 @@ let waves_cmd =
   in
   Cmd.v
     (Cmd.info "waves" ~doc:"Record a VCD waveform of a design under stream traffic.")
-    Term.(const run $ tool_pos $ opt_flag $ out $ cycles)
+    Term.(const run $ kernel_opt $ tool_pos $ opt_flag $ out $ cycles)
 
 let sweep_cmd =
-  let run tool jobs trace keep_going fault store =
+  let run kernel tool jobs trace keep_going fault store =
     arm_fault fault;
     attach_store store;
     let point_line (d : Core.Design.t) (m : Core.Metrics.measured) =
@@ -365,10 +437,11 @@ let sweep_cmd =
     in
     let failures =
       with_trace trace (fun () ->
-          let designs = Core.Registry.sweep tool in
+          let spec = Core.Kernel.spec kernel in
+          let designs = (kernel_inventory kernel tool).Core.Kernel.inv_sweep in
           if keep_going then (
             let outcomes =
-              Core.Evaluate.measure_all_result ?jobs ~matrices:3 designs
+              Core.Evaluate.measure_all_result ?jobs ~matrices:3 ~spec designs
             in
             List.iter2
               (fun d r ->
@@ -379,7 +452,7 @@ let sweep_cmd =
               outcomes)
           else (
             List.iter2 point_line designs
-              (Core.Evaluate.measure_all ?jobs ~matrices:3 designs);
+              (Core.Evaluate.measure_all ?jobs ~matrices:3 ~spec designs);
             []))
     in
     finish_failures failures
@@ -387,8 +460,8 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Measure every configuration of one tool.")
     Term.(
-      const run $ tool_pos $ jobs_opt $ trace_opt $ keep_going_flag
-      $ fault_opt $ store_opt)
+      const run $ kernel_opt $ tool_pos $ jobs_opt $ trace_opt
+      $ keep_going_flag $ fault_opt $ store_opt)
 
 let dse_cmd =
   let strategy_conv =
@@ -464,10 +537,11 @@ let dse_cmd =
              $(b,--strategy exhaustive) and no $(b,--budget); exits \
              nonzero on a mismatch.")
   in
-  let run strategy seed budget objective tools jobs json check_fig1 trace
-      keep_going fault store =
+  let run kernel strategy seed budget objective tools jobs json check_fig1
+      trace keep_going fault store =
     arm_fault fault;
     attach_store store;
+    check_kernel_tools kernel tools;
     if check_fig1 && (strategy <> Dse.Strategy.Exhaustive || budget <> None)
     then begin
       Printf.eprintf
@@ -480,9 +554,9 @@ let dse_cmd =
           let selected =
             match tools with
             | Some ts -> ts
-            | None -> Core.Design.all_tools
+            | None -> Core.Kernel.tools kernel
           in
-          let spaces = List.map Dse.Space.of_tool selected in
+          let spaces = List.map (Dse.Space.of_tool ~kernel) selected in
           let result =
             Dse.Engine.run ?jobs ~keep_going ?budget ~seed ~strategy
               ~objective spaces
@@ -494,7 +568,9 @@ let dse_cmd =
               Printf.eprintf "dse: wrote %s\n%!" path)
             json;
           if check_fig1 then begin
-            match Dse.Report.crosscheck_fig1 ?jobs ~tools:selected result with
+            match
+              Dse.Report.crosscheck_fig1 ?jobs ~tools:selected ~kernel result
+            with
             | Ok msg -> print_string (msg ^ "\n")
             | Error diff ->
                 prerr_string diff;
@@ -516,9 +592,9 @@ let dse_cmd =
           under an evaluation budget) and print the explored cloud with \
           its Pareto frontier.")
     Term.(
-      const run $ strategy $ seed $ budget $ objective $ tools_opt $ jobs_opt
-      $ json $ check_fig1 $ trace_opt $ keep_going_flag $ fault_opt
-      $ store_opt)
+      const run $ kernel_opt $ strategy $ seed $ budget $ objective
+      $ tools_opt $ jobs_opt $ json $ check_fig1 $ trace_opt
+      $ keep_going_flag $ fault_opt $ store_opt)
 
 let serve_cmd =
   let socket =

@@ -63,13 +63,13 @@ let () =
       Chls.Transform.default_options program
   in
   (* Software reference via the C interpreter. *)
-  let rng = Idct.Block.Rand.create () in
-  let input = Idct.Block.Rand.block rng ~lo:(-256) ~hi:255 in
+  let rng = Axis.Block.Rand.create () in
+  let input = Axis.Block.Rand.block rng ~lo:(-256) ~hi:255 in
   let expect = Array.copy input in
   ignore (Chls.Ast.interp program "blend" ~args:[ `Arr expect ]);
   let r = Axis.Driver.run circuit [ input ] in
   let out = List.hd r.Axis.Driver.outputs in
   Format.printf "hardware matches the C interpreter: %b@."
-    (Idct.Block.equal out expect);
+    (Axis.Block.equal out expect);
   Format.printf "latency %d cycles (sequential FSM)@." r.Axis.Driver.latency;
   Format.printf "%a@." Hw.Synth.pp_report (Hw.Synth.run circuit)

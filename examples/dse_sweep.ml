@@ -14,10 +14,10 @@ let () =
           ~name:(Printf.sprintf "xls_s%d" stages)
           ()
       in
-      let rng = Idct.Block.Rand.create () in
+      let rng = Axis.Block.Rand.create () in
       let mats =
         List.init 3 (fun _ ->
-            Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255))
+            Idct.Reference.fdct (Axis.Block.Rand.block rng ~lo:(-256) ~hi:255))
       in
       let r = Axis.Driver.run d mats in
       let rep = Hw.Synth.run d in

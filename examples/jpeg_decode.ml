@@ -33,11 +33,11 @@ let image =
       max 0 (min 255 (int_of_float v)))
 
 let block_of_image bx by =
-  let b = Idct.Block.create () in
+  let b = Axis.Block.create () in
   for r = 0 to 7 do
     for c = 0 to 7 do
       (* JPEG level shift: samples are centred on zero before the DCT *)
-      Idct.Block.set b ~row:r ~col:c
+      Axis.Block.set b ~row:r ~col:c
         (image.((((by * 8) + r) * width) + (bx * 8) + c) - 128)
     done
   done;
@@ -59,7 +59,7 @@ let () =
   let dequantized =
     List.map
       (fun blk ->
-        Array.mapi (fun i v -> Idct.Block.clamp_input (v * qtable.(i))) blk)
+        Array.mapi (fun i v -> Axis.Block.clamp_input (v * qtable.(i))) blk)
       encoded
   in
   let accel =
@@ -79,7 +79,7 @@ let () =
       for r' = 0 to 7 do
         for c = 0 to 7 do
           out.((((by * 8) + r') * width) + (bx * 8) + c) <-
-            max 0 (min 255 (Idct.Block.get blk ~row:r' ~col:c + 128))
+            max 0 (min 255 (Axis.Block.get blk ~row:r' ~col:c + 128))
         done
       done)
     r.Axis.Driver.outputs;
@@ -96,5 +96,5 @@ let () =
      the same data in software and compare bit by bit. *)
   let sw = List.map Idct.Chenwang.idct dequantized in
   Printf.printf "hardware matches software decode: %b\n"
-    (List.for_all2 Idct.Block.equal sw r.Axis.Driver.outputs);
+    (List.for_all2 Axis.Block.equal sw r.Axis.Driver.outputs);
   assert (psnr > 30.)

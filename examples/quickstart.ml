@@ -12,17 +12,17 @@ let () =
   in
 
   (* 2. Make a coefficient matrix: forward-DCT a random sample block. *)
-  let rng = Idct.Block.Rand.create () in
-  let samples = Idct.Block.Rand.block rng ~lo:(-256) ~hi:255 in
+  let rng = Axis.Block.Rand.create () in
+  let samples = Axis.Block.Rand.block rng ~lo:(-256) ~hi:255 in
   let coeffs = Idct.Reference.fdct samples in
 
   (* 3. Stream it through the AXI-Stream wrapper, row by row. *)
   let result = Axis.Driver.run circuit [ coeffs ] in
   let out = List.hd result.Axis.Driver.outputs in
-  Format.printf "input coefficients:@.%a@.@." Idct.Block.pp coeffs;
-  Format.printf "reconstructed samples:@.%a@.@." Idct.Block.pp out;
+  Format.printf "input coefficients:@.%a@.@." Axis.Block.pp coeffs;
+  Format.printf "reconstructed samples:@.%a@.@." Axis.Block.pp out;
   Format.printf "bit-true vs. reference model: %b@."
-    (Idct.Block.equal out (Idct.Chenwang.idct coeffs));
+    (Axis.Block.equal out (Idct.Chenwang.idct coeffs));
   Format.printf "latency %d cycles, periodicity %d cycles@."
     result.Axis.Driver.latency result.Axis.Driver.periodicity;
 

@@ -1,7 +1,7 @@
 open Hw
 
 type result = {
-  outputs : Idct.Block.t list;
+  outputs : Block.t list;
   latency : int;
   periodicity : int;
   cycles : int;
@@ -127,7 +127,7 @@ let run ?(engine = Compiled) ?(batch = 1) ?(input_gap = 0)
       for c = 0 to lanes - 1 do
         let v =
           if driving then
-            Idct.Block.get inputs.(mat_idx.(l)) ~row:beat_idx.(l) ~col:c
+            Block.get inputs.(mat_idx.(l)) ~row:beat_idx.(l) ~col:c
           else 0
         in
         sim.ops_set l (Stream.s_data c) v
@@ -169,7 +169,7 @@ let run ?(engine = Compiled) ?(batch = 1) ?(input_gap = 0)
         current_rows.(l) <- Array.copy data :: current_rows.(l);
         if List.length current_rows.(l) = lanes then begin
           let rows = Array.of_list (List.rev current_rows.(l)) in
-          collected.(l) <- Idct.Block.of_rows rows :: collected.(l);
+          collected.(l) <- Block.of_rows rows :: collected.(l);
           if out_mat.(l) < chunk_len.(l) then
             last_out_cycle.(chunk_start.(l) + out_mat.(l)) <- !cycle;
           out_mat.(l) <- out_mat.(l) + 1;

@@ -16,7 +16,7 @@
     back in input order; protocol monitoring runs per lane. *)
 
 type result = {
-  outputs : Idct.Block.t list;
+  outputs : Block.t list;
   latency : int;
       (** steady-state cycles from a matrix's first input beat to its last
           output beat (measured on the final matrix) *)
@@ -47,7 +47,7 @@ val run :
   ?timeout:int ->
   ?hook:(string -> int -> unit) ->
   Hw.Netlist.t ->
-  Idct.Block.t list ->
+  Block.t list ->
   result
 (** [batch] (default 1) is the number of simulation lanes the matrices
     are spread across.
@@ -66,14 +66,14 @@ val run :
     (lane count, only when batching is actually in effect) and [cycles]
     when the stream drains; it must not affect the result. *)
 
-val transform : Hw.Netlist.t -> Idct.Block.t -> Idct.Block.t
+val transform : Hw.Netlist.t -> Block.t -> Block.t
 (** Convenience: push one matrix through and return the result. *)
 
 val transform_batch :
   ?hook:(string -> int -> unit) ->
   Hw.Netlist.t ->
-  Idct.Block.t list ->
-  Idct.Block.t list
+  Block.t list ->
+  Block.t list
 (** Bulk [transform]: each matrix is an independent fresh-reset
     single-matrix run mapped onto its own simulation lane (capped at 64
     lanes per simulator instance), so the outputs are byte-for-byte what

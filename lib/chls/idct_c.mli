@@ -6,6 +6,6 @@ val program : Ast.program
 (** [iclip], [idct_row], [idct_col] (working on an 8-element row buffer)
     and the top [idct] over a 64-element block. *)
 
-val run : Idct.Block.t -> Idct.Block.t
+val run : Axis.Block.t -> Axis.Block.t
 (** Reference execution through {!Ast.interp}; bit-identical to
     {!Idct.Chenwang.idct}. *)

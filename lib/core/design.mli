@@ -4,7 +4,7 @@ type tool = Verilog | Chisel | Bsv | Dslx | Maxj | Bambu | Vivado_hls
 
 type pcie = {
   system : Maxj.Manager.system Lazy.t;
-  simulate : Idct.Block.t list -> Idct.Block.t list;
+  simulate : Axis.Block.t list -> Axis.Block.t list;
       (** the design's own bit-true stream simulator — compliance and the
           flow's verify stage dispatch on the design itself *)
 }

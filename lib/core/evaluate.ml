@@ -16,7 +16,7 @@ end)
 let measure_key ~matrices ~(spec : Flow.spec) d =
   Printf.sprintf "%s/%s@%d" spec.Flow.spec_name (design_key d) matrices
 
-let is_cached ?(matrices = 4) ?(spec = Flow.idct_spec) d =
+let is_cached ?(matrices = 4) ~spec d =
   Measure_cache.mem (measure_key ~matrices ~spec d)
 
 (* The persistent layer beneath the in-process memo: a content-addressed
@@ -41,10 +41,10 @@ let active_store_backend () = Atomic.get store_backend
    cache_hit/cache_miss (memo) and store_hit/store_miss (persistent
    backend) counters let a trace distinguish warm reads from cold
    pipeline runs. *)
-let measure ?(matrices = 4) ?(spec = Flow.idct_spec) (d : Design.t) :
+let measure ?(matrices = 4) ~(spec : Flow.spec) (d : Design.t) :
     Metrics.measured =
   let key = measure_key ~matrices ~spec d in
-  Trace.with_span ~design:(Flow.span_key d) ~stage:"measure" (fun () ->
+  Trace.with_span ~design:(Flow.span_design spec d) ~stage:"measure" (fun () ->
       if Trace.enabled () then
         Trace.add_counter
           (if Measure_cache.mem key then "cache_hit" else "cache_miss")
@@ -71,21 +71,21 @@ let clear_measure_cache = Measure_cache.clear
 (* Map [measure] over independent designs on the domain pool.  Each
    design's lazy circuit is forced inside its own job, so no builder state
    is shared across domains; results come back in input order. *)
-let measure_all ?jobs ?(matrices = 4) designs =
-  Parallel.map ?jobs (fun d -> measure ~matrices d) designs
+let measure_all ?jobs ?(matrices = 4) ~spec designs =
+  Parallel.map ?jobs (fun d -> measure ~matrices ~spec d) designs
 
 (* The keep-going sweep: every design runs to completion, failed points
    come back as their typed flow error instead of aborting the batch. *)
-let measure_all_result ?jobs ?(matrices = 4) designs =
+let measure_all_result ?jobs ?(matrices = 4) ~spec designs =
   List.map2
     (fun d -> function
       | Ok m -> Ok m
       | Error (e, _bt) -> Error (Flow.error_of_exn ~design:(Flow.span_key d) e))
     designs
-    (Parallel.map_result ?jobs (fun d -> measure ~matrices d) designs)
+    (Parallel.map_result ?jobs (fun d -> measure ~matrices ~spec d) designs)
 
-let check_compliance ?(blocks = 500) (d : Design.t) =
-  Trace.with_span ~design:(Flow.span_key d) ~stage:"comply" (fun () ->
+let check_compliance ?(blocks = 500) ~(spec : Flow.spec) (d : Design.t) =
+  Trace.with_span ~design:(Flow.span_design spec d) ~stage:"comply" (fun () ->
       Trace.add_counter "blocks" blocks;
       match d.Design.impl with
       | Design.Stream circuit ->
@@ -100,25 +100,27 @@ let check_compliance ?(blocks = 500) (d : Design.t) =
              differ. *)
           Trace.add_counter "sim_batch" (min blocks 64);
           let dut_batch blks = Axis.Driver.transform_batch circuit blks in
-          Idct.Ieee1180.compliant_batch ~blocks dut_batch
+          spec.Flow.comply ~blocks dut_batch
       | Design.Pcie p ->
           (* The MaxJ kernels are checked by their own stream simulators —
              dispatching on the design under test, so the optimized kernel
-             is exercised with its own row-per-tick simulation. *)
-          let mats = Flow.idct_spec.Flow.stimulus blocks in
+             is exercised with its own row-per-tick simulation (always
+             bit-true against the kernel reference: the statistical
+             procedure needs the batched AXI-Stream path). *)
+          let mats = spec.Flow.stimulus blocks in
           let got = p.Design.simulate mats in
-          List.for_all2 Idct.Block.equal got (List.map Idct.Chenwang.idct mats))
+          List.for_all2 Axis.Block.equal got (List.map spec.Flow.reference mats))
 
 (* The compliance sweep: every design checked on the domain pool, results
    paired with their design in input order. *)
-let compliance_all ?jobs ?(blocks = 500) designs =
-  Parallel.map ?jobs (fun d -> (d, check_compliance ~blocks d)) designs
+let compliance_all ?jobs ?(blocks = 500) ~spec designs =
+  Parallel.map ?jobs (fun d -> (d, check_compliance ~blocks ~spec d)) designs
 
-let compliance_all_result ?jobs ?(blocks = 500) designs =
+let compliance_all_result ?jobs ?(blocks = 500) ~spec designs =
   List.map2
     (fun d -> function
       | Ok ok -> (d, Ok ok)
       | Error (e, _bt) ->
           (d, Error (Flow.error_of_exn ~design:(Flow.span_key d) e)))
     designs
-    (Parallel.map_result ?jobs (fun d -> check_compliance ~blocks d) designs)
+    (Parallel.map_result ?jobs (fun d -> check_compliance ~blocks ~spec d) designs)

@@ -11,9 +11,11 @@
     spec) and fails loudly — with a typed {!Flow.Error} — on a
     functional mismatch or an AXI-Stream protocol violation. *)
 
-val measure : ?matrices:int -> ?spec:Flow.spec -> Design.t -> Metrics.measured
+val measure : ?matrices:int -> spec:Flow.spec -> Design.t -> Metrics.measured
 (** [matrices] (default 4) sets the simulated stream length; [spec]
-    (default {!Flow.idct_spec}) selects the kernel's stimulus/reference.
+    selects the kernel's stimulus/reference and is required at every
+    call site — there is no silent default kernel; pass
+    [Flow.idct_spec] (or resolve one through {!Kernel}) explicitly.
     Results are memoized in a process-wide cache keyed by spec, tool,
     label and a digest of the configuration and source listing (plus
     [matrices]), shared across domains behind a mutex. *)
@@ -51,13 +53,13 @@ val measure_key : matrices:int -> spec:Flow.spec -> Design.t -> string
     spec × tool × label × digest(config, listing) × matrices.  Exposed
     for the persistent store's tooling and tests. *)
 
-val is_cached : ?matrices:int -> ?spec:Flow.spec -> Design.t -> bool
+val is_cached : ?matrices:int -> spec:Flow.spec -> Design.t -> bool
 (** Whether {!measure} on this design would be a cache hit right now —
     the probe behind the DSE engine's cache-hit accounting ([matrices]
-    and [spec] default as in {!measure}). *)
+    defaults as in {!measure}). *)
 
 val measure_all :
-  ?jobs:int -> ?matrices:int -> Design.t list -> Metrics.measured list
+  ?jobs:int -> ?matrices:int -> spec:Flow.spec -> Design.t list -> Metrics.measured list
 (** [measure] mapped over independent designs on the domain pool
     ({!Parallel.map}); results keep input order.  Each design's lazy
     circuit is forced inside its own job, so builder state never crosses
@@ -67,28 +69,35 @@ val measure_all :
 val measure_all_result :
   ?jobs:int ->
   ?matrices:int ->
+  spec:Flow.spec ->
   Design.t list ->
   (Metrics.measured, Flow.error) result list
 (** The keep-going batch ({!Parallel.map_result}): every design runs to
     completion; a failed point carries its typed {!Flow.error} in its
     input-order slot instead of aborting the others. *)
 
-val check_compliance : ?blocks:int -> Design.t -> bool
-(** IEEE 1180-1990 accuracy procedure through the wrapped circuit; PCIe
-    designs are checked bit-true through their own stream simulator
-    (dispatching on the design under test).  The default of 500 blocks
+val check_compliance : ?blocks:int -> spec:Flow.spec -> Design.t -> bool
+(** The kernel's compliance procedure ([spec.comply] — IEEE 1180-1990
+    for the IDCT, bit-true-vs-reference otherwise) through the wrapped
+    circuit; PCIe designs are checked bit-true through their own stream
+    simulator (dispatching on the design under test).  The default of 500 blocks
     per condition is about the statistical minimum: the per-position
     mean-error criterion (0.015) needs several hundred samples before
     estimator noise stays under the threshold. *)
 
 val compliance_all :
-  ?jobs:int -> ?blocks:int -> Design.t list -> (Design.t * bool) list
+  ?jobs:int ->
+  ?blocks:int ->
+  spec:Flow.spec ->
+  Design.t list ->
+  (Design.t * bool) list
 (** The compliance sweep on the domain pool: every design checked
     concurrently, paired with its verdict in input order. *)
 
 val compliance_all_result :
   ?jobs:int ->
   ?blocks:int ->
+  spec:Flow.spec ->
   Design.t list ->
   (Design.t * (bool, Flow.error) result) list
 (** Keep-going compliance: a design whose check raises is paired with

@@ -139,13 +139,13 @@ let poison_blocks ~design blocks =
         (fun i b ->
           if i <> victim then b
           else begin
-            let b = Idct.Block.copy b in
+            let b = Axis.Block.copy b in
             let row = pos / 8 and col = pos mod 8 in
-            let v = Idct.Block.get b ~row ~col in
+            let v = Axis.Block.get b ~row ~col in
             (* A deterministic perturbation that never clamps back onto
                the original value, so the bit-true check must object. *)
             let delta = 1 + (seed mod 7) in
-            Idct.Block.set b ~row ~col
+            Axis.Block.set b ~row ~col
               (if v >= 0 then v - delta else v + delta);
             b
           end)

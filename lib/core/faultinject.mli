@@ -80,7 +80,7 @@ val stall_timeout : design:string -> int option -> int option
 (** The driver cycle budget: a clamped budget under an armed [Stall]
     spec, the given default otherwise. *)
 
-val poison_blocks : design:string -> Idct.Block.t list -> Idct.Block.t list
+val poison_blocks : design:string -> Axis.Block.t list -> Axis.Block.t list
 (** Under an armed [Poison] spec, corrupt one element of the
     seed-selected block ([seed mod length] — deterministic); otherwise
     return the list unchanged, physically. *)

@@ -8,15 +8,16 @@ type point = {
 type series = { tool : Design.tool; points : point list }
 
 (* Series cache, shared across domains once [compute] fans out: every
-   access goes through [cache_lock]. *)
-let cache : (Design.tool, series) Hashtbl.t = Hashtbl.create 8
+   access goes through [cache_lock].  Keyed by (kernel, tool): each
+   kernel's series are cached independently. *)
+let cache : (string * Design.tool, series) Hashtbl.t = Hashtbl.create 8
 let cache_lock = Mutex.create ()
 
-let cache_find tool =
-  Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache tool)
+let cache_find kname tool =
+  Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache (kname, tool))
 
-let cache_store tool s =
-  Mutex.protect cache_lock (fun () -> Hashtbl.replace cache tool s)
+let cache_store kname tool s =
+  Mutex.protect cache_lock (fun () -> Hashtbl.replace cache (kname, tool) s)
 
 let clear_cache () = Mutex.protect cache_lock (fun () -> Hashtbl.reset cache)
 
@@ -34,24 +35,26 @@ let point_of (d : Design.t) (m : Metrics.measured) =
    [Parallel.map] preserves input order, so regrouping by sweep length
    reassembles each tool's series exactly as the sequential path built
    them. *)
-let registered_tools () =
-  List.map (fun (module T : Registry.TOOL) -> T.tool) Registry.all
-
-let compute_outcomes ?jobs ?tools ~keep_going () =
+let compute_outcomes ?jobs ?tools ?(kernel = Kernel.idct) ~keep_going () =
+  let spec = Kernel.spec kernel in
+  let kname = Kernel.name kernel in
   let tools =
-    match tools with Some ts -> ts | None -> registered_tools ()
+    match tools with Some ts -> ts | None -> Kernel.tools kernel
   in
-  let missing = List.filter (fun t -> cache_find t = None) tools in
-  let sweeps = List.map (fun t -> (t, Registry.sweep t)) missing in
+  let missing = List.filter (fun t -> cache_find kname t = None) tools in
+  let sweeps = List.map (fun t -> (t, Kernel.sweep kernel t)) missing in
   let designs = List.concat_map snd sweeps in
   (* Fail-fast measures on [Parallel.map] (first failure aborts the
      batch, byte-identical to the historical path); keep-going measures
      on [Parallel.map_result] so every surviving point is kept and each
      failed point records its typed error. *)
   let outcomes =
-    if keep_going then Evaluate.measure_all_result ?jobs ~matrices:3 designs
+    if keep_going then
+      Evaluate.measure_all_result ?jobs ~matrices:3 ~spec designs
     else
-      List.map (fun m -> Ok m) (Evaluate.measure_all ?jobs ~matrices:3 designs)
+      List.map
+        (fun m -> Ok m)
+        (Evaluate.measure_all ?jobs ~matrices:3 ~spec designs)
   in
   let failures = ref [] in
   let rec regroup sweeps outcomes acc =
@@ -77,7 +80,7 @@ let compute_outcomes ?jobs ?tools ~keep_going () =
         let s = { tool; points } in
         (* Only complete series enter the cache: a series missing failed
            points must not shadow a later fault-free run. *)
-        if List.length points = List.length sweep then cache_store tool s;
+        if List.length points = List.length sweep then cache_store kname tool s;
         regroup rest outcomes ((tool, s) :: acc)
   in
   let fresh = regroup sweeps outcomes [] in
@@ -87,21 +90,21 @@ let compute_outcomes ?jobs ?tools ~keep_going () =
         match List.assoc_opt t fresh with
         | Some s -> s
         | None -> (
-            match cache_find t with Some s -> s | None -> assert false))
+            match cache_find kname t with Some s -> s | None -> assert false))
       tools
   in
   (series, List.rev !failures)
 
-let compute ?jobs ?tools () =
-  fst (compute_outcomes ?jobs ?tools ~keep_going:false ())
+let compute ?jobs ?tools ?kernel () =
+  fst (compute_outcomes ?jobs ?tools ?kernel ~keep_going:false ())
 
-let compute_result ?jobs ?tools () =
-  compute_outcomes ?jobs ?tools ~keep_going:true ()
+let compute_result ?jobs ?tools ?kernel () =
+  compute_outcomes ?jobs ?tools ?kernel ~keep_going:true ()
 
-let points ?jobs ?tools () =
+let points ?jobs ?tools ?kernel () =
   List.concat_map
     (fun s -> List.map (fun p -> (s.tool, p)) s.points)
-    (compute ?jobs ?tools ())
+    (compute ?jobs ?tools ?kernel ())
 
 (* Machine-readable Fig. 1: the same point set as the ASCII scatter, one
    JSON object per series, written temp-file + rename so readers never
@@ -120,9 +123,15 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json path series =
+let write_json ?(kernel = Kernel.idct) path series =
   Trace.write_atomic path (fun oc ->
-      output_string oc "{\n  \"artifact\": \"fig1\",\n  \"series\": [\n";
+      output_string oc "{\n  \"artifact\": \"fig1\",\n";
+      (* the default kernel's JSON stays byte-identical to the pre-kernel
+         artifact; other kernels name themselves *)
+      if Kernel.name kernel <> "idct" then
+        Printf.fprintf oc "  \"kernel\": \"%s\",\n"
+          (json_escape (Kernel.name kernel));
+      output_string oc "  \"series\": [\n";
       List.iteri
         (fun i s ->
           Printf.fprintf oc
@@ -146,7 +155,7 @@ let write_json path series =
    flow's registration. *)
 let glyph = Registry.glyph
 
-let render_series series =
+let render_series ?(kernel = Kernel.idct) series =
   let buf = Buffer.create 4096 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   (* Data listing. *)
@@ -189,8 +198,8 @@ let render_series series =
           grid.(h - 1 - y).(x) <- glyph s.tool)
         s.points)
     series;
-  pr "\nPerformance (MOPS, log)  x  Area (LUT*+FF*, log)\n";
-  pr "legend: V=Verilog C=Chisel B=BSV X=XLS M=MaxJ b=Bambu h=VivadoHLS\n";
+  pr "%s" (Kernel.caption kernel);
+  pr "%s" (Kernel.legend_line kernel);
   for r = 0 to h - 1 do
     pr "|%s|\n" (String.init w (fun c -> grid.(r).(c)))
   done;
@@ -199,8 +208,9 @@ let render_series series =
     (10. ** min_x) (10. ** max_x) (10. ** min_y) (10. ** max_y);
   Buffer.contents buf
 
-let render ?jobs ?tools () = render_series (compute ?jobs ?tools ())
+let render ?jobs ?tools ?kernel () =
+  render_series ?kernel (compute ?jobs ?tools ?kernel ())
 
-let render_result ?jobs ?tools () =
-  let series, failures = compute_result ?jobs ?tools () in
-  (render_series series, failures)
+let render_result ?jobs ?tools ?kernel () =
+  let series, failures = compute_result ?jobs ?tools ?kernel () in
+  (render_series ?kernel series, failures)

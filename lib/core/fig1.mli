@@ -13,15 +13,22 @@ type point = {
 
 type series = { tool : Design.tool; points : point list }
 
-val compute : ?jobs:int -> ?tools:Design.tool list -> unit -> series list
-(** Measures every sweep configuration on the domain pool
-    ({!Parallel.map}; [jobs] defaults to {!Parallel.default_jobs}) and
-    caches the finished series per tool.  The result is deterministic:
-    the same series, point for point, for any job count. *)
+val compute :
+  ?jobs:int ->
+  ?tools:Design.tool list ->
+  ?kernel:(module Kernel.KERNEL) ->
+  unit ->
+  series list
+(** Measures every sweep configuration of [kernel] (default the paper's
+    IDCT) on the domain pool ({!Parallel.map}; [jobs] defaults to
+    {!Parallel.default_jobs}) and caches the finished series per
+    (kernel, tool).  The result is deterministic: the same series, point
+    for point, for any job count. *)
 
 val compute_result :
   ?jobs:int ->
   ?tools:Design.tool list ->
+  ?kernel:(module Kernel.KERNEL) ->
   unit ->
   series list * Flow.error list
 (** The keep-going sweep ({!Evaluate.measure_all_result}): failed points
@@ -34,22 +41,41 @@ val clear_cache : unit -> unit
 (** Drop the per-tool series cache (tests and benchmarks).  Memoized
     measurements survive; see {!Evaluate.clear_measure_cache}. *)
 
-val points : ?jobs:int -> ?tools:Design.tool list -> unit -> (Design.tool * point) list
+val points :
+  ?jobs:int ->
+  ?tools:Design.tool list ->
+  ?kernel:(module Kernel.KERNEL) ->
+  unit ->
+  (Design.tool * point) list
 (** {!compute} flattened to one [(tool, point)] list in series order —
     the point set the DSE cross-check compares against. *)
 
-val write_json : string -> series list -> unit
+val write_json :
+  ?kernel:(module Kernel.KERNEL) -> string -> series list -> unit
 (** Write the series as JSON (tool, label, area, throughput, fmax) via
     {!Trace.write_atomic} — the machine-readable twin of the ASCII
-    scatter ([hlsvhc fig1 --json]). *)
+    scatter ([hlsvhc fig1 --json]).  Non-default kernels add a
+    ["kernel"] field; the IDCT artifact is byte-identical to the
+    pre-kernel format. *)
 
-val render_series : series list -> string
-(** Render an already-computed series list (data table + scatter). *)
+val render_series :
+  ?kernel:(module Kernel.KERNEL) -> series list -> string
+(** Render an already-computed series list (data table + scatter);
+    [kernel] supplies the axis caption and legend. *)
 
-val render : ?jobs:int -> ?tools:Design.tool list -> unit -> string
+val render :
+  ?jobs:int ->
+  ?tools:Design.tool list ->
+  ?kernel:(module Kernel.KERNEL) ->
+  unit ->
+  string
 (** Data table plus an ASCII log-log scatter of the plane. *)
 
 val render_result :
-  ?jobs:int -> ?tools:Design.tool list -> unit -> string * Flow.error list
+  ?jobs:int ->
+  ?tools:Design.tool list ->
+  ?kernel:(module Kernel.KERNEL) ->
+  unit ->
+  string * Flow.error list
 (** {!render} over {!compute_result}: the figure restricted to the
     surviving points, plus the failures for the caller's summary. *)

@@ -11,22 +11,31 @@
 
 type spec = {
   spec_name : string;
-  stimulus : int -> Idct.Block.t list;
-  reference : Idct.Block.t -> Idct.Block.t;
+  stimulus : int -> Axis.Block.t list;
+  reference : Axis.Block.t -> Axis.Block.t;
   sim_timeout : int option;
+  comply : blocks:int -> (Axis.Block.t list -> Axis.Block.t list) -> bool;
 }
+
+let bit_true_comply ~stimulus ~reference ~blocks dut_batch =
+  let mats = stimulus blocks in
+  Axis.Accuracy.bit_true ~reference mats (dut_batch mats)
 
 let idct_spec =
   {
     spec_name = "idct";
     stimulus =
       (fun n ->
-        let rng = Idct.Block.Rand.create ~seed:7 () in
+        let rng = Axis.Block.Rand.create ~seed:7 () in
         List.init n (fun _ ->
-            Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255)));
+            Idct.Reference.fdct (Axis.Block.Rand.block rng ~lo:(-256) ~hi:255)));
     reference = Idct.Chenwang.idct;
     sim_timeout = None;
+    comply = (fun ~blocks dut -> Idct.Ieee1180.compliant_batch ~blocks dut);
   }
+
+let span_design spec (d : Design.t) =
+  spec.spec_name ^ ":" ^ Design.tool_name d.Design.tool ^ "/" ^ d.Design.label
 
 let stage_names =
   [ "elaborate"; "validate"; "simulate"; "verify"; "synthesize"; "metrics" ]
@@ -108,8 +117,8 @@ let render_failure_summary errors =
 let row_excerpt b row =
   "["
   ^ String.concat " "
-      (List.init Idct.Block.size (fun col ->
-           string_of_int (Idct.Block.get b ~row ~col)))
+      (List.init Axis.Block.size (fun col ->
+           string_of_int (Axis.Block.get b ~row ~col)))
   ^ "]"
 
 let bit_true_check (d : Design.t) ~got ~expected =
@@ -121,21 +130,21 @@ let bit_true_check (d : Design.t) ~got ~expected =
     match (gs, es) with
     | [], [] -> ()
     | g :: gs, e :: es ->
-        if Idct.Block.equal g e then scan (i + 1) gs es
+        if Axis.Block.equal g e then scan (i + 1) gs es
         else begin
           (* locate the first mismatching element for the excerpt *)
           let pos = ref 0 in
           (try
-             for p = 0 to (Idct.Block.size * Idct.Block.size) - 1 do
-               let row = p / Idct.Block.size and col = p mod Idct.Block.size in
-               if Idct.Block.get g ~row ~col <> Idct.Block.get e ~row ~col
+             for p = 0 to (Axis.Block.size * Axis.Block.size) - 1 do
+               let row = p / Axis.Block.size and col = p mod Axis.Block.size in
+               if Axis.Block.get g ~row ~col <> Axis.Block.get e ~row ~col
                then begin
                  pos := p;
                  raise Exit
                end
              done
            with Exit -> ());
-          let row = !pos / Idct.Block.size in
+          let row = !pos / Axis.Block.size in
           fail
             (Not_bit_true
                {
@@ -186,11 +195,14 @@ let classify ~stage e =
   | "synthesize" -> Synth_failure msg
   | _ -> Unexpected msg
 
-let measure_uncached ?(matrices = 4) ?(spec = idct_spec) (d : Design.t) :
-    Metrics.measured =
+let measure_uncached ?(matrices = 4) ~spec (d : Design.t) : Metrics.measured =
   let key = span_key d in
+  (* Trace spans carry the kernel-qualified identity so mixed-kernel
+     traces stay attributable; fault targeting and error payloads keep
+     the plain ["Tool/label"] key, which is the stable user-facing name. *)
+  let traced = span_design spec d in
   let stage name f =
-    Trace.with_span ~design:key ~stage:name (fun () ->
+    Trace.with_span ~design:traced ~stage:name (fun () ->
         try
           Faultinject.crash_at_stage ~design:key ~stage:name;
           f ()

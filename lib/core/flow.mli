@@ -22,17 +22,37 @@
 
 type spec = {
   spec_name : string;  (** cache-key prefix, e.g. "idct" *)
-  stimulus : int -> Idct.Block.t list;
+  stimulus : int -> Axis.Block.t list;
       (** [stimulus n] generates the [n]-matrix input stream
           (deterministic: same [n], same stream) *)
-  reference : Idct.Block.t -> Idct.Block.t;  (** golden transform *)
+  reference : Axis.Block.t -> Axis.Block.t;  (** golden transform *)
   sim_timeout : int option;
       (** testbench cycle budget; [None] = the driver default *)
+  comply : blocks:int -> (Axis.Block.t list -> Axis.Block.t list) -> bool;
+      (** the kernel's compliance procedure over a batched stream
+          transform: IEEE 1180-1990 for the IDCT, bit-true-vs-reference
+          ({!bit_true_comply}) for kernels without a statistical spec *)
 }
+
+val bit_true_comply :
+  stimulus:(int -> Axis.Block.t list) ->
+  reference:(Axis.Block.t -> Axis.Block.t) ->
+  blocks:int ->
+  (Axis.Block.t list -> Axis.Block.t list) ->
+  bool
+(** The default [comply] for exact kernels: draw [blocks] stimulus
+    blocks, push them through the batched DUT, require every output
+    bit-identical to the reference model. *)
 
 val idct_spec : spec
 (** The paper's kernel: IEEE-1180-seeded FDCT coefficient blocks checked
     against the fixed-point Chen–Wang reference. *)
+
+val span_design : spec -> Design.t -> string
+(** The kernel-qualified trace identity, ["kernel:Tool/label"] — what
+    {!measure_uncached}'s stage spans are recorded under, so
+    mixed-kernel traces stay attributable.  Fault injection and typed
+    {!error}s keep the plain {!span_key}. *)
 
 val stage_names : string list
 (** The canonical stage names above, in pipeline order. *)
@@ -90,9 +110,11 @@ val error_of_exn : design:string -> exn -> error
 val render_failure_summary : error list -> string
 (** The keep-going failure table: one row per failed design point. *)
 
-val measure_uncached : ?matrices:int -> ?spec:spec -> Design.t -> Metrics.measured
-(** Run the full staged pipeline on one design.  [matrices] (default 4)
-    sets the simulated stream length.
+val measure_uncached : ?matrices:int -> spec:spec -> Design.t -> Metrics.measured
+(** Run the full staged pipeline on one design under [spec]'s kernel.
+    [matrices] (default 4) sets the simulated stream length.  The kernel
+    is explicit at every call site; pass [Flow.idct_spec] (or go through
+    {!Kernel}) to measure the paper's IDCT.
 
     If the compiled simulation engine fails on the design (anything but
     a cycle-budget timeout), the design is retried once on the reference

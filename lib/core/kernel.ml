@@ -1,0 +1,138 @@
+(* The kernel registration table — the Registry.TOOL refactor mirrored
+   one level up.  Each benchmark kernel is a first-class module: its
+   Flow.spec (stimulus / reference / compliance / timeout policy), its
+   per-tool design inventory (initial / optimized / sweep / knob space)
+   and its Fig. 1 axis labelling.  Every artifact generator (Fig1,
+   Table2, comply, sweep, dse, serve, the CLI) iterates this table, so
+   adding a kernel is data plus one generator per tool — no per-kernel
+   matches scattered through the pipeline. *)
+
+type inventory = {
+  inv_tool : Design.tool;
+  inv_initial : Design.t;
+  inv_optimized : Design.t;
+  inv_sweep : Design.t list;
+  inv_space : Registry.axis list list;
+  inv_delta_loc : int;
+}
+
+module type KERNEL = sig
+  val spec : Flow.spec
+
+  val aliases : string list
+  (** lower-case CLI names accepted for [--kernel] *)
+
+  val description : string
+
+  val perf_label : string
+  (** the Fig. 1 vertical-axis label *)
+
+  val inventories : inventory list
+  (** per-tool design inventories; the first entry's tool anchors
+      Table II's relative columns *)
+end
+
+(* A one-design inventory: extension kernels start life as a single
+   point per tool; the sweep is that point and the knob space is a
+   single one-value axis, so dse/sweep/fig1 iterate them unchanged. *)
+let single_inventory (tool, (d : Design.t)) =
+  {
+    inv_tool = tool;
+    inv_initial = d;
+    inv_optimized = d;
+    inv_sweep = [ d ];
+    inv_space =
+      [ [ { Registry.axis_name = "design"; axis_values = [ d.Design.label ] } ] ];
+    inv_delta_loc = 0;
+  }
+
+module Idct : KERNEL = struct
+  let spec = Flow.idct_spec
+  let aliases = [ "idct" ]
+
+  let description =
+    "the paper's 8x8 IEEE-1180 inverse DCT (Chen-Wang), 7 tools"
+
+  let perf_label = "Performance"
+
+  let inventories =
+    List.map
+      (fun (module T : Registry.TOOL) ->
+        {
+          inv_tool = T.tool;
+          inv_initial = T.initial;
+          inv_optimized = T.optimized;
+          inv_sweep = T.sweep;
+          inv_space = T.space;
+          inv_delta_loc = Registry.delta_loc T.tool;
+        })
+      Registry.all
+end
+
+module Fir : KERNEL = struct
+  let spec = Second_kernel.spec
+  let aliases = [ "fir8"; "fir" ]
+  let description = "8-tap symmetric circular FIR over the block, 3 tools"
+  let perf_label = "Performance"
+  let inventories = List.map single_inventory Second_kernel.designs
+end
+
+module Matmul : KERNEL = struct
+  let spec = Matmul_kernel.spec
+  let aliases = [ "matmul8"; "matmul" ]
+  let description = "blocked 8x8 matrix multiply, fixed weights, 3 tools"
+  let perf_label = "Performance"
+  let inventories = List.map single_inventory Matmul_kernel.designs
+end
+
+let all : (module KERNEL) list = [ (module Idct); (module Fir); (module Matmul) ]
+let idct : (module KERNEL) = (module Idct)
+
+let name (module K : KERNEL) = K.spec.Flow.spec_name
+let spec (module K : KERNEL) = K.spec
+let description (module K : KERNEL) = K.description
+let perf_label (module K : KERNEL) = K.perf_label
+let inventories (module K : KERNEL) = K.inventories
+
+let find n = List.find_opt (fun k -> name k = n) all
+
+let parse_kernel s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun (module K : KERNEL) -> List.mem s K.aliases) all
+
+let kernel_names () = List.map (fun (module K : KERNEL) -> List.hd K.aliases) all
+
+let unknown_kernel_msg s =
+  Printf.sprintf "unknown kernel %S (kernels: %s)" s
+    (String.concat ", " (kernel_names ()))
+
+let tools k = List.map (fun i -> i.inv_tool) (inventories k)
+
+let inventory k tool =
+  List.find_opt (fun i -> i.inv_tool = tool) (inventories k)
+
+let inventory_exn k tool =
+  match inventory k tool with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "kernel %s has no %s designs (tools: %s)" (name k)
+           (Design.tool_name tool)
+           (String.concat ", " (List.map Design.tool_name (tools k))))
+
+let initial k tool = (inventory_exn k tool).inv_initial
+let optimized k tool = (inventory_exn k tool).inv_optimized
+let sweep k tool = (inventory_exn k tool).inv_sweep
+let space k tool = (inventory_exn k tool).inv_space
+let delta_loc k tool = (inventory_exn k tool).inv_delta_loc
+
+let all_designs k =
+  List.concat_map (fun i -> i.inv_sweep) (inventories k)
+
+let legend_line k =
+  "legend: "
+  ^ String.concat " " (List.map Registry.legend (tools k))
+  ^ "\n"
+
+let caption k =
+  Printf.sprintf "\n%s (MOPS, log)  x  Area (LUT*+FF*, log)\n" (perf_label k)

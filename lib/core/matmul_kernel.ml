@@ -1,14 +1,27 @@
-let taps = [| 1; 3; 8; 20; 20; 8; 3; 1 |]
+(* Third benchmark kernel: a blocked 8x8 matrix multiply over the same
+   64-element block framing as the IDCT and the FIR.  The input block is
+   an 8x8 matrix X of 12-bit samples; the output is X * W for a fixed
+   8x8 weight matrix W, scaled by [>> 5] and clipped to 9 bits:
+
+     out[r][c] = clip9((sum_k X[r][k] * W[k][c]) >> 5)
+
+   The weights are small signed constants generated arithmetically,
+   [w k c = ((3k + 5c) land 7) - 3], so the rolled HLS loops can compute
+   them with index arithmetic instead of a coefficient ROM — every value
+   in [-3, 4] occurs, including negatives and zero.  Ranges: |X| <= 2048
+   and |w| <= 4 give |acc| <= 65536, so 32-bit accumulators never
+   overflow and the scaled product covers the full 9-bit output range. *)
 
 let clip9 v = if v < -256 then -256 else if v > 255 then 255 else v
 
 let reference blk =
   Array.init 64 (fun i ->
+      let c = i land 7 and base = i land 56 in
       let acc = ref 0 in
       for k = 0 to 7 do
-        acc := !acc + (taps.(k) * blk.((i - k) land 63))
+        acc := !acc + (blk.(base + k) * ((((3 * k) + (5 * c)) land 7) - 3))
       done;
-      clip9 (!acc asr 6))
+      clip9 (!acc asr 5))
 
 (* ---------------- C ---------------- *)
 
@@ -16,13 +29,27 @@ let c_program =
   let open Chls.Ast in
   let v x = Var x in
   let i k = Int k in
+  (* w(k, i&7) computed in index arithmetic; one variable-by-variable
+     multiply per term occupies the shared multiplier unit. *)
+  let weight_expr k =
+    Bin
+      ( Sub,
+        Bin
+          ( And,
+            Bin (Add, i (3 * k), Bin (Mul, i 5, Bin (And, v "i", i 7))),
+            i 7 ),
+        i 3 )
+  in
   let term k =
     Bin
       ( Mul,
-        i taps.(k),
-        Load ("x", Bin (And, Bin (Sub, v "i", i k), i 63)) )
+        weight_expr k,
+        Load ("x", Bin (Add, Bin (And, v "i", i 56), i k)) )
   in
-  let acc = List.fold_left (fun a k -> Bin (Add, a, term k)) (term 0) [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let acc =
+    List.fold_left (fun a k -> Bin (Add, a, term k)) (term 0)
+      [ 1; 2; 3; 4; 5; 6; 7 ]
+  in
   let clip_fn =
     {
       fname = "clip9";
@@ -42,14 +69,14 @@ let c_program =
   in
   let top =
     {
-      fname = "fir";
+      fname = "matmul";
       params = [ PArray ("blk", short_t, 64) ];
       ret = None;
       locals = [ ("i", int_t) ];
       arrays = [ ("x", short_t, 64) ];
       body =
         [
-          (* snapshot the input: the filter is not in-place *)
+          (* snapshot the input: every output row reads the whole input row *)
           For
             {
               ivar = "i";
@@ -65,30 +92,51 @@ let c_program =
                   Store
                     ( "blk",
                       v "i",
-                      Call ("clip9", [ Bin (Shr, acc, i 6) ]) );
+                      Call ("clip9", [ Bin (Shr, acc, i 5) ]) );
                 ];
             };
         ];
     }
   in
-  { funcs = [ clip_fn; top ]; top = "fir" }
+  { funcs = [ clip_fn; top ]; top = "matmul" }
 
 (* ---------------- DSLX ---------------- *)
 
 let dslx_program =
   let open Dslx.Ir in
   let l v = Lit { width = 32; value = v } in
+  (* The loop index is data here (the weight depends on the output
+     column), so it must be cast to a signal before arithmetic — the
+     DSLX rule the lowerer enforces. *)
+  let weight_expr k =
+    Bin
+      ( Hw.Netlist.Sub,
+        Bin
+          ( Hw.Netlist.And,
+            Bin
+              ( Hw.Netlist.Add,
+                l (3 * k),
+                Bin
+                  ( Hw.Netlist.Mul,
+                    l 5,
+                    Bin
+                      ( Hw.Netlist.And,
+                        Cast (Var "i", 32, `Signed),
+                        l 7 ) ) ),
+            l 7 ),
+        l 3 )
+  in
   let term k =
     Bin
       ( Hw.Netlist.Mul,
-        l taps.(k),
+        weight_expr k,
         Cast
           ( Index
               ( Var "m",
                 Bin
-                  ( Hw.Netlist.And,
-                    Bin (Hw.Netlist.Sub, Var "i", l k),
-                    l 63 ) ),
+                  ( Hw.Netlist.Add,
+                    Bin (Hw.Netlist.And, Var "i", l 56),
+                    l k ) ),
             32,
             `Signed ) )
   in
@@ -108,7 +156,7 @@ let dslx_program =
   in
   let top =
     {
-      fname = "fir";
+      fname = "matmul";
       params = [ { pname = "m"; pty = Array (Bits 12, 64) } ];
       ret = Array (Bits 9, 64);
       body =
@@ -120,20 +168,25 @@ let dslx_program =
             init = ArrayLit (List.init 64 (fun _ -> Lit { width = 9; value = 0 }));
             body =
               Update
-                (Var "out", Var "i", clip (Bin (Hw.Netlist.Sra, acc, l 6)));
+                (Var "out", Var "i", clip (Bin (Hw.Netlist.Sra, acc, l 5)));
           };
-      }
+    }
   in
-  { fns = [ top ]; top = "fir" }
+  { fns = [ top ]; top = "matmul" }
 
 (* ---------------- Chisel-style generator ---------------- *)
 
+(* Each of the 64 outputs has a static (row, col), so the weights are
+   plain constants here — the construction eDSL's minimal-width [mulc]
+   datapaths, exactly as the IDCT generator does with its cosines. *)
 let chisel_kernel b (mid : Hw.Builder.s array) =
   Array.init 64 (fun i ->
+      let c = i land 7 and base = i land 56 in
       let acc =
         let term k =
-          Chisel.Dsl.mulc b taps.(k)
-            (Chisel.Dsl.of_raw mid.((i - k) land 63))
+          Chisel.Dsl.mulc b
+            ((((3 * k) + (5 * c)) land 7) - 3)
+            (Chisel.Dsl.of_raw mid.(base + k))
         in
         let rec sum k a =
           if k = 8 then a else sum (k + 1) (Chisel.Dsl.add b a (term k))
@@ -142,7 +195,7 @@ let chisel_kernel b (mid : Hw.Builder.s array) =
       in
       Chisel.Dsl.raw
         (Chisel.Dsl.resize b
-           (Chisel.Dsl.clamp b ~lo:(-256) ~hi:255 (Chisel.Dsl.asr_ b acc 6))
+           (Chisel.Dsl.clamp b ~lo:(-256) ~hi:255 (Chisel.Dsl.asr_ b acc 5))
            Axis.Stream.out_width))
 
 let chisel_design ~name =
@@ -166,41 +219,34 @@ let dslx_design ?(stages = 4) ~name () =
 
 (* ---------------- registration ---------------- *)
 
-(* The FIR enters the evaluation pipeline through the same door as the
-   IDCT: a Flow.spec (stimulus/reference/timeout) plus plain Design.t
-   values.  Raw 12-bit sample blocks, not FDCT coefficients; the rolled
-   HLS schedule is memory-bound, so it needs a longer testbench budget. *)
 let stimulus n =
-  let rng = Axis.Block.Rand.create ~seed:9 () in
+  let rng = Axis.Block.Rand.create ~seed:11 () in
   List.init n (fun _ -> Axis.Block.Rand.block rng ~lo:(-2048) ~hi:2047)
 
 let spec =
   {
-    Flow.spec_name = "fir8";
+    Flow.spec_name = "matmul8";
     stimulus;
     reference;
-    sim_timeout = Some 40000;
+    sim_timeout = Some 60000;
     comply = Flow.bit_true_comply ~stimulus ~reference;
   }
 
-(* A curated source listing for the eDSL design (the generator itself is
-   the OCaml above); the C and DSLX listings are pretty-printed from
-   their programs, as in Registry. *)
 let chisel_listing =
-  "class Fir8 extends Module {\n\
+  "class Matmul8 extends Module {\n\
   \  val io = IO(new Bundle { val m = Input(Vec(64, SInt(12.W)))\n\
   \                           val y = Output(Vec(64, SInt(9.W))) })\n\
-  \  val taps = VecInit(Seq(1, 3, 8, 20, 20, 8, 3, 1).map(_.S))\n\
-  \  for (i <- 0 until 64) {\n\
-  \    val acc = (0 until 8).map(k => taps(k) * io.m((i - k) & 63)).reduce(_ +& _)\n\
-  \    io.y(i) := clip9(acc >> 6)\n\
+  \  def w(k: Int, c: Int) = (((3 * k + 5 * c) & 7) - 3).S\n\
+  \  for (r <- 0 until 8; c <- 0 until 8) {\n\
+  \    val acc = (0 until 8).map(k => io.m(8 * r + k) * w(k, c)).reduce(_ +& _)\n\
+  \    io.y(8 * r + c) := clip9(acc >> 5)\n\
   \  }\n\
    }\n"
 
-let fir_design tool config_desc listing circuit =
+let matmul_design tool config_desc listing circuit =
   {
     Design.tool;
-    label = "fir";
+    label = "matmul";
     config_desc;
     loc_fu = Loc.count listing;
     loc_axi = 0;
@@ -209,9 +255,6 @@ let fir_design tool config_desc listing circuit =
     listing;
   }
 
-(* Designs are keyed by their first-class Registry tool — resolved
-   through the same parser as --tools, so alias handling ("xls" is the
-   Dslx front end, "bambu" the C one) stays uniform with the IDCT. *)
 let tool_of name =
   match Registry.parse_tool name with
   | Some t -> t
@@ -220,14 +263,14 @@ let tool_of name =
 let designs =
   [
     ( tool_of "chisel",
-      fir_design Design.Chisel "construction eDSL" chisel_listing
-        (lazy (chisel_design ~name:"fir_hc")) );
+      matmul_design Design.Chisel "construction eDSL" chisel_listing
+        (lazy (chisel_design ~name:"matmul_hc")) );
     ( tool_of "xls",
-      fir_design Design.Dslx "--pipeline_stages=4"
+      matmul_design Design.Dslx "--pipeline_stages=4"
         (Dslx.Emit.emit dslx_program)
-        (lazy (dslx_design ~stages:4 ~name:"fir_xls" ())) );
+        (lazy (dslx_design ~stages:4 ~name:"matmul_xls" ())) );
     ( tool_of "bambu",
-      fir_design Design.Bambu "Bambu-style defaults"
+      matmul_design Design.Bambu "Bambu-style defaults"
         (Chls.Cprint.emit c_program)
-        (lazy (c_design ~name:"fir_c")) );
+        (lazy (c_design ~name:"matmul_c")) );
   ]

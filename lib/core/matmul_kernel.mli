@@ -1,0 +1,37 @@
+(** Third benchmark kernel: blocked 8x8 matrix multiply.
+
+    The 64-element block is read as an 8x8 matrix X and multiplied by a
+    fixed 8x8 weight matrix W ([w k c = ((3k + 5c) land 7) - 3], small
+    signed constants generated arithmetically so the rolled HLS loops
+    need index arithmetic, not a coefficient ROM), scaled by [>> 5] and
+    clipped to 9 bits.  A third computational shape next to the IDCT's
+    butterflies and the FIR's sliding window: per-output dot products
+    with row reuse.  Implemented in three front ends and registered
+    through the same {!Flow.spec} door. *)
+
+val reference : Axis.Block.t -> Axis.Block.t
+(** Software model (the ground truth for all three implementations). *)
+
+val c_program : Chls.Ast.program
+(** The kernel in C (rolled loop; weights from index arithmetic). *)
+
+val dslx_program : Dslx.Ir.program
+(** The kernel in the DSLX IR (counted fold, dynamic row indexing). *)
+
+val chisel_design : name:string -> Hw.Netlist.t
+(** Generated with the construction eDSL: per-output constant weights,
+    minimal-width [mulc] datapaths. *)
+
+val c_design : name:string -> Hw.Netlist.t
+(** Sequential HLS flow (Bambu-style defaults). *)
+
+val dslx_design : ?stages:int -> name:string -> unit -> Hw.Netlist.t
+(** XLS flow; [stages] defaults to 4. *)
+
+val spec : Flow.spec
+(** The matmul's registration: raw 12-bit sample blocks (seed 11)
+    against {!reference}, bit-true compliance. *)
+
+val designs : (Design.tool * Design.t) list
+(** The three matmul implementations keyed by their Registry tool
+    (chisel / xls / bambu), measurable with [Evaluate.measure ~spec]. *)

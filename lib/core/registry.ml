@@ -62,9 +62,10 @@ module type TOOL = sig
   val tool_type : string
   val openness : string
 
-  (* CLI names and the Fig. 1 scatter glyph *)
+  (* CLI names, the Fig. 1 scatter glyph and its legend entry *)
   val aliases : string list
   val glyph : char
+  val legend : string
 
   (* the design inventory *)
   val initial : Design.t
@@ -86,6 +87,7 @@ module Verilog_tool : TOOL = struct
   let openness = "Commercial"
   let aliases = [ "verilog" ]
   let glyph = 'V'
+  let legend = "V=Verilog"
 
   let units_loc =
     Loc.count (Verilog_designs.row_unit ^ Verilog_designs.col_unit)
@@ -122,6 +124,7 @@ module Chisel_tool : TOOL = struct
   let openness = "Open-source"
   let aliases = [ "chisel" ]
   let glyph = 'C'
+  let legend = "C=Chisel"
 
   let design label config_desc listing circuit =
     mk_shared Chisel label config_desc ~shared:Listings.chisel_butterfly
@@ -160,6 +163,7 @@ module Bsv_tool : TOOL = struct
   let openness = "Open-source"
   let aliases = [ "bsv"; "bsc" ]
   let glyph = 'B'
+  let legend = "B=BSV"
 
   let listing_initial = glue Listings.bsv_shared Listings.bsv_initial
   let listing_optimized = glue Listings.bsv_shared Listings.bsv_optimized
@@ -214,6 +218,7 @@ module Dslx_tool : TOOL = struct
   let openness = "Open-source"
   let aliases = [ "dslx"; "xls" ]
   let glyph = 'X'
+  let legend = "X=XLS"
 
   let listing = Dslx.Emit.emit Dslx.Idct_dslx.program
 
@@ -251,6 +256,7 @@ module Maxj_tool : TOOL = struct
   let openness = "Commercial"
   let aliases = [ "maxj"; "maxcompiler" ]
   let glyph = 'M'
+  let legend = "M=MaxJ"
 
   (* MaxCompiler generates the PCIe manager, so L^AXI = 0 and the whole
      listing counts as L^FU.  (The FU count concatenates without the glue
@@ -288,6 +294,7 @@ module Bambu_tool : TOOL = struct
   let openness = "Open-source"
   let aliases = [ "bambu" ]
   let glyph = 'b'
+  let legend = "b=Bambu"
 
   let listing = Chls.Cprint.emit Chls.Idct_c.program
 
@@ -338,6 +345,7 @@ module Vhls_tool : TOOL = struct
   let openness = "Commercial"
   let aliases = [ "vhls"; "vivado-hls"; "vivado_hls" ]
   let glyph = 'h'
+  let legend = "h=VivadoHLS"
 
   let listing c =
     Chls.Cprint.emit ~pragmas:[ ("idct", Chls.Tool.vhls_pragmas c) ]
@@ -418,6 +426,10 @@ let parse_tools s =
 let glyph t =
   let (module T) = find t in
   T.glyph
+
+let legend t =
+  let (module T) = find t in
+  T.legend
 
 let initial t =
   let (module T) = find t in

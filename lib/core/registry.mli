@@ -32,6 +32,11 @@ module type TOOL = sig
   val glyph : char
   (** the Fig. 1 scatter glyph *)
 
+  val legend : string
+  (** the Fig. 1 legend entry, ["V=Verilog"] — glyph plus the plot's
+      display name (which differs from [Design.tool_name] for BSV, MaxJ
+      and Vivado HLS) *)
+
   val initial : Design.t
   val optimized : Design.t
 
@@ -69,6 +74,7 @@ val parse_tools : string -> (Design.tool list, string) result
     An unknown name yields an error listing the valid tool names. *)
 
 val glyph : Design.tool -> char
+val legend : Design.tool -> string
 
 (* Shorthands over [find] (the historical interface). *)
 

@@ -9,7 +9,7 @@
 
 val taps : int array
 
-val reference : Idct.Block.t -> Idct.Block.t
+val reference : Axis.Block.t -> Axis.Block.t
 (** Software model (the ground truth for all three implementations). *)
 
 val c_program : Chls.Ast.program
@@ -32,7 +32,8 @@ val spec : Flow.spec
     sample blocks (seed 9) against {!reference}, with the testbench
     budget the memory-bound HLS schedule needs. *)
 
-val designs : (string * Design.t) list
-(** The three FIR implementations as ordinary design points
-    ([chisel]/[xls]/[bambu]), measurable with
-    [Evaluate.measure ~spec]. *)
+val designs : (Design.tool * Design.t) list
+(** The three FIR implementations as ordinary design points keyed by
+    their Registry tool (resolved via [Registry.parse_tool], so
+    [--tools] filtering and aliases behave exactly as for the IDCT),
+    measurable with [Evaluate.measure ~spec]. *)

@@ -15,9 +15,9 @@ type row = {
   flexibility : float;
 }
 
-let compute_row verilog_initial_loc verilog_best_q tool =
+let compute_row ~kernel ~spec verilog_initial_loc verilog_best_q tool =
   let col d =
-    let m = Evaluate.measure d in
+    let m = Evaluate.measure ~spec d in
     {
       design = d;
       measured = m;
@@ -27,9 +27,9 @@ let compute_row verilog_initial_loc verilog_best_q tool =
       quality = Metrics.quality m;
     }
   in
-  let initial = col (Registry.initial tool) in
-  let optimized = col (Registry.optimized tool) in
-  let delta_l = Registry.delta_loc tool in
+  let initial = col (Kernel.initial kernel tool) in
+  let optimized = col (Kernel.optimized kernel tool) in
+  let delta_l = Kernel.delta_loc kernel tool in
   {
     tool;
     initial;
@@ -43,21 +43,27 @@ let compute_row verilog_initial_loc verilog_best_q tool =
         ~delta_loc:delta_l;
   }
 
-let computed = ref None
+(* One memoized table per kernel; all access is from the caller's
+   domain (the fan-out happens inside measure_all), so a plain table
+   suffices, as the single ref did before. *)
+let computed : (string, row list) Hashtbl.t = Hashtbl.create 4
 
-let compute_outcomes ?jobs ?tools ~keep_going () =
-  let registry_tools =
-    List.map (fun (module T : Registry.TOOL) -> T.tool) Registry.all
-  in
+let compute_outcomes ?jobs ?tools ?(kernel = Kernel.idct) ~keep_going () =
+  let spec = Kernel.spec kernel in
+  let kernel_tools = Kernel.tools kernel in
+  (* The first registered tool anchors the relative indicators — Verilog
+     for the paper's IDCT, the construction eDSL for the extension
+     kernels. *)
+  let anchor = List.hd kernel_tools in
   let selected =
     match tools with
-    | None -> registry_tools
-    | Some ts -> List.filter (fun t -> List.mem t ts) registry_tools
+    | None -> kernel_tools
+    | Some ts -> List.filter (fun t -> List.mem t ts) kernel_tools
   in
   let restrict rows =
     List.filter (fun r -> List.mem r.tool selected) rows
   in
-  match !computed with
+  match Hashtbl.find_opt computed (Kernel.name kernel) with
   | Some rows -> (restrict rows, [])
   | None ->
       (* Warm the measurement cache over every initial/optimized design on
@@ -65,23 +71,22 @@ let compute_outcomes ?jobs ?tools ~keep_going () =
          measurements back from the cache.  Keep-going warms with
          [measure_all_result] so one failed design costs its own tool's
          column pair, not the table.  A [--tools] restriction still warms
-         the Verilog pair: alpha and C_Q are normalized against it. *)
+         the anchor pair: alpha and C_Q are normalized against it. *)
       let warm_tools =
-        if List.mem Design.Verilog selected then selected
-        else Design.Verilog :: selected
+        if List.mem anchor selected then selected else anchor :: selected
       in
       let designs =
         List.concat_map
-          (fun t -> [ Registry.initial t; Registry.optimized t ])
+          (fun t -> [ Kernel.initial kernel t; Kernel.optimized kernel t ])
           warm_tools
       in
       let failures =
         if keep_going then
           List.filter_map
             (function Ok _ -> None | Error (e : Flow.error) -> Some e)
-            (Evaluate.measure_all_result ?jobs designs)
+            (Evaluate.measure_all_result ?jobs ~spec designs)
         else begin
-          ignore (Evaluate.measure_all ?jobs designs);
+          ignore (Evaluate.measure_all ?jobs ~spec designs);
           []
         end
       in
@@ -91,28 +96,30 @@ let compute_outcomes ?jobs ?tools ~keep_going () =
           failures
       in
       let tool_ok tool =
-        (not (design_failed (Registry.initial tool)))
-        && not (design_failed (Registry.optimized tool))
+        (not (design_failed (Kernel.initial kernel tool)))
+        && not (design_failed (Kernel.optimized kernel tool))
       in
       let rows =
-        if not (tool_ok Design.Verilog) then
-          (* Every indicator is normalized against the Verilog anchors
+        if not (tool_ok anchor) then
+          (* Every indicator is normalized against the anchor columns
              (alpha, C_Q); without them there is no table to assemble. *)
           []
         else begin
-          let v_init = Registry.initial Design.Verilog in
-          let v_opt = Registry.optimized Design.Verilog in
+          let v_init = Kernel.initial kernel anchor in
+          let v_opt = Kernel.optimized kernel anchor in
           (* The paper normalizes alpha by the Verilog LOC of the matching
-             configuration; we use the initial Verilog LOC for the initial
-             columns and the optimized Verilog LOC for the optimized ones.
-             The Verilog optimum anchors C_Q at 100%. *)
-          let v_best_q = Metrics.quality (Evaluate.measure v_opt) in
+             configuration; we use the initial anchor LOC for the initial
+             columns and the optimized anchor LOC for the optimized ones.
+             The anchor optimum anchors C_Q at 100%. *)
+          let v_best_q = Metrics.quality (Evaluate.measure ~spec v_opt) in
           List.filter_map
             (fun tool ->
               if not (tool_ok tool) then None
               else
-                let r = compute_row (Design.loc v_init) v_best_q tool in
-                (* optimized-column alpha is against the optimized Verilog *)
+                let r =
+                  compute_row ~kernel ~spec (Design.loc v_init) v_best_q tool
+                in
+                (* optimized-column alpha is against the optimized anchor *)
                 let opt_alpha =
                   Metrics.automation ~verilog_loc:(Design.loc v_opt)
                     ~loc:r.optimized.loc
@@ -123,14 +130,15 @@ let compute_outcomes ?jobs ?tools ~keep_going () =
         end
       in
       (* Only a complete, fault-free table enters the cache. *)
-      if failures = [] && tools = None then computed := Some rows;
+      if failures = [] && tools = None then
+        Hashtbl.replace computed (Kernel.name kernel) rows;
       (rows, failures)
 
-let compute ?jobs ?tools () =
-  fst (compute_outcomes ?jobs ?tools ~keep_going:false ())
+let compute ?jobs ?tools ?kernel () =
+  fst (compute_outcomes ?jobs ?tools ?kernel ~keep_going:false ())
 
-let compute_result ?jobs ?tools () =
-  compute_outcomes ?jobs ?tools ~keep_going:true ()
+let compute_result ?jobs ?tools ?kernel () =
+  compute_outcomes ?jobs ?tools ?kernel ~keep_going:true ()
 
 let render_rows rows =
   let buf = Buffer.create 4096 in
@@ -199,8 +207,8 @@ let render_rows rows =
        (fun r -> string_of_int r.optimized.measured.Metrics.ios));
   Buffer.contents buf
 
-let render ?jobs ?tools () = render_rows (compute ?jobs ?tools ())
+let render ?jobs ?tools ?kernel () = render_rows (compute ?jobs ?tools ?kernel ())
 
-let render_result ?jobs ?tools () =
-  let rows, failures = compute_result ?jobs ?tools () in
+let render_result ?jobs ?tools ?kernel () =
+  let rows, failures = compute_result ?jobs ?tools ?kernel () in
   (render_rows rows, failures)

@@ -19,28 +19,47 @@ type row = {
   flexibility : float;       (** F_Q *)
 }
 
-val compute : ?jobs:int -> ?tools:Design.tool list -> unit -> row list
-(** Measures every design (cached after the first call).  The
-    measurements are warmed on the domain pool ({!Evaluate.measure_all});
-    the rows are then assembled sequentially from the cache, so the
-    result is identical for any job count.  [tools] restricts the rows
-    (registry order, duplicates ignored); the Verilog anchors are still
-    measured, since alpha and C_Q are normalized against them.  Restricted
-    tables are not cached. *)
+val compute :
+  ?jobs:int ->
+  ?tools:Design.tool list ->
+  ?kernel:(module Kernel.KERNEL) ->
+  unit ->
+  row list
+(** Measures every design of [kernel] (default the paper's IDCT; cached
+    per kernel after the first call).  The measurements are warmed on
+    the domain pool ({!Evaluate.measure_all}); the rows are then
+    assembled sequentially from the cache, so the result is identical
+    for any job count.  [tools] restricts the rows (registration order,
+    duplicates ignored); the anchor pair — the kernel's first registered
+    tool, Verilog for the IDCT — is still measured, since alpha and C_Q
+    are normalized against it.  Restricted tables are not cached. *)
 
 val compute_result :
-  ?jobs:int -> ?tools:Design.tool list -> unit -> row list * Flow.error list
+  ?jobs:int ->
+  ?tools:Design.tool list ->
+  ?kernel:(module Kernel.KERNEL) ->
+  unit ->
+  row list * Flow.error list
 (** Keep-going: every design is still measured, but a tool whose initial
     or optimized design fails loses its column pair instead of aborting
     the table; the failures come back as typed errors.  Because every
-    indicator is normalized against the Verilog anchors, a failed
-    Verilog design yields no rows at all (the failures still report
+    indicator is normalized against the anchor columns, a failed
+    anchor design yields no rows at all (the failures still report
     every broken design).  Partial results are not memoized. *)
 
-val render : ?jobs:int -> ?tools:Design.tool list -> unit -> string
+val render :
+  ?jobs:int ->
+  ?tools:Design.tool list ->
+  ?kernel:(module Kernel.KERNEL) ->
+  unit ->
+  string
 (** The table in the paper's layout (rows = indicators, columns = tools). *)
 
 val render_result :
-  ?jobs:int -> ?tools:Design.tool list -> unit -> string * Flow.error list
+  ?jobs:int ->
+  ?tools:Design.tool list ->
+  ?kernel:(module Kernel.KERNEL) ->
+  unit ->
+  string * Flow.error list
 (** {!render} over {!compute_result}: the surviving columns plus the
     failures for the caller's summary. *)

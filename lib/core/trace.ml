@@ -589,6 +589,23 @@ let render_stats path =
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pr "trace %s: %d spans over %d designs\n" path (List.length spans)
     (List.length designs);
+  (* Stage spans are recorded under the kernel-qualified design identity
+     ("kernel:Tool/label"); name the kernels so mixed traces stay
+     attributable.  Engine/pool spans carry no kernel prefix. *)
+  let kernels =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun d ->
+           match String.index_opt d ':' with
+           | Some i
+             when (match String.index_opt d '/' with
+                  | Some j -> i < j
+                  | None -> true) ->
+               Some (String.sub d 0 i)
+           | _ -> None)
+         designs)
+  in
+  if kernels <> [] then pr "kernels: %s\n" (String.concat ", " kernels);
   let total =
     List.fold_left
       (fun a sp -> if sp.depth = 0 then a +. sp.dur_s else a)

@@ -75,7 +75,7 @@ type state = {
    run already visited, truncate to the remaining budget, count how many
    are warm in the memo cache, and record every outcome.  One call = one
    "round" trace span. *)
-let evaluate_batch st ?jobs ~keep_going cands =
+let evaluate_batch st ?jobs ~keep_going ~spec cands =
   let fresh, _ =
     List.fold_left
       (fun (acc, seen) c ->
@@ -94,16 +94,17 @@ let evaluate_batch st ?jobs ~keep_going cands =
         let hits =
           List.length
             (List.filter
-               (fun c -> Core.Evaluate.is_cached ~matrices c.Space.cand_design)
+               (fun c ->
+                 Core.Evaluate.is_cached ~matrices ~spec c.Space.cand_design)
                fresh)
         in
         let designs = List.map (fun c -> c.Space.cand_design) fresh in
         let outcomes =
           if keep_going then
-            Core.Evaluate.measure_all_result ?jobs ~matrices designs
+            Core.Evaluate.measure_all_result ?jobs ~matrices ~spec designs
           else
             List.map (fun m -> Ok m)
-              (Core.Evaluate.measure_all ?jobs ~matrices designs)
+              (Core.Evaluate.measure_all ?jobs ~matrices ~spec designs)
         in
         st.budget_left <- st.budget_left - List.length fresh;
         st.cache_hits <- st.cache_hits + hits;
@@ -125,20 +126,20 @@ let lookup st c = Hashtbl.find_opt st.visited (Space.key c)
 
 let all_candidates spaces = List.concat_map Space.candidates spaces
 
-let run_exhaustive st ?jobs ~keep_going spaces =
-  evaluate_batch st ?jobs ~keep_going (all_candidates spaces)
+let run_exhaustive st ?jobs ~keep_going ~spec spaces =
+  evaluate_batch st ?jobs ~keep_going ~spec (all_candidates spaces)
 
-let run_random st ?jobs ~keep_going ~seed spaces =
+let run_random st ?jobs ~keep_going ~spec ~seed spaces =
   let arr = Array.of_list (all_candidates spaces) in
   Rng.shuffle (Rng.create ~seed) arr;
-  evaluate_batch st ?jobs ~keep_going (Array.to_list arr)
+  evaluate_batch st ?jobs ~keep_going ~spec (Array.to_list arr)
 
 (* Multi-restart neighborhood ascent.  Restart points come from one
    seeded permutation of the space; each climb evaluates the whole ±1
    neighborhood as a single pool batch, then moves to the strictly best
    improving neighbor (ties broken by candidate key, so the walk is a
    pure function of seed and scores). *)
-let run_hillclimb st ?jobs ~keep_going ~seed ~objective spaces =
+let run_hillclimb st ?jobs ~keep_going ~spec ~seed ~objective spaces =
   let arr = Array.of_list (all_candidates spaces) in
   Rng.shuffle (Rng.create ~seed) arr;
   let space_of =
@@ -162,7 +163,7 @@ let run_hillclimb st ?jobs ~keep_going ~seed ~objective spaces =
     done;
     if !restart < Array.length arr then begin
       let start = arr.(!restart) in
-      evaluate_batch st ?jobs ~keep_going [ start ];
+      evaluate_batch st ?jobs ~keep_going ~spec [ start ];
       let current = ref (lookup st start) in
       let climbing = ref true in
       while !climbing do
@@ -175,7 +176,7 @@ let run_hillclimb st ?jobs ~keep_going ~seed ~objective spaces =
                 let neigh =
                   Space.neighbors (space_of cur.ev_candidate) cur.ev_candidate
                 in
-                evaluate_batch st ?jobs ~keep_going neigh;
+                evaluate_batch st ?jobs ~keep_going ~spec neigh;
                 let best =
                   List.fold_left
                     (fun best c ->
@@ -207,8 +208,29 @@ let run_hillclimb st ?jobs ~keep_going ~seed ~objective spaces =
 (* The orchestrator                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* All spaces in one run must come from one kernel: the engine
+   evaluates every candidate under a single spec, and a mixed frontier
+   would compare incomparable stimulus. *)
+let spec_of_spaces = function
+  | [] -> Core.Flow.idct_spec
+  | (s : Space.t) :: rest ->
+      List.iter
+        (fun (s' : Space.t) ->
+          if
+            s'.Space.spec.Core.Flow.spec_name
+            <> s.Space.spec.Core.Flow.spec_name
+          then
+            invalid_arg
+              (Printf.sprintf
+                 "Dse.Engine.run: spaces mix kernels (%s vs %s)"
+                 s.Space.spec.Core.Flow.spec_name
+                 s'.Space.spec.Core.Flow.spec_name))
+        rest;
+      s.Space.spec
+
 let run ?jobs ?(keep_going = false) ?budget ?(seed = 0) ~strategy ~objective
     spaces =
+  let spec = spec_of_spaces spaces in
   let space_size =
     List.fold_left (fun n s -> n + Space.size s) 0 spaces
   in
@@ -223,10 +245,10 @@ let run ?jobs ?(keep_going = false) ?budget ?(seed = 0) ~strategy ~objective
   in
   Core.Trace.with_span ~design:"dse" ~stage:"search" (fun () ->
       (match strategy with
-      | Strategy.Exhaustive -> run_exhaustive st ?jobs ~keep_going spaces
-      | Strategy.Random -> run_random st ?jobs ~keep_going ~seed spaces
+      | Strategy.Exhaustive -> run_exhaustive st ?jobs ~keep_going ~spec spaces
+      | Strategy.Random -> run_random st ?jobs ~keep_going ~spec ~seed spaces
       | Strategy.Hillclimb ->
-          run_hillclimb st ?jobs ~keep_going ~seed ~objective spaces);
+          run_hillclimb st ?jobs ~keep_going ~spec ~seed ~objective spaces);
       let evaluated = List.rev st.order in
       let cloud =
         List.filter_map

@@ -3,7 +3,7 @@ let pr buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
 (* The same log-log projection as the Fig. 1 scatter, so the explored
    cloud and the paper's figure line up visually; frontier points are
    drawn last, as '*'. *)
-let render_scatter buf (cloud : (Pareto.point * char) list) frontier =
+let render_scatter buf kernel (cloud : (Pareto.point * char) list) frontier =
   let lx (p : Pareto.point) = log10 (float_of_int (max 1 p.Pareto.pt_area)) in
   let ly (p : Pareto.point) = log10 (Float.max 0.01 p.Pareto.pt_perf) in
   let pts = List.map fst cloud in
@@ -26,8 +26,11 @@ let render_scatter buf (cloud : (Pareto.point * char) list) frontier =
   in
   List.iter plot cloud;
   List.iter (fun p -> plot (p, '*')) frontier;
-  pr buf "\nPerformance (MOPS, log)  x  Area (LUT*+FF*, log)\n";
-  pr buf "legend: V=Verilog C=Chisel B=BSV X=XLS M=MaxJ b=Bambu h=VivadoHLS  *=Pareto frontier\n";
+  (* Axis caption and legend come from the kernel, like Fig. 1's; the
+     frontier glyph is the report's own addition. *)
+  pr buf "%s" (Core.Kernel.caption kernel);
+  pr buf "%s  *=Pareto frontier\n"
+    (String.trim (Core.Kernel.legend_line kernel));
   for r = 0 to h - 1 do
     pr buf "|%s|\n" (String.init w (fun c -> grid.(r).(c)))
   done;
@@ -35,13 +38,23 @@ let render_scatter buf (cloud : (Pareto.point * char) list) frontier =
   pr buf "area: %.0f .. %.0f   throughput: %.2f .. %.2f MOPS\n"
     (10. ** min_x) (10. ** max_x) (10. ** min_y) (10. ** max_y)
 
+(* The kernel the run explored, from its spaces.  Default-kernel (idct)
+   reports carry no tag, keeping the baseline report byte-identical. *)
+let kernel_tag (r : Engine.result) =
+  match r.Engine.res_spaces with
+  | { Space.spec = { Core.Flow.spec_name; _ }; _ } :: _
+    when spec_name <> "idct" ->
+      Printf.sprintf " kernel=%s" spec_name
+  | _ -> ""
+
 let render (r : Engine.result) =
   let buf = Buffer.create 4096 in
-  pr buf "DSE: strategy=%s seed=%d budget=%s objective=%s\n"
+  pr buf "DSE: strategy=%s seed=%d budget=%s objective=%s%s\n"
     (Strategy.to_string r.Engine.res_strategy)
     r.Engine.res_seed
     (match r.Engine.res_budget with Some b -> string_of_int b | None -> "none")
-    (Engine.objective_name r.Engine.res_objective);
+    (Engine.objective_name r.Engine.res_objective)
+    (kernel_tag r);
   pr buf "\nSearched spaces:\n";
   List.iter (fun s -> Buffer.add_string buf (Space.describe s)) r.Engine.res_spaces;
   (* per-tool explored counts *)
@@ -70,7 +83,15 @@ let render (r : Engine.result) =
         | Error _ -> None)
       r.Engine.res_evaluated
   in
-  if cloud <> [] then render_scatter buf cloud r.Engine.res_frontier;
+  let kernel =
+    let name =
+      match r.Engine.res_spaces with
+      | { Space.spec = { Core.Flow.spec_name; _ }; _ } :: _ -> spec_name
+      | [] -> "idct"
+    in
+    Option.value (Core.Kernel.find name) ~default:Core.Kernel.idct
+  in
+  if cloud <> [] then render_scatter buf kernel cloud r.Engine.res_frontier;
   pr buf "\nPareto frontier (area asc):\n";
   List.iter
     (fun (p : Pareto.point) ->
@@ -123,6 +144,11 @@ let write_json path (r : Engine.result) =
         r.Engine.res_seed
         (match r.Engine.res_budget with Some b -> string_of_int b | None -> "null")
         (Engine.objective_name r.Engine.res_objective);
+      (match r.Engine.res_spaces with
+      | { Space.spec = { Core.Flow.spec_name; _ }; _ } :: _
+        when spec_name <> "idct" ->
+          Printf.fprintf oc "  \"kernel\": \"%s\",\n" spec_name
+      | _ -> ());
       let s = r.Engine.res_stats in
       Printf.fprintf oc
         "  \"stats\": {\"space\": %d, \"evaluated\": %d, \"cache_hits\": %d, \
@@ -162,7 +188,7 @@ let write_json path (r : Engine.result) =
 (* Fig. 1 cross-check                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let crosscheck_fig1 ?jobs ?tools (r : Engine.result) =
+let crosscheck_fig1 ?jobs ?tools ?kernel (r : Engine.result) =
   let fig1_cloud =
     List.map
       (fun (tool, (p : Core.Fig1.point)) ->
@@ -171,7 +197,7 @@ let crosscheck_fig1 ?jobs ?tools (r : Engine.result) =
           pt_area = p.Core.Fig1.area;
           pt_perf = p.Core.Fig1.throughput_mops;
         })
-      (Core.Fig1.points ?jobs ?tools ())
+      (Core.Fig1.points ?jobs ?tools ?kernel ())
   in
   let expected = Pareto.frontier fig1_cloud in
   let got = r.Engine.res_frontier in

@@ -16,7 +16,11 @@ val write_json : string -> Engine.result -> unit
     written atomically via {!Core.Trace.write_atomic}. *)
 
 val crosscheck_fig1 :
-  ?jobs:int -> ?tools:Core.Design.tool list -> Engine.result -> (string, string) result
+  ?jobs:int ->
+  ?tools:Core.Design.tool list ->
+  ?kernel:(module Core.Kernel.KERNEL) ->
+  Engine.result ->
+  (string, string) result
 (** The Fig. 1 cross-check: the frontier of an exhaustive run over the
     paper's sweep space must equal, point for point, the Pareto-optimal
     subset of {!Core.Fig1.compute}'s point set.  [Ok] carries a one-line

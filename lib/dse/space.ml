@@ -3,12 +3,17 @@ type chart = {
   chart_designs : Core.Design.t array;
 }
 
-type t = { tool : Core.Design.tool; charts : chart list }
+type t = {
+  tool : Core.Design.tool;
+  charts : chart list;
+  spec : Core.Flow.spec;
+}
 
 type candidate = {
   cand_tool : Core.Design.tool;
   cand_chart : int;
   cand_coords : int array;
+  cand_axes : Core.Registry.axis list;
   cand_design : Core.Design.t;
 }
 
@@ -22,9 +27,9 @@ let chart_size axes =
    sizes must tile the design list exactly — anything else is a
    misregistered space, caught here rather than as a silent shift of
    every later candidate. *)
-let of_tool tool =
-  let sweep = Array.of_list (Core.Registry.sweep tool) in
-  let space = Core.Registry.space tool in
+let of_tool ?(kernel = Core.Kernel.idct) tool =
+  let sweep = Array.of_list (Core.Kernel.sweep kernel tool) in
+  let space = Core.Kernel.space kernel tool in
   let total = List.fold_left (fun n axes -> n + chart_size axes) 0 space in
   if total <> Array.length sweep then
     invalid_arg
@@ -42,7 +47,7 @@ let of_tool tool =
         (off + n, chart :: acc))
       (0, []) space
   in
-  { tool; charts = List.rev charts }
+  { tool; charts = List.rev charts; spec = Core.Kernel.spec kernel }
 
 let size t =
   List.fold_left (fun n c -> n + Array.length c.chart_designs) 0 t.charts
@@ -80,6 +85,7 @@ let candidate t ci coords =
     cand_tool = t.tool;
     cand_chart = ci;
     cand_coords = coords;
+    cand_axes = chart.chart_axes;
     cand_design = chart.chart_designs.(rank chart.chart_axes coords);
   }
 
@@ -115,16 +121,14 @@ let neighbors t cand =
 let key cand = Core.Flow.span_key cand.cand_design
 
 let coords_desc cand =
-  (* cand_chart is always a valid index into the space it came from; the
-     axes live on the design's tool, so re-derive them from the registry. *)
-  let space = Core.Registry.space cand.cand_tool in
-  let axes = List.nth space cand.cand_chart in
+  (* the candidate carries its own chart axes, so the description does
+     not depend on which kernel's space it came from *)
   String.concat " "
     (List.mapi
        (fun i (a : Core.Registry.axis) ->
          Printf.sprintf "%s=%s" a.Core.Registry.axis_name
            (List.nth a.Core.Registry.axis_values cand.cand_coords.(i)))
-       axes)
+       cand.cand_axes)
 
 let describe t =
   let buf = Buffer.create 256 in

@@ -16,19 +16,27 @@ type chart = {
           (last axis fastest) *)
 }
 
-type t = { tool : Core.Design.tool; charts : chart list }
+type t = {
+  tool : Core.Design.tool;
+  charts : chart list;
+  spec : Core.Flow.spec;  (** the kernel this space's designs implement *)
+}
 
 type candidate = {
   cand_tool : Core.Design.tool;
   cand_chart : int;          (** chart index within the tool's space *)
   cand_coords : int array;   (** one value index per chart axis *)
+  cand_axes : Core.Registry.axis list;  (** the chart's own axes *)
   cand_design : Core.Design.t;
 }
 
-val of_tool : Core.Design.tool -> t
-(** Bind {!Core.Registry.space} to {!Core.Registry.sweep}.
+val of_tool : ?kernel:(module Core.Kernel.KERNEL) -> Core.Design.tool -> t
+(** Bind the kernel's space charts to its sweep ([kernel] defaults to
+    the paper's IDCT, where they are {!Core.Registry.space} and
+    {!Core.Registry.sweep}).
     @raise Invalid_argument if the declared axis products do not tile the
-    sweep exactly — the registry invariant a misdeclared space breaks. *)
+    sweep exactly — the registry invariant a misdeclared space breaks —
+    or if the kernel has no inventory for [tool]. *)
 
 val size : t -> int
 (** Number of candidates (= length of the tool's sweep). *)

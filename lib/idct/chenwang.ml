@@ -103,11 +103,11 @@ let idct_col blk =
   |]
 
 let idct blk =
-  let b = Block.copy blk in
-  for r = 0 to Block.size - 1 do
-    Block.set_row b r (idct_row (Block.row b r))
+  let b = Axis.Block.copy blk in
+  for r = 0 to Axis.Block.size - 1 do
+    Axis.Block.set_row b r (idct_row (Axis.Block.row b r))
   done;
-  for c = 0 to Block.size - 1 do
-    Block.set_col b c (idct_col (Block.col b c))
+  for c = 0 to Axis.Block.size - 1 do
+    Axis.Block.set_col b c (idct_col (Axis.Block.col b c))
   done;
   b

@@ -23,6 +23,6 @@ val idct_row : int array -> int array
 val idct_col : int array -> int array
 (** One column pass over 8 values; applies rounding and {!iclip}. *)
 
-val idct : Block.t -> Block.t
+val idct : Axis.Block.t -> Axis.Block.t
 (** Full 2-D transform: 8 row passes then 8 column passes, in place on a
     copy. *)

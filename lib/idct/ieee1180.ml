@@ -22,48 +22,39 @@ let standard_ranges =
     { lo = -300; hi = 300; sign = -1 };
   ]
 
-let n2 = Block.size * Block.size
+
+let stats_of_summary (s : Axis.Accuracy.summary) ~zero =
+  {
+    blocks = s.Axis.Accuracy.blocks;
+    peak_error = s.Axis.Accuracy.peak_error;
+    worst_pmse = s.Axis.Accuracy.worst_pmse;
+    omse = s.Axis.Accuracy.omse;
+    worst_pme = s.Axis.Accuracy.worst_pme;
+    ome = s.Axis.Accuracy.ome;
+    zero_in_zero_out = zero;
+  }
 
 let measure ?(blocks = 10000) ?(seed = 1) range dut =
-  let rng = Block.Rand.create ~seed () in
-  let sq_err = Array.make n2 0.0 in
-  let sum_err = Array.make n2 0.0 in
-  let peak = ref 0 in
+  let rng = Axis.Block.Rand.create ~seed () in
+  let acc = Axis.Accuracy.create () in
   for _ = 1 to blocks do
-    let samples = Block.Rand.block rng ~lo:range.lo ~hi:range.hi in
+    let samples = Axis.Block.Rand.block rng ~lo:range.lo ~hi:range.hi in
     let samples =
       if range.sign < 0 then Array.map (fun v -> -v) samples else samples
     in
     (* IEEE 1180 clamps the random samples to the 9-bit range before the
        forward transform (relevant for the (-300,300) condition). *)
-    let samples = Array.map Block.clamp_output samples in
+    let samples = Array.map Axis.Block.clamp_output samples in
     let coeffs = Reference.fdct samples in
     let want = Reference.idct coeffs in
     let got = dut coeffs in
-    for i = 0 to n2 - 1 do
-      let e = got.(i) - want.(i) in
-      if abs e > !peak then peak := abs e;
-      sq_err.(i) <- sq_err.(i) +. float_of_int (e * e);
-      sum_err.(i) <- sum_err.(i) +. float_of_int e
-    done
+    Axis.Accuracy.add acc ~want ~got
   done;
-  let fb = float_of_int blocks in
-  let pmse = Array.map (fun s -> s /. fb) sq_err in
-  let pme = Array.map (fun s -> abs_float (s /. fb)) sum_err in
   let zero =
-    let z = Block.create () in
-    Block.equal (dut z) z
+    let z = Axis.Block.create () in
+    Axis.Block.equal (dut z) z
   in
-  {
-    blocks;
-    peak_error = !peak;
-    worst_pmse = Array.fold_left Float.max 0.0 pmse;
-    omse = Array.fold_left ( +. ) 0.0 pmse /. float_of_int n2;
-    worst_pme = Array.fold_left Float.max 0.0 pme;
-    ome =
-      abs_float (Array.fold_left ( +. ) 0.0 sum_err /. (fb *. float_of_int n2));
-    zero_in_zero_out = zero;
-  }
+  stats_of_summary (Axis.Accuracy.summarize acc) ~zero
 
 (* Batched variant of [measure]: numerically identical — the rng draw
    sequence, the 9-bit clamping and the float accumulation order all match
@@ -72,48 +63,28 @@ let measure ?(blocks = 10000) ?(seed = 1) range dut =
    simulation lanes.  Kept separate from [measure] rather than unifying
    the two, so the sequential path provably cannot change. *)
 let measure_batch ?(blocks = 10000) ?(seed = 1) range dut_batch =
-  let rng = Block.Rand.create ~seed () in
+  let rng = Axis.Block.Rand.create ~seed () in
   let coeffs_rev = ref [] and wants_rev = ref [] in
   for _ = 1 to blocks do
-    let samples = Block.Rand.block rng ~lo:range.lo ~hi:range.hi in
+    let samples = Axis.Block.Rand.block rng ~lo:range.lo ~hi:range.hi in
     let samples =
       if range.sign < 0 then Array.map (fun v -> -v) samples else samples
     in
-    let samples = Array.map Block.clamp_output samples in
+    let samples = Array.map Axis.Block.clamp_output samples in
     let coeffs = Reference.fdct samples in
     coeffs_rev := coeffs :: !coeffs_rev;
     wants_rev := Reference.idct coeffs :: !wants_rev
   done;
   let gots = dut_batch (List.rev !coeffs_rev) in
-  let sq_err = Array.make n2 0.0 in
-  let sum_err = Array.make n2 0.0 in
-  let peak = ref 0 in
+  let acc = Axis.Accuracy.create () in
   List.iter2
-    (fun want got ->
-      for i = 0 to n2 - 1 do
-        let e = got.(i) - want.(i) in
-        if abs e > !peak then peak := abs e;
-        sq_err.(i) <- sq_err.(i) +. float_of_int (e * e);
-        sum_err.(i) <- sum_err.(i) +. float_of_int e
-      done)
+    (fun want got -> Axis.Accuracy.add acc ~want ~got)
     (List.rev !wants_rev) gots;
-  let fb = float_of_int blocks in
-  let pmse = Array.map (fun s -> s /. fb) sq_err in
-  let pme = Array.map (fun s -> abs_float (s /. fb)) sum_err in
   let zero =
-    let z = Block.create () in
-    match dut_batch [ z ] with [ got ] -> Block.equal got z | _ -> false
+    let z = Axis.Block.create () in
+    match dut_batch [ z ] with [ got ] -> Axis.Block.equal got z | _ -> false
   in
-  {
-    blocks;
-    peak_error = !peak;
-    worst_pmse = Array.fold_left Float.max 0.0 pmse;
-    omse = Array.fold_left ( +. ) 0.0 pmse /. float_of_int n2;
-    worst_pme = Array.fold_left Float.max 0.0 pme;
-    ome =
-      abs_float (Array.fold_left ( +. ) 0.0 sum_err /. (fb *. float_of_int n2));
-    zero_in_zero_out = zero;
-  }
+  stats_of_summary (Axis.Accuracy.summarize acc) ~zero
 
 let judge s =
   let checks =

@@ -26,18 +26,18 @@ val standard_ranges : range list
     each with sign +1 and -1. *)
 
 val measure :
-  ?blocks:int -> ?seed:int -> range -> (Block.t -> Block.t) -> stats
+  ?blocks:int -> ?seed:int -> range -> (Axis.Block.t -> Axis.Block.t) -> stats
 (** [measure range dut] runs [blocks] (default 10000) random blocks. *)
 
 val judge : stats -> verdict
 
-val run : ?blocks:int -> (Block.t -> Block.t) -> (range * stats * verdict) list
+val run : ?blocks:int -> (Axis.Block.t -> Axis.Block.t) -> (range * stats * verdict) list
 (** Full compliance run over {!standard_ranges}. *)
 
-val compliant : ?blocks:int -> (Block.t -> Block.t) -> bool
+val compliant : ?blocks:int -> (Axis.Block.t -> Axis.Block.t) -> bool
 
 val measure_batch :
-  ?blocks:int -> ?seed:int -> range -> (Block.t list -> Block.t list) -> stats
+  ?blocks:int -> ?seed:int -> range -> (Axis.Block.t list -> Axis.Block.t list) -> stats
 (** As {!measure}, but the dut receives the whole coefficient list in one
     call (and must return outputs in order), so a stream implementation
     can spread the blocks across simulation lanes.  Numerically identical
@@ -46,9 +46,9 @@ val measure_batch :
 
 val run_batch :
   ?blocks:int ->
-  (Block.t list -> Block.t list) ->
+  (Axis.Block.t list -> Axis.Block.t list) ->
   (range * stats * verdict) list
 
-val compliant_batch : ?blocks:int -> (Block.t list -> Block.t list) -> bool
+val compliant_batch : ?blocks:int -> (Axis.Block.t list -> Axis.Block.t list) -> bool
 
 val pp_stats : Format.formatter -> stats -> unit

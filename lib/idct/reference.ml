@@ -1,4 +1,4 @@
-let n = Block.size
+let n = Axis.Block.size
 
 (* basis.(u).(x) = C(u)/2 * cos((2x+1) u pi / 16) *)
 let basis =
@@ -17,7 +17,7 @@ let idct_exact blk =
         for v = 0 to n - 1 do
           acc :=
             !acc
-            +. (float_of_int (Block.get blk ~row:u ~col:v)
+            +. (float_of_int (Axis.Block.get blk ~row:u ~col:v)
                *. basis.(u).(x)
                *. basis.(v).(y))
         done
@@ -31,7 +31,7 @@ let round_half_away x = if x >= 0.0 then floor (x +. 0.5) else ceil (x -. 0.5)
 
 let idct blk =
   let exact = idct_exact blk in
-  Array.map (fun v -> Block.clamp_output (int_of_float (round_half_away v))) exact
+  Array.map (fun v -> Axis.Block.clamp_output (int_of_float (round_half_away v))) exact
 
 let fdct_exact blk =
   let out = Array.make (n * n) 0.0 in
@@ -42,7 +42,7 @@ let fdct_exact blk =
         for y = 0 to n - 1 do
           acc :=
             !acc
-            +. (float_of_int (Block.get blk ~row:x ~col:y)
+            +. (float_of_int (Axis.Block.get blk ~row:x ~col:y)
                *. basis.(u).(x)
                *. basis.(v).(y))
         done
@@ -54,4 +54,4 @@ let fdct_exact blk =
 
 let fdct blk =
   let exact = fdct_exact blk in
-  Array.map (fun v -> Block.clamp_input (int_of_float (round_half_away v))) exact
+  Array.map (fun v -> Axis.Block.clamp_input (int_of_float (round_half_away v))) exact

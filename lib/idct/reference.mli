@@ -4,16 +4,16 @@
     cosine-basis transform evaluated in double precision, with outputs
     rounded to the nearest integer and clamped to the 9-bit sample range. *)
 
-val idct_exact : Block.t -> float array
+val idct_exact : Axis.Block.t -> float array
 (** Unrounded inverse transform of a coefficient block (row-major 64). *)
 
-val idct : Block.t -> Block.t
+val idct : Axis.Block.t -> Axis.Block.t
 (** Reference IDCT: {!idct_exact}, rounded to nearest, clamped to
     [-256, 255]. *)
 
-val fdct_exact : Block.t -> float array
+val fdct_exact : Axis.Block.t -> float array
 (** Unrounded forward transform of a sample block. *)
 
-val fdct : Block.t -> Block.t
+val fdct : Axis.Block.t -> Axis.Block.t
 (** Forward DCT rounded to nearest and clamped to the 12-bit coefficient
     range — used by the IEEE 1180 procedure to produce test coefficients. *)

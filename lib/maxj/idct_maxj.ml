@@ -249,7 +249,7 @@ let simulate_initial blocks =
     if t < n then
       Array.iteri (fun i v -> Sim.set sim (Printf.sprintf "m_%d" i) v) inputs.(t);
     if t >= depth then begin
-      let blk = Idct.Block.create () in
+      let blk = Axis.Block.create () in
       for i = 0 to 63 do
         let v = Sim.get sim (Printf.sprintf "out_%d" i) in
         let v = if v land 0x100 <> 0 then v - 512 else v in
@@ -267,7 +267,7 @@ let simulate_opt blocks =
   Sim.reset sim;
   let inputs = Array.of_list blocks in
   let n = Array.length inputs in
-  let results = Array.init n (fun _ -> Idct.Block.create ()) in
+  let results = Array.init n (fun _ -> Axis.Block.create ()) in
   let got = Array.make n 0 in
   let total_ticks = (8 * (n + 2)) + kr + kc + 16 in
   for t = 0 to total_ticks - 1 do
@@ -275,7 +275,7 @@ let simulate_opt blocks =
     if m < n then
       for cidx = 0 to 7 do
         Sim.set sim (Printf.sprintf "m_%d" cidx)
-          (Idct.Block.get inputs.(m) ~row:r ~col:cidx)
+          (Axis.Block.get inputs.(m) ~row:r ~col:cidx)
       done;
     (* The column emerging now belongs to matrix [(t - kr - kc)/8 - 1]. *)
     let u = t - kr - kc in
@@ -285,7 +285,7 @@ let simulate_opt blocks =
         for r' = 0 to 7 do
           let v = Sim.get sim (Printf.sprintf "out_%d" r') in
           let v = if v land 0x100 <> 0 then v - 512 else v in
-          Idct.Block.set results.(src) ~row:r' ~col v
+          Axis.Block.set results.(src) ~row:r' ~col v
         done;
         got.(src) <- got.(src) + 1
       end

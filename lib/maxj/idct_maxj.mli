@@ -17,9 +17,9 @@ val opt_kernel : unit -> Hw.Netlist.t
 val opt_system : unit -> Manager.system
 val opt_listing : unit -> string
 
-val simulate_initial : Idct.Block.t list -> Idct.Block.t list
+val simulate_initial : Axis.Block.t list -> Axis.Block.t list
 (** Bit-true check of the matrix-per-tick kernel. *)
 
-val simulate_opt : Idct.Block.t list -> Idct.Block.t list
+val simulate_opt : Axis.Block.t list -> Axis.Block.t list
 (** Bit-true check of the row-per-tick kernel (reassembles the column
     stream). *)

@@ -18,17 +18,26 @@
    Wire protocol (one line per request/response, fields tab-separated;
    labels may contain spaces but never tabs):
 
-     eval\tTOOL\tMATRICES\tLABEL   ->  ok\tMETRICS-WIRE
+     eval\tTOOL\tMATRICES\tLABEL[\tKERNEL]
+                                   ->  ok\tMETRICS-WIRE
                                    |   err\tDESIGN\tSTAGE\tCLASS\tDETAIL
      ping                          ->  ok\tpong
      stats                         ->  ok\tk=v ...
      shutdown                      ->  ok\tbye     (daemon exits after
                                                     answering the batch)
-   A request the server cannot parse (unknown verb, unknown tool or
-   label, bad matrices) answers  bad\tREASON  and poisons nothing. *)
+   The optional fifth [eval] field names the kernel whose design
+   inventory the tool/label pair is resolved against (Core.Kernel);
+   absent means the paper's IDCT, so every pre-kernel client speaks the
+   protocol unchanged.  A request the server cannot parse (unknown verb,
+   unknown tool, kernel or label, bad matrices) answers  bad\tREASON
+   and poisons nothing. *)
 
 type request =
-  | Eval of { design : Core.Design.t; matrices : int }
+  | Eval of {
+      design : Core.Design.t;
+      matrices : int;
+      spec : Core.Flow.spec;
+    }
   | Ping
   | Stats
   | Shutdown
@@ -47,27 +56,35 @@ type counters = {
   memo_hits : int Atomic.t;
 }
 
-let label_index tool =
-  Core.Registry.sweep tool
-  @ [ Core.Registry.initial tool; Core.Registry.optimized tool ]
+let label_index kernel tool =
+  match Core.Kernel.inventory kernel tool with
+  | None -> []
+  | Some inv ->
+      inv.Core.Kernel.inv_sweep
+      @ [ inv.Core.Kernel.inv_initial; inv.Core.Kernel.inv_optimized ]
 
-let find_design ~tool ~label =
+let find_design ~kernel ~tool ~label =
   List.find_opt (fun (d : Core.Design.t) -> d.Core.Design.label = label)
-    (label_index tool)
+    (label_index kernel tool)
 
-let parse_request line =
-  match String.split_on_char '\t' line with
-  | [ "ping" ] -> Ok Ping
-  | [ "stats" ] -> Ok Stats
-  | [ "shutdown" ] -> Ok Shutdown
-  | [ "eval"; tool; matrices; label ] -> (
+let parse_eval ~tool ~matrices ~label ~kernel =
+  match Core.Kernel.parse_kernel kernel with
+  | None -> Error (Core.Kernel.unknown_kernel_msg kernel)
+  | Some k -> (
       match Core.Registry.parse_tool tool with
       | None -> Error (Core.Registry.unknown_tool_msg tool)
+      | Some t when not (List.mem t (Core.Kernel.tools k)) ->
+          Error
+            (Printf.sprintf "kernel %s has no %s designs (tools: %s)"
+               (Core.Kernel.name k) tool
+               (String.concat ", "
+                  (List.map Core.Design.tool_name (Core.Kernel.tools k))))
       | Some t -> (
           match int_of_string_opt matrices with
           | Some m when m >= 1 -> (
-              match find_design ~tool:t ~label with
-              | Some design -> Ok (Eval { design; matrices = m })
+              match find_design ~kernel:k ~tool:t ~label with
+              | Some design ->
+                  Ok (Eval { design; matrices = m; spec = Core.Kernel.spec k })
               | None ->
                   Error
                     (Printf.sprintf "unknown %s design label %S" tool label))
@@ -75,6 +92,16 @@ let parse_request line =
               Error
                 (Printf.sprintf "bad matrices count %S (want a positive int)"
                    matrices)))
+
+let parse_request line =
+  match String.split_on_char '\t' line with
+  | [ "ping" ] -> Ok Ping
+  | [ "stats" ] -> Ok Stats
+  | [ "shutdown" ] -> Ok Shutdown
+  | [ "eval"; tool; matrices; label ] ->
+      parse_eval ~tool ~matrices ~label ~kernel:"idct"
+  | [ "eval"; tool; matrices; label; kernel ] ->
+      parse_eval ~tool ~matrices ~label ~kernel
   | verb :: _ -> Error (Printf.sprintf "unknown request %S" verb)
   | [] -> Error "empty request"
 
@@ -106,39 +133,44 @@ let stats_line cfg c =
     (Atomic.get c.conns) (Atomic.get c.evals) (Atomic.get c.eval_errors)
     (Atomic.get c.memo_hits) store_part
 
-(* One connection = one batch.  Evals are grouped by matrices (the pool
-   API takes one stream length per batch) and each group fans out on the
-   domain pool; responses reassemble in request order. *)
+(* One connection = one batch.  Evals are grouped by (kernel, matrices)
+   — the pool API takes one spec and stream length per batch, and both
+   are part of the measure key — and each group fans out on the domain
+   pool; responses reassemble in request order. *)
 let handle_batch cfg counters lines =
   let parsed = List.map parse_request lines in
-  (* indexed evals, grouped by matrices *)
+  (* indexed evals, grouped by (kernel, matrices) *)
   let indexed =
     List.mapi (fun i r -> (i, r)) parsed
     |> List.filter_map (fun (i, r) ->
            match r with
-           | Ok (Eval { design; matrices }) -> Some (i, design, matrices)
+           | Ok (Eval { design; matrices; spec }) ->
+               Some (i, design, matrices, spec)
            | _ -> None)
   in
   let groups =
     List.fold_left
-      (fun acc (i, design, matrices) ->
-        let prev = Option.value (List.assoc_opt matrices acc) ~default:[] in
-        (matrices, (i, design) :: prev) :: List.remove_assoc matrices acc)
+      (fun acc (i, design, matrices, spec) ->
+        let key = (spec.Core.Flow.spec_name, matrices) in
+        match List.assoc_opt key acc with
+        | Some (sp, prev) ->
+            (key, (sp, (i, design) :: prev)) :: List.remove_assoc key acc
+        | None -> (key, (spec, [ (i, design) ])) :: acc)
       [] indexed
   in
   let outcomes = Hashtbl.create 16 in
   List.iter
-    (fun (matrices, rev_items) ->
+    (fun ((_, matrices), (spec, rev_items)) ->
       let items = List.rev rev_items in
       let designs = List.map snd items in
       List.iter
         (fun d ->
           Atomic.incr counters.evals;
-          if Core.Evaluate.is_cached ~matrices d then
+          if Core.Evaluate.is_cached ~matrices ~spec d then
             Atomic.incr counters.memo_hits)
         designs;
       let results =
-        Core.Evaluate.measure_all_result ?jobs:cfg.jobs ~matrices designs
+        Core.Evaluate.measure_all_result ?jobs:cfg.jobs ~matrices ~spec designs
       in
       List.iter2
         (fun (i, _) r ->
@@ -237,8 +269,10 @@ let run cfg =
 (* ---------------- client side ---------------- *)
 
 module Client = struct
-  let eval_line ~tool ~label ~matrices =
-    Printf.sprintf "eval\t%s\t%d\t%s" tool matrices label
+  let eval_line ?kernel ~tool ~label ~matrices () =
+    match kernel with
+    | None -> Printf.sprintf "eval\t%s\t%d\t%s" tool matrices label
+    | Some k -> Printf.sprintf "eval\t%s\t%d\t%s\t%s" tool matrices label k
 
   let connect socket_path =
     let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in

@@ -11,16 +11,24 @@
 
     Protocol:
     {v
-    eval\tTOOL\tMATRICES\tLABEL  ->  ok\tMETRICS-WIRE
+    eval\tTOOL\tMATRICES\tLABEL[\tKERNEL]
+                                 ->  ok\tMETRICS-WIRE
                                  |   err\tDESIGN\tSTAGE\tCLASS\tDETAIL
     ping                         ->  ok\tpong
     stats                        ->  ok\tk=v ...
     shutdown                     ->  ok\tbye   (daemon exits)
     bad\tREASON  answers any request the server cannot parse.
-    v} *)
+    v}
+    The optional [KERNEL] field selects the {!Core.Kernel} whose design
+    inventory resolves the tool/label pair; absent means the paper's
+    IDCT, so pre-kernel clients speak the protocol unchanged. *)
 
 type request =
-  | Eval of { design : Core.Design.t; matrices : int }
+  | Eval of {
+      design : Core.Design.t;
+      matrices : int;
+      spec : Core.Flow.spec;  (** the kernel the design is measured against *)
+    }
   | Ping
   | Stats
   | Shutdown
@@ -49,8 +57,11 @@ val run : config -> counters
 
 (** Blocking one-shot client (tests, bench, scripting). *)
 module Client : sig
-  val eval_line : tool:string -> label:string -> matrices:int -> string
-  (** Format an [eval] request line. *)
+  val eval_line :
+    ?kernel:string -> tool:string -> label:string -> matrices:int -> unit ->
+    string
+  (** Format an [eval] request line; [kernel] adds the optional fifth
+      field (omitted: the daemon assumes IDCT). *)
 
   val request : socket:string -> string list -> string list
   (** Connect, send the lines plus the blank-line terminator, read one

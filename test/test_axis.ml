@@ -65,8 +65,8 @@ let passthrough_expected blk =
     blk
 
 let mats n =
-  let rng = Idct.Block.Rand.create ~seed:3 () in
-  List.init n (fun _ -> Idct.Block.Rand.block rng ~lo:(-100) ~hi:100)
+  let rng = Axis.Block.Rand.create ~seed:3 () in
+  List.init n (fun _ -> Axis.Block.Rand.block rng ~lo:(-100) ~hi:100)
 
 let test_wrap_matrix_kernel_basic () =
   let c =
@@ -81,7 +81,7 @@ let test_wrap_matrix_kernel_basic () =
   List.iter2
     (fun got input ->
       check bool "payload" true
-        (Idct.Block.equal got (passthrough_expected input)))
+        (Axis.Block.equal got (passthrough_expected input)))
     r.Axis.Driver.outputs inputs
 
 let test_wrap_matrix_kernel_backpressure () =
@@ -96,7 +96,7 @@ let test_wrap_matrix_kernel_backpressure () =
   List.iter2
     (fun got input ->
       check bool "payload under backpressure" true
-        (Idct.Block.equal got (passthrough_expected input)))
+        (Axis.Block.equal got (passthrough_expected input)))
     r.Axis.Driver.outputs inputs
 
 let test_wrap_matrix_kernel_gaps () =
@@ -120,7 +120,7 @@ let test_wrap_row_col_structure () =
   check int "periodicity 8" 8 r.Axis.Driver.periodicity;
   let expected = List.map Idct.Chenwang.idct inputs in
   check bool "bit true" true
-    (List.for_all2 Idct.Block.equal r.Axis.Driver.outputs expected)
+    (List.for_all2 Axis.Block.equal r.Axis.Driver.outputs expected)
 
 let test_wrap_row_col_backpressure () =
   let mode = Chisel.Idct_gen.verilog_mode in
@@ -129,7 +129,7 @@ let test_wrap_row_col_backpressure () =
   let r = Axis.Driver.run ~ready_pattern:(fun t -> t mod 2 = 0) c inputs in
   let expected = List.map Idct.Chenwang.idct inputs in
   check bool "bit true under backpressure" true
-    (List.for_all2 Idct.Block.equal r.Axis.Driver.outputs expected);
+    (List.for_all2 Axis.Block.equal r.Axis.Driver.outputs expected);
   check int "protocol clean" 0 (List.length r.Axis.Driver.violations)
 
 let test_pipelined_kernel_wrap () =
@@ -151,7 +151,7 @@ let test_pipelined_kernel_wrap () =
   List.iter2
     (fun got input ->
       check bool "payload through pipe" true
-        (Idct.Block.equal got (passthrough_expected input)))
+        (Axis.Block.equal got (passthrough_expected input)))
     r.Axis.Driver.outputs inputs
 
 let test_driver_timeout () =
@@ -213,13 +213,13 @@ let test_driver_batched_matches_sequential () =
       check bool
         (Printf.sprintf "batch %d: same outputs" batch)
         true
-        (List.for_all2 Idct.Block.equal r.Axis.Driver.outputs
+        (List.for_all2 Axis.Block.equal r.Axis.Driver.outputs
            seq.Axis.Driver.outputs))
     [ 1; 3; 7; 16 ];
   (* transform_batch is the one-matrix-per-lane convenience wrapper *)
   let got = Axis.Driver.transform_batch c inputs in
   check bool "transform_batch matches" true
-    (List.for_all2 Idct.Block.equal got seq.Axis.Driver.outputs)
+    (List.for_all2 Axis.Block.equal got seq.Axis.Driver.outputs)
 
 let () =
   Alcotest.run "axis"

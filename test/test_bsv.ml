@@ -198,9 +198,9 @@ let options_equivalent_prop =
 (* ---------------- IDCT designs ---------------- *)
 
 let mats n =
-  let rng = Idct.Block.Rand.create ~seed:31 () in
+  let rng = Axis.Block.Rand.create ~seed:31 () in
   List.init n (fun _ ->
-      Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255))
+      Idct.Reference.fdct (Axis.Block.Rand.block rng ~lo:(-256) ~hi:255))
 
 let test_idct_designs () =
   List.iter
@@ -209,7 +209,7 @@ let test_idct_designs () =
       let inputs = mats 4 in
       let r = Axis.Driver.run c inputs in
       check bool (name ^ " bit-true") true
-        (List.for_all2 Idct.Block.equal r.Axis.Driver.outputs
+        (List.for_all2 Axis.Block.equal r.Axis.Driver.outputs
            (List.map Idct.Chenwang.idct inputs));
       check int (name ^ " latency") expect_lat r.Axis.Driver.latency;
       check int (name ^ " periodicity (the BSC bubble)") expect_per

@@ -43,14 +43,14 @@ let test_mid_width_inferred () =
   check bool "but wide enough for the dynamic range" true (w >= 15)
 
 let mats n =
-  let rng = Idct.Block.Rand.create ~seed:21 () in
+  let rng = Axis.Block.Rand.create ~seed:21 () in
   List.init n (fun _ ->
-      Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255))
+      Idct.Reference.fdct (Axis.Block.Rand.block rng ~lo:(-256) ~hi:255))
 
 let bit_true design =
   let inputs = mats 4 in
   let r = Axis.Driver.run design inputs in
-  List.for_all2 Idct.Block.equal r.Axis.Driver.outputs
+  List.for_all2 Axis.Block.equal r.Axis.Driver.outputs
     (List.map Idct.Chenwang.idct inputs)
 
 let test_designs_bit_true () =
@@ -105,7 +105,7 @@ let dsl_props =
         Hw.Builder.output b "o" (Chisel.Dsl.raw (Chisel.Dsl.resize b y 12));
         let sim = Hw.Sim.create (Hw.Builder.finalize b) in
         Hw.Sim.set sim "x" v;
-        Hw.Sim.get_signed sim "o" = Idct.Block.clamp_input v asr n
+        Hw.Sim.get_signed sim "o" = Axis.Block.clamp_input v asr n
         || abs v > 2047);
   ]
 

@@ -54,11 +54,11 @@ let test_interp_short_truncation () =
   check int "short truncates" 0x2345 arr.(0)
 
 let test_interp_idct_matches_chenwang () =
-  let rng = Idct.Block.Rand.create ~seed:61 () in
+  let rng = Axis.Block.Rand.create ~seed:61 () in
   for _ = 1 to 50 do
-    let blk = Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255) in
+    let blk = Idct.Reference.fdct (Axis.Block.Rand.block rng ~lo:(-256) ~hi:255) in
     check bool "bit-true" true
-      (Idct.Block.equal (Chls.Idct_c.run blk) (Idct.Chenwang.idct blk))
+      (Axis.Block.equal (Chls.Idct_c.run blk) (Idct.Chenwang.idct blk))
   done
 
 (* ---------------- transformations ---------------- *)
@@ -150,7 +150,7 @@ let test_if_conversion () =
   in
   ignore p;
   let run first =
-    let input = Idct.Block.create () in
+    let input = Axis.Block.create () in
     input.(0) <- first;
     let r = Axis.Driver.run circuit [ input ] in
     (List.hd r.Axis.Driver.outputs).(1)
@@ -242,14 +242,14 @@ let test_waw_order_kept () =
 (* ---------------- end-to-end FSM configurations ---------------- *)
 
 let mats n =
-  let rng = Idct.Block.Rand.create ~seed:71 () in
+  let rng = Axis.Block.Rand.create ~seed:71 () in
   List.init n (fun _ ->
-      Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255))
+      Idct.Reference.fdct (Axis.Block.Rand.block rng ~lo:(-256) ~hi:255))
 
 let bit_true circuit =
   let inputs = mats 2 in
   let r = Axis.Driver.run ~timeout:20000 circuit inputs in
-  List.for_all2 Idct.Block.equal r.Axis.Driver.outputs
+  List.for_all2 Axis.Block.equal r.Axis.Driver.outputs
     (List.map Idct.Chenwang.idct inputs)
 
 let test_bambu_configs_bit_true () =

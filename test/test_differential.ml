@@ -110,7 +110,7 @@ let chls_mp_differential =
       let input = Array.init 64 (fun _ -> Random.State.int rng 512 - 256) in
       let o1 = (Axis.Driver.run ~timeout:50000 c1 [ input ]).Axis.Driver.outputs in
       let o2 = (Axis.Driver.run ~timeout:50000 c2 [ input ]).Axis.Driver.outputs in
-      List.for_all2 Idct.Block.equal o1 o2)
+      List.for_all2 Axis.Block.equal o1 o2)
 
 (* ---------------- random DSLX programs ---------------- *)
 

@@ -166,8 +166,8 @@ let idct_program_props =
     QCheck.Test.make ~name:"idct program: interpreter = Chen-Wang" ~count:40
       QCheck.(int_range 0 100000)
       (fun seed ->
-        let rng = Idct.Block.Rand.create ~seed () in
-        let blk = Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255) in
+        let rng = Axis.Block.Rand.create ~seed () in
+        let blk = Idct.Reference.fdct (Axis.Block.Rand.block rng ~lo:(-256) ~hi:255) in
         let outs =
           Dslx.Lower.interpret Dslx.Idct_dslx.program
             (Array.to_list (Array.map (fun v -> v land 0xFFF) blk))
@@ -180,9 +180,9 @@ let idct_program_props =
   ]
 
 let mats n =
-  let rng = Idct.Block.Rand.create ~seed:41 () in
+  let rng = Axis.Block.Rand.create ~seed:41 () in
   List.init n (fun _ ->
-      Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255))
+      Idct.Reference.fdct (Axis.Block.Rand.block rng ~lo:(-256) ~hi:255))
 
 let test_stage_sweep_functional () =
   (* The pipeliner must preserve the function for every stage count. *)
@@ -193,7 +193,7 @@ let test_stage_sweep_functional () =
       let d = Dslx.Idct_dslx.design ~stages ~name:(Printf.sprintf "s%d" stages) () in
       let r = Axis.Driver.run d inputs in
       check bool (Printf.sprintf "stages=%d bit-true" stages) true
-        (List.for_all2 Idct.Block.equal r.Axis.Driver.outputs expected))
+        (List.for_all2 Axis.Block.equal r.Axis.Driver.outputs expected))
     [ 0; 1; 2; 5; 8; 13; 18 ]
 
 let test_stage_sweep_monotone_fmax () =

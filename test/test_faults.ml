@@ -26,7 +26,7 @@ let victim_key = Core.Flow.span_key victim_design
 let expect_error spec examine =
   Core.Faultinject.arm spec;
   Fun.protect ~finally:Core.Faultinject.disarm (fun () ->
-      match Core.Flow.measure_uncached ~matrices:3 victim_design with
+      match Core.Flow.measure_uncached ~spec:Core.Flow.idct_spec ~matrices:3 victim_design with
       | _ -> Alcotest.fail "expected a typed Flow.Error"
       | exception Core.Flow.Error err -> examine err)
 
@@ -125,7 +125,7 @@ let test_error_rendering () =
 (* ---------------- the compiled -> interpreter fallback --------------- *)
 
 let test_engine_fallback_recovers () =
-  let clean = Core.Flow.measure_uncached ~matrices:3 victim_design in
+  let clean = Core.Flow.measure_uncached ~spec:Core.Flow.idct_spec ~matrices:3 victim_design in
   Core.Faultinject.arm
     { Core.Faultinject.fault = Engine_crash; target = victim_key; seed = 0 };
   let degraded =
@@ -133,7 +133,7 @@ let test_engine_fallback_recovers () =
         Core.Trace.set_enabled true;
         Fun.protect
           ~finally:(fun () -> Core.Trace.set_enabled false)
-          (fun () -> Core.Flow.measure_uncached ~matrices:3 victim_design))
+          (fun () -> Core.Flow.measure_uncached ~spec:Core.Flow.idct_spec ~matrices:3 victim_design))
   in
   let spans = Core.Trace.drain () in
   (* The retry on the reference interpreter reproduces the compiled
@@ -173,10 +173,10 @@ let test_keep_going_sweep () =
     { Core.Faultinject.fault = Poison; target = vkey; seed = 0 };
   let faulted =
     Fun.protect ~finally:Core.Faultinject.disarm (fun () ->
-        Core.Evaluate.measure_all_result ~jobs:2 ~matrices:3 designs)
+        Core.Evaluate.measure_all_result ~spec:Core.Flow.idct_spec ~jobs:2 ~matrices:3 designs)
   in
   Core.Evaluate.clear_measure_cache ();
-  let clean = Core.Evaluate.measure_all ~jobs:2 ~matrices:3 designs in
+  let clean = Core.Evaluate.measure_all ~spec:Core.Flow.idct_spec ~jobs:2 ~matrices:3 designs in
   check int "one outcome per design" (List.length designs)
     (List.length faulted);
   List.iteri
@@ -213,7 +213,7 @@ let test_keep_going_all_run () =
     { Core.Faultinject.fault = Crash "synthesize"; target = first_key; seed = 0 };
   let outcomes =
     Fun.protect ~finally:Core.Faultinject.disarm (fun () ->
-        Core.Evaluate.measure_all_result ~jobs:1 ~matrices:3 designs)
+        Core.Evaluate.measure_all_result ~spec:Core.Flow.idct_spec ~jobs:1 ~matrices:3 designs)
   in
   Core.Evaluate.clear_measure_cache ();
   let oks = List.filter (function Ok _ -> true | Error _ -> false) outcomes in

@@ -68,7 +68,7 @@ let test_spans_nest () =
   let _, spans =
     traced (fun () ->
         ignore
-          (Core.Evaluate.measure ~matrices:2
+          (Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:2
              (Core.Registry.initial Core.Design.Verilog)))
   in
   let ends s = s.Core.Trace.start_s +. s.Core.Trace.dur_s in
@@ -119,10 +119,10 @@ let test_cache_counters () =
         else acc)
       0 spans
   in
-  let _, cold_spans = traced (fun () -> Core.Evaluate.measure ~matrices:2 d) in
+  let _, cold_spans = traced (fun () -> Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:2 d) in
   check int "cold run misses" 1 (counter "cache_miss" cold_spans);
   check int "cold run has no hit" 0 (counter "cache_hit" cold_spans);
-  let _, warm_spans = traced (fun () -> Core.Evaluate.measure ~matrices:2 d) in
+  let _, warm_spans = traced (fun () -> Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:2 d) in
   check int "warm run hits" 1 (counter "cache_hit" warm_spans);
   check int "warm run has no miss" 0 (counter "cache_miss" warm_spans)
 
@@ -131,7 +131,7 @@ let test_json_roundtrip_and_stats () =
   let _, spans =
     traced (fun () ->
         ignore
-          (Core.Evaluate.measure ~matrices:2
+          (Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:2
              (Core.Registry.initial Core.Design.Chisel)))
   in
   let file = Filename.temp_file "hlsvhc_trace" ".json" in
@@ -173,17 +173,17 @@ let test_compliance_dispatch () =
         }
   in
   check bool "broken PCIe simulator fails compliance" false
-    (Core.Evaluate.check_compliance ~blocks:4 broken);
+    (Core.Evaluate.check_compliance ~spec:Core.Flow.idct_spec ~blocks:4 broken);
   check bool "initial MaxJ kernel passes" true
-    (Core.Evaluate.check_compliance ~blocks:16
+    (Core.Evaluate.check_compliance ~spec:Core.Flow.idct_spec ~blocks:16
        (Core.Registry.initial Core.Design.Maxj));
   check bool "optimized MaxJ kernel passes" true
-    (Core.Evaluate.check_compliance ~blocks:16
+    (Core.Evaluate.check_compliance ~spec:Core.Flow.idct_spec ~blocks:16
        (Core.Registry.optimized Core.Design.Maxj))
 
 let test_disabled_is_silent () =
   cold ();
-  ignore (Core.Evaluate.measure ~matrices:2 (Core.Registry.initial Core.Design.Verilog));
+  ignore (Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:2 (Core.Registry.initial Core.Design.Verilog));
   Core.Trace.add_counter "orphan" 1;
   check int "nothing recorded with tracing off" 0
     (List.length (Core.Trace.drain ()))
@@ -191,8 +191,9 @@ let test_disabled_is_silent () =
 let test_second_kernel_through_flow () =
   (* The FIR registers through the same door: same pipeline, its own
      spec.  Check one design end to end (bit-true or measure raises). *)
-  let name, d = List.hd Core.Second_kernel.designs in
-  check Alcotest.string "first FIR design" "chisel" name;
+  let tool, d = List.hd Core.Second_kernel.designs in
+  check Alcotest.string "first FIR design" "Chisel"
+    (Core.Design.tool_name tool);
   let m = Core.Evaluate.measure ~matrices:2 ~spec:Core.Second_kernel.spec d in
   check bool "FIR measurement is sane" true
     (m.Core.Metrics.area > 0 && m.Core.Metrics.fmax_mhz > 0.)

@@ -6,54 +6,54 @@ let int = Alcotest.int
 let bool = Alcotest.bool
 
 let test_block_ops () =
-  let b = Idct.Block.create () in
-  Idct.Block.set b ~row:2 ~col:3 42;
-  check int "get/set" 42 (Idct.Block.get b ~row:2 ~col:3);
-  check int "row extraction" 42 (Idct.Block.row b 2).(3);
-  check int "col extraction" 42 (Idct.Block.col b 3).(2);
-  let t = Idct.Block.transpose b in
-  check int "transpose" 42 (Idct.Block.get t ~row:3 ~col:2);
+  let b = Axis.Block.create () in
+  Axis.Block.set b ~row:2 ~col:3 42;
+  check int "get/set" 42 (Axis.Block.get b ~row:2 ~col:3);
+  check int "row extraction" 42 (Axis.Block.row b 2).(3);
+  check int "col extraction" 42 (Axis.Block.col b 3).(2);
+  let t = Axis.Block.transpose b in
+  check int "transpose" 42 (Axis.Block.get t ~row:3 ~col:2);
   check bool "transpose involutive" true
-    (Idct.Block.equal b (Idct.Block.transpose t))
+    (Axis.Block.equal b (Axis.Block.transpose t))
 
 let test_clamps () =
-  check int "input clamp hi" 2047 (Idct.Block.clamp_input 5000);
-  check int "input clamp lo" (-2048) (Idct.Block.clamp_input (-5000));
-  check int "output clamp hi" 255 (Idct.Block.clamp_output 300);
-  check int "output clamp lo" (-256) (Idct.Block.clamp_output (-300))
+  check int "input clamp hi" 2047 (Axis.Block.clamp_input 5000);
+  check int "input clamp lo" (-2048) (Axis.Block.clamp_input (-5000));
+  check int "output clamp hi" 255 (Axis.Block.clamp_output 300);
+  check int "output clamp lo" (-256) (Axis.Block.clamp_output (-300))
 
 let test_rand_deterministic () =
-  let a = Idct.Block.Rand.create ~seed:1 () in
-  let b = Idct.Block.Rand.create ~seed:1 () in
+  let a = Axis.Block.Rand.create ~seed:1 () in
+  let b = Axis.Block.Rand.create ~seed:1 () in
   check bool "same seed, same stream" true
-    (Idct.Block.equal (Idct.Block.Rand.block a ~lo:(-256) ~hi:255)
-       (Idct.Block.Rand.block b ~lo:(-256) ~hi:255))
+    (Axis.Block.equal (Axis.Block.Rand.block a ~lo:(-256) ~hi:255)
+       (Axis.Block.Rand.block b ~lo:(-256) ~hi:255))
 
 let test_rand_range () =
-  let s = Idct.Block.Rand.create () in
+  let s = Axis.Block.Rand.create () in
   for _ = 1 to 1000 do
-    let v = Idct.Block.Rand.uniform s ~lo:(-5) ~hi:5 in
+    let v = Axis.Block.Rand.uniform s ~lo:(-5) ~hi:5 in
     check bool "in range" true (v >= -5 && v <= 5)
   done
 
 let test_dc_only () =
   (* A DC-only coefficient block reconstructs to a flat block. *)
-  let blk = Idct.Block.create () in
-  Idct.Block.set blk ~row:0 ~col:0 64;
+  let blk = Axis.Block.create () in
+  Axis.Block.set blk ~row:0 ~col:0 64;
   let out = Idct.Chenwang.idct blk in
   let first = out.(0) in
   check int "dc level" 8 first;
   check bool "flat" true (Array.for_all (fun v -> v = first) out)
 
 let test_zero_in_zero_out () =
-  let out = Idct.Chenwang.idct (Idct.Block.create ()) in
+  let out = Idct.Chenwang.idct (Axis.Block.create ()) in
   check bool "all zero" true (Array.for_all (fun v -> v = 0) out)
 
 let test_matches_reference_closely () =
   (* The fixed-point result stays within one LSB of the real-valued IDCT. *)
-  let rng = Idct.Block.Rand.create ~seed:5 () in
+  let rng = Axis.Block.Rand.create ~seed:5 () in
   for _ = 1 to 200 do
-    let coeffs = Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255) in
+    let coeffs = Idct.Reference.fdct (Axis.Block.Rand.block rng ~lo:(-256) ~hi:255) in
     let fixed = Idct.Chenwang.idct coeffs in
     let real = Idct.Reference.idct coeffs in
     Array.iteri
@@ -92,7 +92,7 @@ let test_ieee1180_pass () =
 
 let test_ieee1180_detects_bad () =
   (* An implementation with a systematic bias must fail. *)
-  let biased blk = Array.map (fun v -> Idct.Block.clamp_output (v + 1)) (Idct.Chenwang.idct blk) in
+  let biased blk = Array.map (fun v -> Axis.Block.clamp_output (v + 1)) (Idct.Chenwang.idct blk) in
   check bool "biased fails" false (Idct.Ieee1180.compliant ~blocks:100 biased);
   (* An implementation computing the forward transform must fail hard. *)
   check bool "wrong transform fails" false
@@ -112,22 +112,22 @@ let idct_props =
     QCheck.Test.make ~name:"linearity in DC" ~count:200
       QCheck.(int_range (-200) 200)
       (fun dc ->
-        let blk = Idct.Block.create () in
-        Idct.Block.set blk ~row:0 ~col:0 (8 * dc);
+        let blk = Axis.Block.create () in
+        Axis.Block.set blk ~row:0 ~col:0 (8 * dc);
         let out = Idct.Chenwang.idct blk in
-        Array.for_all (fun v -> v = Idct.Block.clamp_output dc) out);
+        Array.for_all (fun v -> v = Axis.Block.clamp_output dc) out);
     QCheck.Test.make ~name:"output always in 9-bit range" ~count:200
       QCheck.(int_range 0 10000)
       (fun seed ->
-        let rng = Idct.Block.Rand.create ~seed () in
-        let blk = Idct.Block.Rand.block rng ~lo:(-2048) ~hi:2047 in
+        let rng = Axis.Block.Rand.create ~seed () in
+        let blk = Axis.Block.Rand.block rng ~lo:(-2048) ~hi:2047 in
         let out = Idct.Chenwang.idct blk in
         Array.for_all (fun v -> v >= -256 && v <= 255) out);
     QCheck.Test.make ~name:"fdct then idct round-trips" ~count:100
       QCheck.(int_range 0 10000)
       (fun seed ->
-        let rng = Idct.Block.Rand.create ~seed () in
-        let samples = Idct.Block.Rand.block rng ~lo:(-255) ~hi:255 in
+        let rng = Axis.Block.Rand.create ~seed () in
+        let samples = Axis.Block.Rand.block rng ~lo:(-255) ~hi:255 in
         let back = Idct.Chenwang.idct (Idct.Reference.fdct samples) in
         (* IEEE-grade accuracy: within 1 of the original samples *)
         Array.for_all2 (fun a b -> abs (a - b) <= 1) samples back);

@@ -8,9 +8,9 @@ let int = Alcotest.int
 let bool = Alcotest.bool
 
 let mats n =
-  let rng = Idct.Block.Rand.create ~seed:81 () in
+  let rng = Axis.Block.Rand.create ~seed:81 () in
   List.init n (fun _ ->
-      Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255))
+      Idct.Reference.fdct (Axis.Block.Rand.block rng ~lo:(-256) ~hi:255))
 
 (* ---------------- FSM state accounting ---------------- *)
 
@@ -100,7 +100,7 @@ let test_view_strides () =
   ignore (Chls.Ast.interp program "top" ~args:[ `Arr expected ]);
   let r = Axis.Driver.run ~timeout:20000 circuit [ input ] in
   check bool "hardware = interpreter through views" true
-    (Idct.Block.equal (List.hd r.Axis.Driver.outputs) expected)
+    (Axis.Block.equal (List.hd r.Axis.Driver.outputs) expected)
 
 let test_view_composition_in_interp () =
   (* nested views: f passes a view of its own view parameter *)
@@ -183,7 +183,7 @@ let test_backpressure_everywhere () =
               (Lazy.force c) inputs
           in
           check bool (name ^ " correct under backpressure") true
-            (List.for_all2 Idct.Block.equal r.Axis.Driver.outputs expected);
+            (List.for_all2 Axis.Block.equal r.Axis.Driver.outputs expected);
           check int (name ^ " protocol clean") 0
             (List.length r.Axis.Driver.violations)
       | Core.Design.Pcie _ -> ())
@@ -198,7 +198,7 @@ let test_gaps_everywhere () =
       | Core.Design.Stream c ->
           let r = Axis.Driver.run ~input_gap:7 (Lazy.force c) inputs in
           check bool (name ^ " correct with inter-matrix gaps") true
-            (List.for_all2 Idct.Block.equal r.Axis.Driver.outputs expected)
+            (List.for_all2 Axis.Block.equal r.Axis.Driver.outputs expected)
       | Core.Design.Pcie _ -> ())
     (designs_under_test ())
 

@@ -49,21 +49,21 @@ let test_listing_records () =
     (String.length l > 0 && String.sub l 0 5 = "class")
 
 let mats n =
-  let rng = Idct.Block.Rand.create ~seed:51 () in
+  let rng = Axis.Block.Rand.create ~seed:51 () in
   List.init n (fun _ ->
-      Idct.Reference.fdct (Idct.Block.Rand.block rng ~lo:(-256) ~hi:255))
+      Idct.Reference.fdct (Axis.Block.Rand.block rng ~lo:(-256) ~hi:255))
 
 let test_initial_kernel_bit_true () =
   let inputs = mats 6 in
   let got = Maxj.Idct_maxj.simulate_initial inputs in
   check bool "bit-true" true
-    (List.for_all2 Idct.Block.equal got (List.map Idct.Chenwang.idct inputs))
+    (List.for_all2 Axis.Block.equal got (List.map Idct.Chenwang.idct inputs))
 
 let test_opt_kernel_bit_true () =
   let inputs = mats 6 in
   let got = Maxj.Idct_maxj.simulate_opt inputs in
   check bool "bit-true" true
-    (List.for_all2 Idct.Block.equal got (List.map Idct.Chenwang.idct inputs))
+    (List.for_all2 Axis.Block.equal got (List.map Idct.Chenwang.idct inputs))
 
 let test_initial_system_pcie_bound () =
   let r = Maxj.Manager.evaluate (Maxj.Idct_maxj.initial_system ()) in

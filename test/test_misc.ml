@@ -52,8 +52,8 @@ let test_driver_latency_measure () =
   in
   let c = Axis.Adapter.wrap_matrix_kernel ~name:"lat" ~latency:0 ~kernel () in
   let mats n =
-    let rng = Idct.Block.Rand.create ~seed:n () in
-    List.init n (fun _ -> Idct.Block.Rand.block rng ~lo:(-100) ~hi:100)
+    let rng = Axis.Block.Rand.create ~seed:n () in
+    List.init n (fun _ -> Axis.Block.Rand.block rng ~lo:(-100) ~hi:100)
   in
   List.iter
     (fun n ->

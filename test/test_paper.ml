@@ -38,7 +38,7 @@ let test_every_design_measures () =
      synthesizable: Evaluate.measure raises otherwise. *)
   List.iter
     (fun d ->
-      let m = Core.Evaluate.measure ~matrices:3 d in
+      let m = Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:3 d in
       check bool
         (Printf.sprintf "%s %s has positive quality"
            (Core.Design.tool_name d.Core.Design.tool)
@@ -126,7 +126,7 @@ let test_compliance_of_optimized_designs () =
       check bool
         (Core.Design.tool_name tool ^ " optimized complies")
         true
-        (Core.Evaluate.check_compliance ~blocks:500 (Core.Registry.optimized tool)))
+        (Core.Evaluate.check_compliance ~spec:Core.Flow.idct_spec ~blocks:500 (Core.Registry.optimized tool)))
     [ Core.Design.Verilog; Core.Design.Vivado_hls ]
 
 let () =

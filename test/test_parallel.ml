@@ -148,11 +148,11 @@ let test_fig1_cache_hit_identical () =
 let test_measure_cache () =
   Core.Evaluate.clear_measure_cache ();
   let d = Core.Registry.initial Core.Design.Verilog in
-  let m1 = Core.Evaluate.measure ~matrices:3 d in
-  let m2 = Core.Evaluate.measure ~matrices:3 d in
+  let m1 = Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:3 d in
+  let m2 = Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:3 d in
   check bool "cache hit is the same measurement" true (m1 == m2);
   Core.Evaluate.clear_measure_cache ();
-  let m3 = Core.Evaluate.measure ~matrices:3 d in
+  let m3 = Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:3 d in
   check bool "recomputation is structurally equal" true (m1 = m3)
 
 (* ---------------- the fixed LOC counter ---------------- *)

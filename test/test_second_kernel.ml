@@ -6,8 +6,8 @@ let bool = Alcotest.bool
 let int = Alcotest.int
 
 let inputs n =
-  let rng = Idct.Block.Rand.create ~seed:91 () in
-  List.init n (fun _ -> Idct.Block.Rand.block rng ~lo:(-2048) ~hi:2047)
+  let rng = Axis.Block.Rand.create ~seed:91 () in
+  List.init n (fun _ -> Axis.Block.Rand.block rng ~lo:(-2048) ~hi:2047)
 
 let test_reference_shape () =
   (* A constant block filters to (64*c) >> 6 = c, clipped. *)
@@ -28,7 +28,7 @@ let test_c_interp_matches () =
       let arr = Array.copy blk in
       ignore (Chls.Ast.interp Core.Second_kernel.c_program "fir" ~args:[ `Arr arr ]);
       check bool "c = reference" true
-        (Idct.Block.equal arr (Core.Second_kernel.reference blk)))
+        (Axis.Block.equal arr (Core.Second_kernel.reference blk)))
     (inputs 10)
 
 let test_dslx_interp_matches () =
@@ -51,7 +51,7 @@ let gate_level name build =
   let expected = List.map Core.Second_kernel.reference ins in
   let r = Axis.Driver.run ~timeout:40000 (build ()) ins in
   check bool (name ^ " gate level = reference") true
-    (List.for_all2 Idct.Block.equal r.Axis.Driver.outputs expected);
+    (List.for_all2 Axis.Block.equal r.Axis.Driver.outputs expected);
   check int (name ^ " protocol clean") 0 (List.length r.Axis.Driver.violations)
 
 let test_chisel_gate () =

@@ -21,9 +21,9 @@ let faulted_label = "1 row + 8 col units"
    toolchain, Vivado *)
 let faulted_key = "Vivado/" ^ faulted_label
 
-let eval_initial = Serve.Client.eval_line ~tool:"verilog" ~label:"initial" ~matrices:2
-let eval_optimized = Serve.Client.eval_line ~tool:"verilog" ~label:"optimized" ~matrices:2
-let eval_faulted = Serve.Client.eval_line ~tool:"verilog" ~label:faulted_label ~matrices:1
+let eval_initial = Serve.Client.eval_line ~tool:"verilog" ~label:"initial" ~matrices:2 ()
+let eval_optimized = Serve.Client.eval_line ~tool:"verilog" ~label:"optimized" ~matrices:2 ()
+let eval_faulted = Serve.Client.eval_line ~tool:"verilog" ~label:faulted_label ~matrices:1 ()
 
 let batch = [ eval_initial; eval_optimized; eval_faulted; "ping" ]
 
@@ -166,21 +166,34 @@ let test_bad_requests () =
           "eval\tnosuchtool\t2\tinitial";
           "eval\tverilog\t0\tinitial";
           "eval\tverilog\t2\tno such label";
+          (* the optional 5th field must be a registered kernel, and the
+             tool must belong to that kernel's inventory *)
+          "eval\tverilog\t2\tinitial\tnosuchkernel";
+          "eval\tverilog\t2\tinitial\tfir8";
           "frobnicate";
           "ping";
+          (* a kernel-qualified eval of a real design point succeeds *)
+          Serve.Client.eval_line ~kernel:"fir8" ~tool:"chisel" ~label:"fir"
+            ~matrices:1 ();
         ]
       in
       (match Serve.Client.request ~socket lines with
-      | [ b1; b2; b3; b4; ok ] ->
+      | [ b1; b2; b3; b4; b5; b6; ok; fir ] ->
           List.iter
             (fun b ->
               check bool "malformed request answers bad" true
                 (has_prefix ~prefix:"bad\t" b))
-            [ b1; b2; b3; b4 ];
-          check string "daemon unpoisoned" "ok\tpong" ok
+            [ b1; b2; b3; b4; b5; b6 ];
+          check bool "unknown kernel diagnosed" true
+            (has_prefix ~prefix:"bad\tunknown kernel" b4);
+          check string "daemon unpoisoned" "ok\tpong" ok;
+          check bool "kernel-qualified eval answers ok" true
+            (has_prefix ~prefix:"ok\t" fir);
+          check bool "kernel-qualified metrics parse" true
+            (Result.is_ok (Serve.Client.parse_metrics fir))
       | rs ->
           Alcotest.fail
-            (Printf.sprintf "%d responses to a 5-request batch"
+            (Printf.sprintf "%d responses to an 8-request batch"
                (List.length rs)));
       (match Serve.Client.request ~socket [ "shutdown" ] with
       | [ "ok\tbye" ] -> ()

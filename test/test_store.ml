@@ -66,7 +66,7 @@ let victim_key =
 let cold_measure () =
   Store.detach ();
   Core.Evaluate.clear_measure_cache ();
-  let m = Core.Evaluate.measure ~matrices:2 victim in
+  let m = Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:2 victim in
   Core.Evaluate.clear_measure_cache ();
   m
 
@@ -97,12 +97,12 @@ let test_warm_hit_bit_identical () =
   let m_cold = cold_measure () in
   with_store (fun t ->
       (* cold through the store: computes and publishes *)
-      let m1 = Core.Evaluate.measure ~matrices:2 victim in
+      let m1 = Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:2 victim in
       check measured "write-through equals cold" m_cold m1;
       check int "one entry" 1 (Store.entry_count t);
       (* new-process simulation: memo gone, disk warm *)
       Core.Evaluate.clear_measure_cache ();
-      let m2 = Core.Evaluate.measure ~matrices:2 victim in
+      let m2 = Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:2 victim in
       check measured "warm store hit bit-identical" m_cold m2;
       let s = Store.stats t in
       check int "one store hit" 1 s.Store.st_hits;
@@ -110,7 +110,7 @@ let test_warm_hit_bit_identical () =
 
 let test_clear_memo_keeps_disk () =
   with_store (fun t ->
-      ignore (Core.Evaluate.measure ~matrices:2 victim);
+      ignore (Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:2 victim);
       let entries = Store.entry_count t in
       Core.Evaluate.clear_measure_cache ();
       check int "entries survive clear_measure_cache" entries
@@ -123,11 +123,11 @@ let test_clear_memo_keeps_disk () =
 let sabotage_and_recover name mangle =
   let m_cold = cold_measure () in
   with_store (fun t ->
-      ignore (Core.Evaluate.measure ~matrices:2 victim);
+      ignore (Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:2 victim);
       let path = Store.entry_path t ~key:victim_key in
       mangle t path;
       Core.Evaluate.clear_measure_cache ();
-      let m = Core.Evaluate.measure ~matrices:2 victim in
+      let m = Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:2 victim in
       check measured (name ^ ": re-measured value") m_cold m;
       check bool (name ^ ": counted invalid") true
         ((Store.stats t).Store.st_invalid >= 1);
@@ -173,7 +173,7 @@ let test_foreign_key_entry () =
      path (copied file, digest collision) must be rejected, not served *)
   sabotage_and_recover "foreign key" (fun t path ->
       let other = Core.Registry.optimized Core.Design.Verilog in
-      ignore (Core.Evaluate.measure ~matrices:2 other);
+      ignore (Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:2 other);
       let other_key =
         Core.Evaluate.measure_key ~matrices:2 ~spec:Core.Flow.idct_spec other
       in
@@ -181,7 +181,7 @@ let test_foreign_key_entry () =
 
 let test_invalid_reported_once () =
   with_store (fun t ->
-      ignore (Core.Evaluate.measure ~matrices:2 victim);
+      ignore (Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:2 victim);
       let path = Store.entry_path t ~key:victim_key in
       write_file path "garbage\n";
       (* capture stderr across two probes of the same bad entry *)

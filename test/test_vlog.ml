@@ -173,9 +173,9 @@ let test_idct_units_bit_true () =
       Core.Verilog_designs.initial_source
   in
   let sim = Hw.Sim.create c in
-  let rng = Idct.Block.Rand.create ~seed:11 () in
+  let rng = Axis.Block.Rand.create ~seed:11 () in
   for _ = 1 to 50 do
-    let row = Array.init 8 (fun _ -> Idct.Block.Rand.uniform rng ~lo:(-2048) ~hi:2047) in
+    let row = Array.init 8 (fun _ -> Axis.Block.Rand.uniform rng ~lo:(-2048) ~hi:2047) in
     Array.iteri (fun i v -> Hw.Sim.set sim (Printf.sprintf "i%d" i) v) row;
     let expect = Idct.Chenwang.idct_row row in
     Array.iteri
