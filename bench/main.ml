@@ -687,7 +687,18 @@ let kernels_bench () =
 (* One in-process daemon over a fresh store.  The cold pass computes and
    publishes every result; the warm passes clear the in-process memo
    before each batch, so every answer is served from the validated disk
-   store — the restart-survival path a fresh client actually takes. *)
+   store — the restart-survival path a fresh client actually takes.
+   Warm batches are timed individually for p50/p99, and one wedged
+   client (connects, sends nothing) exercises the idle-deadline path so
+   the hardening counters in BENCH_serve.json are non-trivial. *)
+
+(* Nearest-rank percentile of an unsorted sample, in place. *)
+let percentile p xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.
+  else a.(min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1))
 
 let serve_bench () =
   section "Serve daemon: batch throughput, cold store vs warm store";
@@ -704,12 +715,14 @@ let serve_bench () =
   Store.detach ();
   Core.Evaluate.clear_measure_cache ();
   let store = Result.get_ok (Store.attach store_dir) in
+  let conn_timeout = 0.5 in
   let cfg =
     {
-      Serve.socket_path = socket;
+      (Serve.default_config ~socket_path:socket) with
       jobs = Some 2;
       store = Some store;
-      max_conns = None;
+      conn_workers = 2;
+      conn_timeout;
     }
   in
   let server = Domain.spawn (fun () -> Serve.run cfg) in
@@ -718,46 +731,74 @@ let serve_bench () =
       (fun label -> Serve.Client.eval_line ~tool:"verilog" ~label ~matrices:2 ())
       [ "initial"; "1 row + 8 col units"; "optimized" ]
   in
+  let joined = ref None in
+  let join_server () =
+    match !joined with
+    | Some c -> c
+    | None ->
+        (try ignore (Serve.Client.request ~socket [ "shutdown" ]) with _ -> ());
+        let c = Domain.join server in
+        joined := Some c;
+        c
+  in
   let finish () =
-    (try ignore (Serve.Client.request ~socket [ "shutdown" ])
-     with _ -> ());
-    ignore (Domain.join server);
+    ignore (join_server ());
     Store.detach ();
     Core.Evaluate.clear_measure_cache ()
   in
   Fun.protect ~finally:finish (fun () ->
       Serve.Client.wait_ready ~socket ();
-      let timed_batches n =
+      let timed_batch () =
         let t0 = Unix.gettimeofday () in
-        for _ = 1 to n do
-          Core.Evaluate.clear_measure_cache ();
-          let rs = Serve.Client.request ~socket batch in
-          List.iter
-            (fun r ->
-              match Serve.Client.parse_metrics r with
-              | Ok _ -> ()
-              | Error e -> failwith ("serve bench: bad response: " ^ e))
-            rs
-        done;
+        Core.Evaluate.clear_measure_cache ();
+        let rs = Serve.Client.request ~socket batch in
+        List.iter
+          (fun r ->
+            match Serve.Client.parse_metrics r with
+            | Ok _ -> ()
+            | Error e -> failwith ("serve bench: bad response: " ^ e))
+          rs;
         Unix.gettimeofday () -. t0
       in
-      let cold_s = timed_batches 1 in
+      let cold_s = timed_batch () in
       let s_cold = Store.stats store in
       let warm_batches = 10 in
-      let warm_s = timed_batches warm_batches in
+      let warm_lat = List.init warm_batches (fun _ -> timed_batch ()) in
+      let warm_s = List.fold_left ( +. ) 0. warm_lat in
       let s_all = Store.stats store in
+      (* one wedged client: connect, send nothing, let the idle deadline
+         close it — the daemon must count a timeout, not hang *)
+      let wedged = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect wedged (Unix.ADDR_UNIX socket);
+      Unix.setsockopt_float wedged Unix.SO_RCVTIMEO (10. *. conn_timeout);
+      (try
+         while Unix.read wedged (Bytes.create 64) 0 64 > 0 do
+           ()
+         done
+       with Unix.Unix_error _ -> ());
+      (try Unix.close wedged with Unix.Unix_error _ -> ());
+      let counters = join_server () in
       let reqs = List.length batch in
       let cold_rps = float_of_int reqs /. Float.max cold_s 1e-9 in
       let warm_reqs = reqs * warm_batches in
       let warm_rps = float_of_int warm_reqs /. Float.max warm_s 1e-9 in
       let warm_hits = s_all.Store.st_hits - s_cold.Store.st_hits in
       let warm_hit_rate = float_of_int warm_hits /. float_of_int warm_reqs in
+      let p50 = 1000. *. percentile 50. warm_lat in
+      let p99 = 1000. *. percentile 99. warm_lat in
+      let timeouts = Atomic.get counters.Serve.conn_timeouts in
+      let shed = Atomic.get counters.Serve.shed in
+      let drops = Atomic.get counters.Serve.drops in
       Printf.printf
         "cold: %d requests in %.3fs (%.1f req/s, %d store misses, %d writes)\n"
         reqs cold_s cold_rps s_cold.Store.st_misses s_cold.Store.st_writes;
       Printf.printf
         "warm: %d requests in %.3fs (%.1f req/s, store hit rate %.2f) -> %.1fx\n"
         warm_reqs warm_s warm_rps warm_hit_rate (warm_rps /. cold_rps);
+      Printf.printf
+        "warm batch latency: p50 %.2f ms, p99 %.2f ms; hardening: \
+         %d timeout(s), %d shed, %d drop(s)\n"
+        p50 p99 timeouts shed drops;
       Core.Trace.write_atomic "BENCH_serve.json" (fun oc ->
           Printf.fprintf oc
             "{\n\
@@ -769,11 +810,14 @@ let serve_bench () =
             \  \"warm\": {\"requests\": %d, \"seconds\": %.3f, \
              \"requests_per_sec\": %.1f, \"store_hits\": %d, \
              \"store_hit_rate\": %.3f},\n\
-            \  \"warm_speedup\": %.3f\n\
+            \  \"warm_speedup\": %.3f,\n\
+            \  \"latency_ms\": {\"p50\": %.3f, \"p99\": %.3f},\n\
+            \  \"hardening\": {\"conn_timeouts\": %d, \"shed\": %d, \
+             \"drops\": %d}\n\
              }\n"
             reqs reqs cold_s cold_rps s_cold.Store.st_misses
             s_cold.Store.st_writes warm_reqs warm_s warm_rps warm_hits
-            warm_hit_rate (warm_rps /. cold_rps));
+            warm_hit_rate (warm_rps /. cold_rps) p50 p99 timeouts shed drops);
       Printf.printf "(wrote BENCH_serve.json)\n%!")
 
 (* ------------------------------------------------------------------ *)

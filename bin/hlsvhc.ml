@@ -158,9 +158,12 @@ let fault_opt =
         ~doc:
           "Inject a deterministic fault into the flow (for testing the \
            resilience layer): $(docv) is FAULT:TARGET[:SEED] with FAULT one \
-           of $(b,engine-crash), $(b,stall), $(b,poison), $(b,protocol) or \
-           $(b,crash@STAGE), and TARGET a Tool/label substring ($(b,*) for \
-           every design).  The $(b,HLSVHC_FAULT) environment variable is \
+           of $(b,engine-crash), $(b,stall), $(b,poison), $(b,protocol), \
+           $(b,crash@STAGE), or — for the serve daemon's connection paths — \
+           $(b,slow-client), $(b,conn-drop) or $(b,shed) (SEED bounds how \
+           many connections fire, 0 = all), and TARGET a Tool/label \
+           substring ($(b,*) for every design; unused by the connection \
+           faults).  The $(b,HLSVHC_FAULT) environment variable is \
            equivalent.")
 
 (* Arm the fault-injection harness from --fault, else from HLSVHC_FAULT;
@@ -610,10 +613,54 @@ let serve_cmd =
       & opt (some int) None
       & info [ "max-conns" ] ~docv:"N"
           ~doc:
-            "Exit after serving $(docv) connections (soak tests and \
-             benchmarks); default: serve until a $(b,shutdown) request.")
+            "Drain after serving $(docv) connections (soak tests and \
+             benchmarks); default: serve until a $(b,shutdown) request or \
+             SIGTERM/SIGINT.")
   in
-  let run socket jobs store max_conns fault =
+  let conn_workers =
+    Arg.(
+      value & opt int 4
+      & info [ "conn-workers" ] ~docv:"N"
+          ~doc:
+            "Connection-handling worker domains: a slow client occupies one \
+             of $(docv) slots, never the accept loop.")
+  in
+  let conn_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "conn-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-connection idle read/write deadline: a client that stays \
+             silent (or stops reading) this long is answered nothing, \
+             closed, and counted in the $(b,timeouts) stat.")
+  in
+  let batch_deadline =
+    Arg.(
+      value & opt float 120.0
+      & info [ "batch-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget for receiving one whole batch — bounds a \
+             client trickling bytes to dodge the idle deadline.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 16
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Load shedding: beyond $(docv) accepted-but-unfinished \
+             connections the daemon answers $(b,busy\\\\tretry-after\\\\tMS) \
+             immediately instead of queueing unboundedly.")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 256
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:
+            "Most request lines accepted in one batch; larger batches \
+             answer a single $(b,bad) line.")
+  in
+  let run socket jobs store max_conns conn_workers conn_timeout batch_deadline
+      max_inflight max_batch fault trace =
     arm_fault fault;
     let store_t =
       match store with
@@ -625,33 +672,140 @@ let serve_cmd =
               Printf.eprintf "hlsvhc serve: --store %s: %s\n" dir e;
               exit 2)
     in
-    Printf.eprintf "hlsvhc serve: listening on %s (store: %s, jobs: %s)\n%!"
+    Printf.eprintf
+      "hlsvhc serve: listening on %s (store: %s, jobs: %s, workers: %d, \
+       conn-timeout: %.1fs, max-inflight: %d)\n\
+       %!"
       socket
       (match store_t with Some t -> Store.dir t | None -> "none")
       (match jobs with
       | Some j -> string_of_int j
-      | None -> "default");
+      | None -> "default")
+      conn_workers conn_timeout max_inflight;
     let counters =
-      Serve.run
-        { Serve.socket_path = socket; jobs; store = store_t; max_conns }
+      with_trace trace (fun () ->
+          Serve.run
+            {
+              (Serve.default_config ~socket_path:socket) with
+              jobs;
+              store = store_t;
+              max_conns;
+              conn_workers;
+              conn_timeout;
+              batch_deadline;
+              max_inflight;
+              max_batch;
+            })
     in
     Printf.eprintf
       "hlsvhc serve: done — %d connections, %d evals (%d errors, %d memo \
-       hits)\n\
+       hits, %d timeouts, %d shed, %d drops)\n\
        %!"
       (Atomic.get counters.Serve.conns)
       (Atomic.get counters.Serve.evals)
       (Atomic.get counters.Serve.eval_errors)
       (Atomic.get counters.Serve.memo_hits)
+      (Atomic.get counters.Serve.conn_timeouts)
+      (Atomic.get counters.Serve.shed)
+      (Atomic.get counters.Serve.drops)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the evaluation daemon: accept batched evaluation requests \
-          over a Unix socket, fan each batch onto the domain pool, answer \
-          with typed results, and (with $(b,--store)) share one persistent \
-          warm cache across clients and restarts.")
-    Term.(const run $ socket $ jobs_opt $ store_opt $ max_conns $ fault_opt)
+          over a Unix socket on a bounded worker pool (per-connection \
+          deadlines, load shedding, graceful drain on SIGTERM), fan each \
+          batch onto the domain pool, answer with typed results, and (with \
+          $(b,--store)) share one persistent warm cache across clients and \
+          restarts.")
+    Term.(
+      const run $ socket $ jobs_opt $ store_opt $ max_conns $ conn_workers
+      $ conn_timeout $ batch_deadline $ max_inflight $ max_batch $ fault_opt
+      $ trace_opt)
+
+(* The store janitor: fsck validates entries the way a read would and
+   can delete the invalid ones; gc evicts deterministically under an
+   entry/byte budget.  Both are safe against a live daemon — entries
+   are atomic and re-healed on miss. *)
+let store_dir_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
+
+let store_fsck_cmd =
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Delete every invalid entry (safe: readers re-measure and heal \
+             on the next miss).")
+  in
+  let run dir repair =
+    match Store.fsck ~repair dir with
+    | Error e ->
+        Printf.eprintf "hlsvhc store fsck: %s\n" e;
+        exit 2
+    | Ok r ->
+        Printf.printf "%s: %d entries, %d valid, %d invalid\n" dir
+          r.Store.fk_total r.Store.fk_valid
+          (List.length r.Store.fk_invalid);
+        List.iter
+          (fun { Store.fi_file; fi_reason } ->
+            Printf.printf "invalid: %s (%s)\n" fi_file fi_reason)
+          r.Store.fk_invalid;
+        if repair then
+          Printf.printf "repaired: deleted %d invalid entries\n"
+            r.Store.fk_repaired;
+        if r.Store.fk_invalid <> [] && not repair then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Validate every entry of a result store (magic, schema version, \
+          checksum, metrics parse, filename-addresses-key); exits nonzero \
+          when invalid entries remain.")
+    Term.(const run $ store_dir_pos $ repair)
+
+let store_gc_cmd =
+  let max_entries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-entries" ] ~docv:"N"
+          ~doc:"Keep at most $(docv) entries (the newest by mtime).")
+  in
+  let max_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-bytes" ] ~docv:"B"
+          ~doc:"Keep at most $(docv) bytes of entries (the newest by mtime).")
+  in
+  let run dir max_entries max_bytes =
+    match Store.gc ?max_entries ?max_bytes dir with
+    | Error e ->
+        Printf.eprintf "hlsvhc store gc: %s\n" e;
+        exit 2
+    | Ok r ->
+        Printf.printf
+          "%s: kept %d of %d entries (%d -> %d bytes), deleted %d\n" dir
+          r.Store.gr_kept r.Store.gr_total r.Store.gr_bytes_before
+          r.Store.gr_bytes_after r.Store.gr_deleted
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Evict store entries oldest-mtime-first (ties by filename — \
+          deterministic) down to an entry and/or byte budget.  Safe under \
+          a live daemon: evicted entries re-heal on the next miss.")
+    Term.(const run $ store_dir_pos $ max_entries $ max_bytes)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:
+         "Janitor commands for a persistent result store directory \
+          ($(b,fsck), $(b,gc)).")
+    [ store_fsck_cmd; store_gc_cmd ]
 
 let stats_cmd =
   let file =
@@ -685,6 +839,7 @@ let main =
          "Reproduction of 'High-Level Synthesis versus Hardware \
           Construction' (DATE 2023).")
     [ table1_cmd; table2_cmd; fig1_cmd; comply_cmd; dse_cmd; emit_cmd;
-      verilog_cmd; sim_cmd; sweep_cmd; serve_cmd; waves_cmd; stats_cmd ]
+      verilog_cmd; sim_cmd; sweep_cmd; serve_cmd; store_cmd; waves_cmd;
+      stats_cmd ]
 
 let () = exit (Cmd.eval main)

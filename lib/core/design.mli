@@ -28,6 +28,12 @@ type t = {
 val loc : t -> int
 (** [L = L^FU + L^AXI + L^Conf]. *)
 
+val force : 'a Lazy.t -> 'a
+(** Domain-safe forcing of a shared lazy (circuit, system): builds are
+    serialized under one process-wide lock, so concurrent evaluations of
+    one registry design never hit [Lazy]'s concurrent-force exception;
+    once built, reads are lock-free. *)
+
 val language_name : tool -> string
 val tool_name : tool -> string
 val all_tools : tool list

@@ -89,7 +89,7 @@ let check_compliance ?(blocks = 500) ~(spec : Flow.spec) (d : Design.t) =
       Trace.add_counter "blocks" blocks;
       match d.Design.impl with
       | Design.Stream circuit ->
-          let circuit = Lazy.force circuit in
+          let circuit = Design.force circuit in
           (* Each compliance block is an independent single-matrix run, so
              the whole sweep maps onto the levelized engine's batch
              dimension: the driver spreads the blocks across simulation

@@ -12,6 +12,9 @@ type fault =
   | Poison
   | Protocol
   | Crash of string
+  | Slow_client
+  | Conn_drop
+  | Shed
 
 type spec = { fault : fault; target : string; seed : int }
 
@@ -28,6 +31,9 @@ let fault_to_string = function
   | Poison -> "poison"
   | Protocol -> "protocol"
   | Crash stage -> "crash@" ^ stage
+  | Slow_client -> "slow-client"
+  | Conn_drop -> "conn-drop"
+  | Shed -> "shed"
 
 let to_string s =
   Printf.sprintf "%s:%s:%d" (fault_to_string s.fault)
@@ -40,13 +46,16 @@ let parse text =
     | "stall" -> Ok Stall
     | "poison" -> Ok Poison
     | "protocol" -> Ok Protocol
+    | "slow-client" -> Ok Slow_client
+    | "conn-drop" -> Ok Conn_drop
+    | "shed" -> Ok Shed
     | f when String.length f > 6 && String.sub f 0 6 = "crash@" ->
         Ok (Crash (String.sub f 6 (String.length f - 6)))
     | f ->
         Error
           (Printf.sprintf
-             "unknown fault %S (want engine-crash, stall, poison, protocol \
-              or crash@STAGE)"
+             "unknown fault %S (want engine-crash, stall, poison, protocol, \
+              crash@STAGE, slow-client, conn-drop or shed)"
              f)
   in
   match String.split_on_char ':' (String.trim text) with
@@ -74,8 +83,21 @@ let parse text =
                        s))))
 
 let cell : spec option Atomic.t = Atomic.make None
-let arm s = Atomic.set cell (Some s)
-let disarm () = Atomic.set cell None
+
+(* Connection faults fire on "the first [seed] occasions" (seed 0 =
+   every occasion), so a chaos test can arm e.g. [shed:*:2] and know the
+   retrying client's third attempt lands.  One claim counter per fault
+   kind, reset whenever the armed spec changes. *)
+let conn_claims = Atomic.make 0
+
+let arm s =
+  Atomic.set conn_claims 0;
+  Atomic.set cell (Some s)
+
+let disarm () =
+  Atomic.set conn_claims 0;
+  Atomic.set cell None
+
 let armed () = Atomic.get cell
 
 let load_env () =
@@ -158,3 +180,25 @@ let inject_violation ~design violations =
       { Axis.Monitor.at_cycle = seed; rule = "injected protocol fault" }
       :: violations
   | _ -> violations
+
+(* ---------------- connection probes (the serve layer) ---------------- *)
+
+(* Claim one firing of a counted connection fault: true while fewer than
+   [seed] claims have been made (seed 0 = unlimited). *)
+let claim_conn seed =
+  if seed = 0 then true else Atomic.fetch_and_add conn_claims 1 < seed
+
+let slow_client_conn () =
+  match Atomic.get cell with
+  | Some { fault = Slow_client; seed; _ } -> claim_conn seed
+  | _ -> false
+
+let shed_conn () =
+  match Atomic.get cell with
+  | Some { fault = Shed; seed; _ } -> claim_conn seed
+  | _ -> false
+
+let conn_drop_limit () =
+  match Atomic.get cell with
+  | Some { fault = Conn_drop; seed; _ } -> Some seed
+  | _ -> None

@@ -36,6 +36,22 @@ type fault =
           [Crash "synthesize"] is a synthesis failure, [Crash "simulate"]
           an unrecoverable engine failure, [Crash "metrics"] an
           unexpected exception *)
+  | Slow_client
+      (** the serve daemon treats matching connections as wedged clients:
+          their batch read is discarded until the idle deadline fires, so
+          the timeout/close path runs deterministically.  [seed] bounds
+          how many connections wedge (0 = all, [s] = the first [s]);
+          [target] is unused — write [*] *)
+  | Conn_drop
+      (** the serve daemon drops matching connections after writing
+          [seed] response lines, driving the client's typed
+          [Closed_mid_response] path; [target] is unused *)
+  | Shed
+      (** the serve daemon sheds accepted connections with a
+          [busy\tretry-after\tMS] answer as if over the in-flight limit;
+          [seed] bounds how many (0 = all, [s] = the first [s]), so a
+          retrying client deterministically succeeds on attempt [s+1];
+          [target] is unused *)
 
 type spec = { fault : fault; target : string; seed : int }
 
@@ -45,9 +61,10 @@ exception Injected of string
 
 val parse : string -> (spec, string) result
 (** Parse ["FAULT:TARGET[:SEED]"] — [FAULT] one of [engine-crash],
-    [stall], [poison], [protocol] or [crash@STAGE]; [TARGET] a span-key
-    substring ([*] for all designs); [SEED] a non-negative integer
-    (default 0). *)
+    [stall], [poison], [protocol], [crash@STAGE], [slow-client],
+    [conn-drop] or [shed]; [TARGET] a span-key substring ([*] for all
+    designs; unused by the connection faults); [SEED] a non-negative
+    integer (default 0). *)
 
 val to_string : spec -> string
 
@@ -88,3 +105,22 @@ val poison_blocks : design:string -> Axis.Block.t list -> Axis.Block.t list
 val inject_violation :
   design:string -> Axis.Monitor.violation list -> Axis.Monitor.violation list
 (** Under an armed [Protocol] spec, prepend an injected violation. *)
+
+(** {1 Connection probes}
+
+    Called by the serve daemon (lib/serve) on its connection paths.
+    The counted probes claim one firing per call: with seed [s > 0] the
+    first [s] calls after {!arm} return [true], later ones [false];
+    seed [0] fires on every call. *)
+
+val slow_client_conn : unit -> bool
+(** Claim one [Slow_client] firing: the connection's batch read must be
+    treated as wedged (discarded until the idle deadline). *)
+
+val shed_conn : unit -> bool
+(** Claim one [Shed] firing: the connection must be answered [busy] and
+    closed as if the daemon were over its in-flight limit. *)
+
+val conn_drop_limit : unit -> int option
+(** [Some seed] while a [Conn_drop] spec is armed: the number of
+    response lines to write before abruptly closing the connection. *)

@@ -223,7 +223,7 @@ let measure_uncached ?(matrices = 4) ~spec (d : Design.t) : Metrics.measured =
   | Design.Stream circuit ->
       let circuit =
         stage "elaborate" (fun () ->
-            let c = Lazy.force circuit in
+            let c = Design.force circuit in
             Trace.add_counter "netlist_nodes" (Hw.Netlist.num_nodes c);
             c)
       in
@@ -302,7 +302,7 @@ let measure_uncached ?(matrices = 4) ~spec (d : Design.t) : Metrics.measured =
   | Design.Pcie p ->
       let system =
         stage "elaborate" (fun () ->
-            let s = Lazy.force p.Design.system in
+            let s = Design.force p.Design.system in
             Trace.add_counter "netlist_nodes"
               (Hw.Netlist.num_nodes s.Maxj.Manager.kernel);
             s)

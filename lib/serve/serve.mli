@@ -1,13 +1,24 @@
-(** The [hlsvhc serve] evaluation daemon (DESIGN.md §14).
+(** The [hlsvhc serve] evaluation daemon (DESIGN.md §14; hardening
+    model §16).
 
-    A long-lived loop on a Unix domain socket: one connection carries one
-    batch of tab-separated request lines (terminated by a blank line) and
-    receives exactly one response line per request, in order.  Every
+    An acceptor loop on a Unix domain socket dispatching connections
+    onto a bounded pool of worker domains: one connection carries one
+    batch of tab-separated request lines (terminated by a blank line)
+    and receives exactly one response line per request, in order.  Every
     [eval] of a batch fans out together onto the {!Core.Parallel} domain
     pool under keep-going semantics — a failing design point answers with
     its typed {!Core.Flow.error} while the rest of the batch completes —
     and reads through the memo cache plus, when attached, the persistent
     content-addressed {!Store}.
+
+    Hostile traffic is contained: reads and writes carry an idle
+    deadline ([conn_timeout]) plus a total receive budget
+    ([batch_deadline]) — a wedged client costs one worker slot for at
+    most that long, answers nothing, and is counted in [conn_timeouts];
+    connections accepted beyond [max_inflight] are answered
+    [busy\tretry-after\tMS] and closed ([shed]); SIGTERM/SIGINT (or a
+    [shutdown] request) drain the daemon — stop accepting, finish every
+    in-flight batch, print a final stats line, unlink the socket.
 
     Protocol:
     {v
@@ -16,7 +27,8 @@
                                  |   err\tDESIGN\tSTAGE\tCLASS\tDETAIL
     ping                         ->  ok\tpong
     stats                        ->  ok\tk=v ...
-    shutdown                     ->  ok\tbye   (daemon exits)
+    shutdown                     ->  ok\tbye   (daemon drains)
+    busy\tretry-after\tMS  answers (and closes) a shed connection.
     bad\tREASON  answers any request the server cannot parse.
     v}
     The optional [KERNEL] field selects the {!Core.Kernel} whose design
@@ -37,39 +49,98 @@ type config = {
   socket_path : string;
   jobs : int option;       (** pool size per batch (default: as {!Core.Parallel}) *)
   store : Store.t option;  (** attached store, reported by [stats] *)
-  max_conns : int option;  (** stop after N connections (tests/bench) *)
+  max_conns : int option;  (** drain after N connections (tests/bench) *)
+  conn_workers : int;      (** connection-handling domains (default 4) *)
+  conn_timeout : float;    (** idle read/write deadline, seconds (default 30) *)
+  batch_deadline : float;  (** total batch-receive budget, seconds (default 120) *)
+  max_inflight : int;      (** shed accepted connections beyond this (default 16) *)
+  max_batch : int;         (** request lines per batch (default 256) *)
+  retry_after_ms : int;    (** backoff hint on the [busy] line (default 100) *)
 }
+
+val default_config : socket_path:string -> config
+(** The production defaults above with no store, no connection cap and
+    the {!Core.Parallel} default job count — override fields as
+    needed. *)
 
 type counters = {
   conns : int Atomic.t;
   evals : int Atomic.t;
   eval_errors : int Atomic.t;
   memo_hits : int Atomic.t;
+  conn_timeouts : int Atomic.t;
+      (** connections closed on the idle/receive deadline *)
+  shed : int Atomic.t;  (** connections answered [busy] and closed *)
+  drops : int Atomic.t;
+      (** connections that hung up mid-batch or mid-response *)
 }
 
 val parse_request : string -> (request, string) result
 (** One wire line to a typed request; [Error] is the [bad] diagnostic. *)
 
 val run : config -> counters
-(** Bind, listen and serve until a [shutdown] request or [max_conns]
-    connections; the socket file is unlinked on exit.  Returns the final
-    counters. *)
+(** Bind, listen and serve until a [shutdown] request, SIGTERM/SIGINT,
+    or [max_conns] connections — then drain: finish every queued and
+    in-flight batch, print a final stats line on stderr, unlink the
+    socket, and return the final counters.  Signal dispositions are
+    restored on exit. *)
 
-(** Blocking one-shot client (tests, bench, scripting). *)
+(** Blocking one-shot client (tests, bench, scripting) with typed
+    failures and a seeded-deterministic retry policy. *)
 module Client : sig
+  type error =
+    | Connect_refused of string
+        (** could not connect; the message distinguishes a missing
+            socket file from a stale/refusing one *)
+    | Timed_out  (** the daemon stopped answering within the timeout *)
+    | Busy of int
+        (** the daemon shed the connection; retry after the given
+            milliseconds *)
+    | Closed_mid_response of string list
+        (** the connection closed before every response arrived; carries
+            the responses received so far, in order *)
+
+  val error_to_string : error -> string
+
   val eval_line :
     ?kernel:string -> tool:string -> label:string -> matrices:int -> unit ->
     string
   (** Format an [eval] request line; [kernel] adds the optional fifth
       field (omitted: the daemon assumes IDCT). *)
 
-  val request : socket:string -> string list -> string list
+  val request_result :
+    ?timeout_s:float -> socket:string -> string list ->
+    (string list, error) result
   (** Connect, send the lines plus the blank-line terminator, read one
-      response line per request, close. *)
+      response line per request, close.  [timeout_s] (default 60)
+      bounds the waits on the exchange. *)
+
+  val request : socket:string -> string list -> string list
+  (** {!request_result} for happy paths.
+      @raise Failure with the typed error rendered, on any failure *)
+
+  val retry_delays : seed:int -> attempts:int -> base_ms:int -> int list
+  (** The backoff schedule {!request_retry} would use with no busy
+      hints: delay [i] is [base_ms * 2^i] plus a jitter drawn from a
+      splitmix64 stream seeded with [seed] — fully determined by the
+      arguments (exposed for tests). *)
+
+  val request_retry :
+    ?attempts:int -> ?base_ms:int -> ?timeout_s:float ->
+    seed:int -> socket:string -> string list ->
+    (string list, error) result
+  (** {!request_result} with retries: every typed failure (refused,
+      busy, timeout, mid-response hangup) is retried up to [attempts]
+      times (default 5) under exponential backoff with seeded jitter
+      (base [base_ms], default 25); a [Busy] retry-after hint raises
+      that attempt's floor.  The schedule depends only on [seed] and the
+      error sequence — no wall clock, no global RNG. *)
 
   val wait_ready : ?timeout_s:float -> socket:string -> unit -> unit
   (** Poll [ping] until the daemon answers (after spawning it).
-      @raise Failure on timeout or a malformed reply *)
+      @raise Failure on timeout — the message says whether the socket
+      was absent, refusing, busy or silent — or immediately when the
+      daemon answers garbage *)
 
   val parse_metrics : string -> (Core.Metrics.measured, string) result
   (** Decode an [ok\tMETRICS] response. *)

@@ -95,22 +95,27 @@ let add t ~key (m : Core.Metrics.measured) =
       Printf.fprintf oc "checksum: %s\n" (Digest.to_hex (Digest.string body)));
   Atomic.incr t.writes
 
-let report_once t path reason =
+let warn_once t key msg =
   let fresh =
     Mutex.protect t.reported_lock (fun () ->
-        if Hashtbl.mem t.reported path then false
+        if Hashtbl.mem t.reported key then false
         else begin
-          Hashtbl.add t.reported path ();
+          Hashtbl.add t.reported key ();
           true
         end)
   in
-  if fresh then
-    Printf.eprintf "hlsvhc: store: ignoring entry %s (%s); re-measuring\n%!"
-      path reason
+  if fresh then Printf.eprintf "%s\n%!" msg
 
-(* Validation, strictest-to-loosest diagnosis: a missing file is a plain
-   miss; everything else present-but-untrustworthy counts as invalid. *)
-let load_entry path ~key =
+let report_once t path reason =
+  warn_once t path
+    (Printf.sprintf "hlsvhc: store: ignoring entry %s (%s); re-measuring"
+       path reason)
+
+(* Validation without an expected key (the fsck path trusts only the
+   file's own claims): magic, schema version, field shape, checksum and
+   metrics parse.  Returns the stored key alongside the metrics so
+   callers can check it against whatever they expected. *)
+let parse_entry path =
   let text =
     let ic = open_in_bin path in
     Fun.protect
@@ -128,7 +133,7 @@ let load_entry path ~key =
           else Ok ()
       | _ -> Error "not a store entry (bad magic)")
       |> function
-      | Error _ as e -> e
+      | Error e -> Error e
       | Ok () ->
           let field prefix line =
             if String.length line >= String.length prefix
@@ -145,11 +150,21 @@ let load_entry path ~key =
           let body = payload ~key:stored_key ~wire in
           if sum <> Digest.to_hex (Digest.string body) then
             Error "checksum mismatch (corrupt or tampered entry)"
-          else if stored_key <> key then
-            Error
-              (Printf.sprintf "key mismatch: entry caches %S" stored_key)
-          else Core.Metrics.of_wire wire)
+          else
+            Result.map
+              (fun m -> (stored_key, m))
+              (Core.Metrics.of_wire wire))
   | _ -> Error "truncated or malformed entry"
+
+(* Validation, strictest-to-loosest diagnosis: a missing file is a plain
+   miss; everything else present-but-untrustworthy counts as invalid. *)
+let load_entry path ~key =
+  match parse_entry path with
+  | Error _ as e -> e
+  | Ok (stored_key, m) ->
+      if stored_key <> key then
+        Error (Printf.sprintf "key mismatch: entry caches %S" stored_key)
+      else Ok m
 
 let find t ~key =
   let path = entry_path t ~key in
@@ -173,10 +188,168 @@ let find t ~key =
         report_once t path m;
         None
 
+(* A store directory removed out from under a live daemon must degrade
+   [stats], not crash it: an unreadable directory counts zero entries
+   and warns once. *)
 let entry_count t =
-  Array.fold_left
-    (fun n f -> if Filename.check_suffix f ".entry" then n + 1 else n)
-    0 (Sys.readdir t.dir)
+  match Sys.readdir t.dir with
+  | files ->
+      Array.fold_left
+        (fun n f -> if Filename.check_suffix f ".entry" then n + 1 else n)
+        0 files
+  | exception Sys_error m ->
+      warn_once t (t.dir ^ "#readdir")
+        (Printf.sprintf
+           "hlsvhc: store: cannot list %s (%s); reporting 0 entries" t.dir m);
+      0
+
+(* ---------------- janitor: fsck and gc ---------------- *)
+
+(* Entry files of a directory, sorted by name so every report and every
+   eviction decision is deterministic. *)
+let entry_files dirname =
+  match Sys.readdir dirname with
+  | files ->
+      let es =
+        Array.to_list files
+        |> List.filter (fun f -> Filename.check_suffix f ".entry")
+        |> List.sort compare
+      in
+      Ok es
+  | exception Sys_error m -> Error m
+
+type fsck_invalid = { fi_file : string; fi_reason : string }
+
+type fsck_report = {
+  fk_total : int;
+  fk_valid : int;
+  fk_invalid : fsck_invalid list;
+  fk_repaired : int;
+}
+
+(* Validate every entry the way [find] would, plus the one check [find]
+   gets for free from content addressing: the filename must be the
+   digest of the key the entry claims to cache (a renamed or foreign
+   file is unreachable dead weight at best, a collision trap at
+   worst). *)
+let fsck ?(repair = false) dirname =
+  if not (Sys.file_exists dirname) then
+    Error (Printf.sprintf "%s does not exist" dirname)
+  else if not (Sys.is_directory dirname) then
+    Error (Printf.sprintf "%s is not a directory" dirname)
+  else
+    match entry_files dirname with
+    | Error m -> Error m
+    | Ok files ->
+        let invalid = ref [] and valid = ref 0 in
+        List.iter
+          (fun f ->
+            let path = Filename.concat dirname f in
+            let verdict =
+              match parse_entry path with
+              | Ok (stored_key, _) ->
+                  let expected =
+                    Digest.to_hex (Digest.string stored_key) ^ ".entry"
+                  in
+                  if f <> expected then
+                    Error
+                      (Printf.sprintf
+                         "filename does not address its key (expected %s)"
+                         expected)
+                  else Ok ()
+              | Error reason -> Error reason
+              | exception Sys_error m -> Error ("unreadable: " ^ m)
+              | exception Failure m -> Error ("unreadable: " ^ m)
+            in
+            match verdict with
+            | Ok () -> incr valid
+            | Error fi_reason ->
+                invalid := { fi_file = f; fi_reason } :: !invalid)
+          files;
+        let invalid = List.rev !invalid in
+        let repaired = ref 0 in
+        if repair then
+          List.iter
+            (fun { fi_file; _ } ->
+              match Sys.remove (Filename.concat dirname fi_file) with
+              | () -> incr repaired
+              | exception Sys_error _ -> ())
+            invalid;
+        Ok
+          {
+            fk_total = List.length files;
+            fk_valid = !valid;
+            fk_invalid = invalid;
+            fk_repaired = !repaired;
+          }
+
+type gc_report = {
+  gr_total : int;
+  gr_kept : int;
+  gr_deleted : int;
+  gr_bytes_before : int;
+  gr_bytes_after : int;
+}
+
+(* Deterministic eviction, oldest mtime first, ties broken by filename:
+   sorted that way, entries are deleted from the front until both
+   budgets hold.  Safe under a live daemon — entries are atomic and
+   independent, so a deleted entry is re-healed by the next miss's
+   write-through and a concurrently-published entry is simply newer
+   than every eviction candidate. *)
+let gc ?max_entries ?max_bytes dirname =
+  if max_entries = None && max_bytes = None then
+    Error "gc needs a budget: --max-entries and/or --max-bytes"
+  else if not (Sys.file_exists dirname) then
+    Error (Printf.sprintf "%s does not exist" dirname)
+  else if not (Sys.is_directory dirname) then
+    Error (Printf.sprintf "%s is not a directory" dirname)
+  else
+    match entry_files dirname with
+    | Error m -> Error m
+    | Ok files ->
+        (* (mtime, name, bytes); entries vanishing mid-scan (a racing
+           gc or repair) are skipped *)
+        let stats =
+          List.filter_map
+            (fun f ->
+              match Unix.stat (Filename.concat dirname f) with
+              | st -> Some (st.Unix.st_mtime, f, st.Unix.st_size)
+              | exception Unix.Unix_error _ -> None)
+            files
+        in
+        let oldest_first =
+          List.sort
+            (fun (m1, f1, _) (m2, f2, _) ->
+              match compare m1 m2 with 0 -> compare f1 f2 | c -> c)
+            stats
+        in
+        let total = List.length oldest_first in
+        let bytes_before =
+          List.fold_left (fun a (_, _, b) -> a + b) 0 oldest_first
+        in
+        let over count bytes =
+          (match max_entries with Some n -> count > n | None -> false)
+          || match max_bytes with Some b -> bytes > b | None -> false
+        in
+        let deleted = ref 0 in
+        let rec evict count bytes = function
+          | (_, f, sz) :: rest when over count bytes ->
+              (match Sys.remove (Filename.concat dirname f) with
+              | () -> incr deleted
+              | exception Sys_error _ -> ());
+              evict (count - 1) (bytes - sz) rest
+          | _ -> (count, bytes)
+        in
+        let kept, bytes_after = evict total bytes_before oldest_first in
+        Ok
+          {
+            gr_total = total;
+            gr_kept = kept;
+            gr_deleted = !deleted;
+            gr_bytes_before = bytes_before;
+            gr_bytes_after = bytes_after;
+          }
 
 let backend t =
   {

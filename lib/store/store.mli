@@ -44,7 +44,52 @@ val add : t -> key:string -> Core.Metrics.measured -> unit
     @raise Core.Trace.Write_error when the entry cannot be written *)
 
 val entry_count : t -> int
-(** Number of [.entry] files currently on disk. *)
+(** Number of [.entry] files currently on disk.  A store directory that
+    has been removed (or become unreadable) under a live process counts
+    as 0 with a one-time stderr warning — [stats] must degrade, not
+    crash. *)
+
+(** {1 Janitor}
+
+    Offline (or live — entries are atomic and independently re-healed on
+    miss) maintenance of a store directory: [hlsvhc store fsck] and
+    [hlsvhc store gc]. *)
+
+type fsck_invalid = {
+  fi_file : string;    (** entry filename (relative to the store dir) *)
+  fi_reason : string;  (** why validation rejected it *)
+}
+
+type fsck_report = {
+  fk_total : int;               (** [.entry] files examined *)
+  fk_valid : int;
+  fk_invalid : fsck_invalid list;  (** sorted by filename *)
+  fk_repaired : int;            (** invalid entries deleted (with [repair]) *)
+}
+
+val fsck : ?repair:bool -> string -> (fsck_report, string) result
+(** Validate every entry in the directory exactly as a read would
+    (magic, schema version, field shape, checksum, metrics parse) plus
+    the content-addressing invariant (the filename is the digest of the
+    stored key).  [repair] deletes each invalid entry — always safe:
+    readers treat a missing entry as a miss and re-measure.  [Error]
+    when the path is not a readable directory. *)
+
+type gc_report = {
+  gr_total : int;         (** entries before collection *)
+  gr_kept : int;
+  gr_deleted : int;
+  gr_bytes_before : int;
+  gr_bytes_after : int;
+}
+
+val gc :
+  ?max_entries:int -> ?max_bytes:int -> string -> (gc_report, string) result
+(** Evict entries, oldest mtime first (ties broken by filename, so the
+    eviction order is deterministic), until at most [max_entries]
+    entries and [max_bytes] total bytes remain.  At least one budget is
+    required.  Safe under a live daemon: deleted entries are re-healed
+    by the next miss's write-through. *)
 
 val backend : t -> Core.Evaluate.store_backend
 (** This store as an [Evaluate] persistent layer. *)

@@ -277,6 +277,123 @@ let test_write_error_typed () =
   | exception e ->
       Alcotest.fail ("expected Write_error, got " ^ Printexc.to_string e)
 
+(* ---------------- janitor: fsck and gc ---------------- *)
+
+let test_fsck_clean_and_repair () =
+  with_store (fun t ->
+      ignore (Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:2 victim);
+      let other = Core.Registry.optimized Core.Design.Verilog in
+      ignore (Core.Evaluate.measure ~spec:Core.Flow.idct_spec ~matrices:2 other);
+      let dir = Store.dir t in
+      (* a clean store fscks clean *)
+      (match Store.fsck dir with
+      | Ok r ->
+          check int "clean: total" 2 r.Store.fk_total;
+          check int "clean: valid" 2 r.Store.fk_valid;
+          check int "clean: invalid" 0 (List.length r.Store.fk_invalid);
+          check int "clean: nothing repaired" 0 r.Store.fk_repaired
+      | Error e -> Alcotest.fail ("fsck clean: " ^ e));
+      (* sabotage one real entry and park one garbage file; fsck must
+         name both, for the right reasons *)
+      flip_metrics_byte t (Store.entry_path t ~key:victim_key);
+      write_file (Filename.concat dir "deadbeef.entry") "not an entry\n";
+      (match Store.fsck dir with
+      | Ok r ->
+          check int "dirty: total" 3 r.Store.fk_total;
+          check int "dirty: valid" 1 r.Store.fk_valid;
+          check int "dirty: two invalid" 2 (List.length r.Store.fk_invalid);
+          check int "dirty: report does not repair" 0 r.Store.fk_repaired
+      | Error e -> Alcotest.fail ("fsck dirty: " ^ e));
+      (* repair deletes exactly the invalid entries *)
+      (match Store.fsck ~repair:true dir with
+      | Ok r ->
+          check int "repair: two deleted" 2 r.Store.fk_repaired;
+          check bool "repair: garbage gone" false
+            (Sys.file_exists (Filename.concat dir "deadbeef.entry"))
+      | Error e -> Alcotest.fail ("fsck repair: " ^ e));
+      (match Store.fsck dir with
+      | Ok r ->
+          check int "after repair: valid survivor kept" 1 r.Store.fk_valid;
+          check int "after repair: clean" 0 (List.length r.Store.fk_invalid)
+      | Error e -> Alcotest.fail ("fsck after repair: " ^ e));
+      (* a missing directory is a typed error, not an exception *)
+      match Store.fsck "/nonexistent_hlsvhc_store" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "fsck of a nonexistent directory succeeded")
+
+(* Deterministic gc: synthesize entries with controlled mtimes and
+   check the eviction order — oldest mtime first, ties by filename. *)
+let gc_dir_with_entries specs =
+  let dir = fresh_dir "hlsvhc_gc_test" in
+  List.iter
+    (fun (name, age_s) ->
+      let path = Filename.concat dir name in
+      write_file path (String.make 100 'x');
+      let t = Unix.gettimeofday () -. age_s in
+      Unix.utimes path t t)
+    specs;
+  dir
+
+let surviving dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+
+let test_gc_max_entries () =
+  (* c oldest, then a/b tied one second back, then d newest: keeping 2
+     must evict c (oldest) and a (tie broken by filename) *)
+  let dir =
+    gc_dir_with_entries
+      [ ("a.entry", 100.); ("b.entry", 100.); ("c.entry", 200.); ("d.entry", 0.) ]
+  in
+  (match Store.gc ~max_entries:2 dir with
+  | Ok r ->
+      check int "gc: total" 4 r.Store.gr_total;
+      check int "gc: kept" 2 r.Store.gr_kept;
+      check int "gc: deleted" 2 r.Store.gr_deleted;
+      check int "gc: bytes before" 400 r.Store.gr_bytes_before;
+      check int "gc: bytes after" 200 r.Store.gr_bytes_after;
+      check (Alcotest.list string) "gc: newest survive, ties by name"
+        [ "b.entry"; "d.entry" ] (surviving dir)
+  | Error e -> Alcotest.fail ("gc max-entries: " ^ e));
+  (* idempotent: already under budget, nothing deleted *)
+  (match Store.gc ~max_entries:2 dir with
+  | Ok r -> check int "gc: idempotent" 0 r.Store.gr_deleted
+  | Error e -> Alcotest.fail ("gc rerun: " ^ e));
+  (* no budget is a usage error, not a wipe *)
+  match Store.gc dir with
+  | Error _ -> check int "gc no budget leaves entries" 2
+      (List.length (surviving dir))
+  | Ok _ -> Alcotest.fail "gc with no budget accepted"
+
+let test_gc_max_bytes () =
+  let dir =
+    gc_dir_with_entries
+      [ ("a.entry", 300.); ("b.entry", 200.); ("c.entry", 100.) ]
+  in
+  match Store.gc ~max_bytes:250 dir with
+  | Ok r ->
+      check int "gc bytes: deleted one" 1 r.Store.gr_deleted;
+      check bool "gc bytes: under budget" true (r.Store.gr_bytes_after <= 250);
+      check (Alcotest.list string) "gc bytes: oldest evicted"
+        [ "b.entry"; "c.entry" ] (surviving dir)
+  | Error e -> Alcotest.fail ("gc max-bytes: " ^ e)
+
+let test_entry_count_survives_rmdir () =
+  let dir = fresh_dir "hlsvhc_store_gone" in
+  Store.detach ();
+  Core.Evaluate.clear_measure_cache ();
+  let t = Result.get_ok (Store.attach dir) in
+  Fun.protect
+    ~finally:(fun () ->
+      Store.detach ();
+      Core.Evaluate.clear_measure_cache ())
+    (fun () ->
+      check int "empty store counts 0" 0 (Store.entry_count t);
+      Unix.rmdir dir;
+      (* the directory vanished under a live handle: stats must degrade
+         to 0, not raise *)
+      check int "removed dir counts 0" 0 (Store.entry_count t);
+      check int "still 0 on the second probe" 0 (Store.entry_count t))
+
 (* ---------------- --tools parsing (dedupe) ---------------- *)
 
 let tool_list : Core.Design.tool list Alcotest.testable =
@@ -336,6 +453,17 @@ let () =
           Alcotest.test_case "rename crosses filesystems" `Quick
             test_rename_durable_exdev;
           Alcotest.test_case "failures are typed" `Quick test_write_error_typed;
+        ] );
+      ( "janitor",
+        [
+          Alcotest.test_case "fsck: clean, dirty, repair" `Quick
+            test_fsck_clean_and_repair;
+          Alcotest.test_case "gc --max-entries deterministic" `Quick
+            test_gc_max_entries;
+          Alcotest.test_case "gc --max-bytes oldest-first" `Quick
+            test_gc_max_bytes;
+          Alcotest.test_case "entry_count survives rmdir" `Quick
+            test_entry_count_survives_rmdir;
         ] );
       ( "parse-tools",
         [
