@@ -681,6 +681,69 @@ let kernels_bench () =
   write_kernels_json "BENCH_kernels.json" rows
 
 (* ------------------------------------------------------------------ *)
+(* Transformation scripts: apply+verify throughput, retiming payoff     *)
+(* ------------------------------------------------------------------ *)
+
+(* Two sides of lib/transfo worth tracking: how fast a verified script
+   runs (every step discharges its obligation AND crosschecks the result
+   through three engines, so this is really a verification benchmark),
+   and what the flagship delayed transformation buys — the fmax of the
+   IDCT row datapath before and after [retime 4] under the xcvu9p delay
+   model. *)
+let transfo_bench () =
+  section "Transformation scripts: verified apply throughput, retime payoff";
+  let subject () =
+    Transfo.Subject.of_circuit
+      (Chisel.Idct_gen.row_comb Chisel.Idct_gen.Inferred ~name:"bench_row")
+  in
+  let script = Transfo.Script.parse_exn "strength_reduce; narrow" in
+  let runs = 5 in
+  let t0 = Unix.gettimeofday () in
+  let steps = ref 0 in
+  for _ = 1 to runs do
+    match Transfo.Engine.run script (subject ()) with
+    | Ok r -> steps := !steps + List.length r.Transfo.Engine.rep_steps
+    | Error e -> failwith (Transfo.Engine.error_to_string e)
+  done;
+  let apply_s = Unix.gettimeofday () -. t0 in
+  let steps_per_sec = float_of_int !steps /. Float.max 1e-9 apply_s in
+  let before = (subject ()).Transfo.Subject.circuit in
+  let after =
+    match
+      Transfo.Engine.run (Transfo.Script.parse_exn "retime 4") (subject ())
+    with
+    | Ok r -> r.Transfo.Engine.rep_subject.Transfo.Subject.circuit
+    | Error e -> failwith (Transfo.Engine.error_to_string e)
+  in
+  let tb = Hw.Timing.analyze Hw.Device.xcvu9p before in
+  let ta = Hw.Timing.analyze Hw.Device.xcvu9p after in
+  let speedup = ta.Hw.Timing.fmax_mhz /. tb.Hw.Timing.fmax_mhz in
+  Printf.printf
+    "verified script %S: %d steps in %.3fs (%.1f steps/s, 3-way \
+     crosscheck included)\n"
+    (Transfo.Script.to_string script)
+    !steps apply_s steps_per_sec;
+  Printf.printf
+    "retime 4 on the row datapath: fmax %.1f -> %.1f MHz (%.2fx)\n"
+    tb.Hw.Timing.fmax_mhz ta.Hw.Timing.fmax_mhz speedup;
+  Core.Trace.write_atomic "BENCH_transfo.json" (fun oc ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"bench\": \"transfo\",\n\
+        \  \"script\": \"%s\",\n\
+        \  \"runs\": %d,\n\
+        \  \"verified_steps\": %d,\n\
+        \  \"seconds\": %.3f,\n\
+        \  \"steps_per_sec\": %.1f,\n\
+        \  \"retime\": {\"stages\": 4, \"fmax_before_mhz\": %.1f, \
+         \"fmax_after_mhz\": %.1f, \"speedup\": %.3f}\n\
+         }\n"
+        (Transfo.Script.to_string script)
+        runs !steps apply_s steps_per_sec tb.Hw.Timing.fmax_mhz
+        ta.Hw.Timing.fmax_mhz speedup);
+  Printf.printf "(wrote BENCH_transfo.json)\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Serve daemon: request throughput, cold store vs warm store           *)
 (* ------------------------------------------------------------------ *)
 
@@ -898,6 +961,7 @@ let () =
     eval_parallel ();
     dse_bench ();
     kernels_bench ();
+    transfo_bench ();
     serve_bench ();
     section "done"
   end
@@ -915,6 +979,7 @@ let () =
     eval_parallel ();
     dse_bench ();
     kernels_bench ();
+    transfo_bench ();
     serve_bench ();
     bechamel_suite ();
     section "done"

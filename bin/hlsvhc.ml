@@ -540,8 +540,20 @@ let dse_cmd =
              $(b,--strategy exhaustive) and no $(b,--budget); exits \
              nonzero on a mismatch.")
   in
+  let transfo_flag =
+    Arg.(
+      value & flag
+      & info [ "transfo" ]
+          ~doc:
+            "Extend every selected tool's space with a \
+             transformation-sequence axis: one extra chart enumerating \
+             the initial design plus verified netlist-rewrite scripts \
+             ($(b,strength_reduce), $(b,narrow) and their composition).  \
+             Derived candidates are re-derived and equivalence-checked \
+             when first measured.")
+  in
   let run kernel strategy seed budget objective tools jobs json check_fig1
-      trace keep_going fault store =
+      transfo trace keep_going fault store =
     arm_fault fault;
     attach_store store;
     check_kernel_tools kernel tools;
@@ -552,6 +564,12 @@ let dse_cmd =
          --budget (the check is over the full sweep space)\n";
       exit 2
     end;
+    if check_fig1 && transfo then begin
+      Printf.eprintf
+        "hlsvhc dse: --check-fig1 is over the paper's sweep space; it \
+         cannot be combined with --transfo\n";
+      exit 2
+    end;
     let failures =
       with_trace trace (fun () ->
           let selected =
@@ -560,6 +578,10 @@ let dse_cmd =
             | None -> Core.Kernel.tools kernel
           in
           let spaces = List.map (Dse.Space.of_tool ~kernel) selected in
+          let spaces =
+            if transfo then List.map Dse.Space.with_scripts spaces
+            else spaces
+          in
           let result =
             Dse.Engine.run ?jobs ~keep_going ?budget ~seed ~strategy
               ~objective spaces
@@ -596,8 +618,183 @@ let dse_cmd =
           its Pareto frontier.")
     Term.(
       const run $ kernel_opt $ strategy $ seed $ budget $ objective
-      $ tools_opt $ jobs_opt $ json $ check_fig1 $ trace_opt
+      $ tools_opt $ jobs_opt $ json $ check_fig1 $ transfo_flag $ trace_opt
       $ keep_going_flag $ fault_opt $ store_opt)
+
+let transfo_cmd =
+  let list_flag =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:
+            "List the transformation catalogue (names, aliases, \
+             arguments, preconditions) and exit.")
+  in
+  let script_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"SCRIPT"
+          ~doc:
+            "Semicolon-separated transformation sequence, e.g. \
+             $(b,\"retime 2; strength_reduce\").  Every step is verified \
+             against its obligation and crosschecked through all three \
+             simulation engines before the next one runs.")
+  in
+  let subject_opt =
+    Arg.(
+      value & opt string "row"
+      & info [ "subject" ] ~docv:"SUBJECT"
+          ~doc:
+            "What to transform: $(b,row) (the bare IDCT row datapath, \
+             combinational), $(b,arch) (the flat Chisel matrix \
+             architecture, accepts the staging transformations), or \
+             $(b,TOOL)[$(b,/optimized)] (a registered design's stream \
+             netlist, e.g. $(b,chisel) or $(b,verilog/optimized)).")
+  in
+  let cycles_opt =
+    Arg.(
+      value & opt int 256
+      & info [ "cycles" ] ~docv:"N"
+          ~doc:"Random-stimulus cycles per verification obligation.")
+  in
+  let seed_opt =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"N" ~doc:"Stimulus seed for the verifiers.")
+  in
+  let out_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the transformed design as structural Verilog to $(docv).")
+  in
+  let parse_subject spec =
+    match String.lowercase_ascii spec with
+    | "row" ->
+        Transfo.Subject.of_circuit
+          (Chisel.Idct_gen.row_comb Chisel.Idct_gen.Inferred ~name:"row")
+    | "arch" ->
+        Transfo.Subject.of_arch
+          (Chisel.Idct_gen.arch Chisel.Idct_gen.Inferred ~name:"chisel_arch"
+             ())
+    | spec -> (
+        let tool_str, optimized =
+          match String.index_opt spec '/' with
+          | None -> (spec, false)
+          | Some i -> (
+              let variant =
+                String.sub spec (i + 1) (String.length spec - i - 1)
+              in
+              ( String.sub spec 0 i,
+                match variant with
+                | "optimized" | "opt" -> true
+                | "initial" -> false
+                | _ ->
+                    Printf.eprintf
+                      "hlsvhc transfo: unknown design variant %S (expected \
+                       initial or optimized)\n"
+                      variant;
+                    exit 2 ))
+        in
+        match Core.Registry.parse_tool tool_str with
+        | None ->
+            Printf.eprintf "hlsvhc transfo: %s; or use %s\n"
+              (Core.Registry.unknown_tool_msg tool_str)
+              "\"row\" / \"arch\"";
+            exit 2
+        | Some t -> (
+            let d =
+              if optimized then Core.Registry.optimized t
+              else Core.Registry.initial t
+            in
+            match d.Core.Design.impl with
+            | Core.Design.Stream l ->
+                Transfo.Subject.of_circuit (Core.Design.force l)
+            | Core.Design.Pcie _ ->
+                Printf.eprintf
+                  "hlsvhc transfo: %s is a PCIe system design; \
+                   transformations operate on stream netlists\n"
+                  (Core.Design.tool_name t);
+                exit 2))
+  in
+  let run list_catalog script subject cycles seed out trace =
+    if list_catalog then
+      List.iter
+        (fun (module T : Transfo.Catalog.TRANSFO) ->
+          let aliases =
+            match T.aliases with
+            | [] -> ""
+            | a -> " (aliases: " ^ String.concat ", " a ^ ")"
+          in
+          Printf.printf "%s%s%s\n    %s\n    precondition: %s\n" T.name
+            (Transfo.Catalog.arg_doc T.arg)
+            aliases T.description T.precondition)
+        Transfo.Catalog.all
+    else
+      match script with
+      | None ->
+          Printf.eprintf
+            "hlsvhc transfo: nothing to do (use --script SCRIPT, or --list)\n";
+          exit 2
+      | Some src -> (
+          let script =
+            match Transfo.Script.parse src with
+            | Ok s -> s
+            | Error e ->
+                Printf.eprintf "hlsvhc transfo: --script: %s\n" e;
+                exit 2
+          in
+          let subject = parse_subject subject in
+          match
+            with_trace trace (fun () ->
+                Transfo.Engine.run ~cycles ~seed script subject)
+          with
+          | Error (Transfo.Engine.Unknown_transfo _ as e) ->
+              Printf.eprintf "hlsvhc transfo: %s\n"
+                (Transfo.Engine.error_to_string e);
+              exit 2
+          | Error e ->
+              Printf.eprintf "hlsvhc transfo: %s\n"
+                (Transfo.Engine.error_to_string e);
+              exit 1
+          | Ok r ->
+              List.iter
+                (fun (sr : Transfo.Engine.step_report) ->
+                  Printf.printf "%-28s %6d -> %6d nodes  [%s] verified\n"
+                    sr.Transfo.Engine.sr_step sr.Transfo.Engine.sr_nodes_before
+                    sr.Transfo.Engine.sr_nodes_after
+                    sr.Transfo.Engine.sr_obligation)
+                r.Transfo.Engine.rep_steps;
+              let subj = r.Transfo.Engine.rep_subject in
+              let latency =
+                if subj.Transfo.Subject.latency_added > 0 then
+                  Printf.sprintf ", +%d cycles latency"
+                    subj.Transfo.Subject.latency_added
+                else ""
+              in
+              Printf.printf "result: %s (%d nodes%s)\n"
+                subj.Transfo.Subject.circuit.Hw.Netlist.circuit_name
+                (Hw.Netlist.num_nodes subj.Transfo.Subject.circuit)
+                latency;
+              Option.iter
+                (fun path ->
+                  let oc = open_out path in
+                  output_string oc
+                    (Hw.Verilog.emit subj.Transfo.Subject.circuit);
+                  close_out oc;
+                  Printf.eprintf "transfo: wrote %s\n%!" path)
+                out)
+  in
+  Cmd.v
+    (Cmd.info "transfo"
+       ~doc:
+         "Apply a scripted, equivalence-verified transformation sequence \
+          to a design.")
+    Term.(
+      const run $ list_flag $ script_opt $ subject_opt $ cycles_opt
+      $ seed_opt $ out_opt $ trace_opt)
 
 let serve_cmd =
   let socket =
@@ -839,7 +1036,7 @@ let main =
          "Reproduction of 'High-Level Synthesis versus Hardware \
           Construction' (DATE 2023).")
     [ table1_cmd; table2_cmd; fig1_cmd; comply_cmd; dse_cmd; emit_cmd;
-      verilog_cmd; sim_cmd; sweep_cmd; serve_cmd; store_cmd; waves_cmd;
-      stats_cmd ]
+      verilog_cmd; sim_cmd; sweep_cmd; transfo_cmd; serve_cmd; store_cmd;
+      waves_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -195,3 +195,22 @@ let design_row8col mode ~name =
 let design_rowcol mode ~name =
   Axis.Adapter.wrap_row_col ~name ~row_unit:(row_unit mode)
     ~mid_width:(mid_width mode) ~col_unit:(col_unit mode) ()
+
+let arch mode ~name () =
+  {
+    Transfo.Subject.arch_name = name;
+    stage = Transfo.Subject.Flat;
+    row = row_unit mode;
+    col = col_unit mode;
+    arch_mid = mid_width mode;
+  }
+
+let row_comb mode ~name =
+  let b = Builder.create name in
+  let ins =
+    Array.init Axis.Stream.lanes (fun i ->
+        Builder.input b (Printf.sprintf "i%d" i) Axis.Stream.in_width)
+  in
+  let outs = row_unit mode b ins in
+  Array.iteri (fun i s -> Builder.output b (Printf.sprintf "o%d" i) s) outs;
+  Builder.finalize b

@@ -43,3 +43,19 @@ val design_row8col : mode -> name:string -> Hw.Netlist.t
 val design_rowcol : mode -> name:string -> Hw.Netlist.t
 (** One row unit and one column unit, fully sequential macro-pipeline
     (latency 24, periodicity 8). *)
+
+(** {1 Transformation-script view} *)
+
+val arch : mode -> name:string -> unit -> Transfo.Subject.matrix_arch
+(** The initial (flat) architecture of this generator as a
+    transformation subject: {!Transfo.Subject.build} of it is
+    node-identical to {!design_comb}, and the script
+    ["fold_rows; fold_cols"] re-derives {!design_rowcol} — how the
+    optimized design is proven to be [initial + script]
+    (DESIGN.md §17). *)
+
+val row_comb : mode -> name:string -> Hw.Netlist.t
+(** The bare row datapath as a standalone combinational circuit
+    ([i0..i7] at {!Axis.Stream.in_width} in, [o0..o7] at {!mid_width}
+    out) — the workhorse subject for netlist-level transformations in
+    tests, benches and the CLI. *)

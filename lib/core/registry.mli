@@ -90,3 +90,11 @@ val space : Design.tool -> axis list list
 
 val all_designs : unit -> Design.t list
 (** Initial and optimized designs of every tool. *)
+
+val chisel_transfo_script : string
+(** The transformation script (["fold_rows; fold_cols"]) that re-derives
+    the Chisel optimized design from its flat (initial) architecture.
+    Forcing [optimized Chisel] replays the script through
+    {!Transfo.Engine.run} — every step verified — and yields a netlist
+    node-identical to the hand-written macro-pipeline ladder rung
+    (DESIGN.md §17). *)

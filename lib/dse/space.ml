@@ -49,6 +49,70 @@ let of_tool ?(kernel = Core.Kernel.idct) tool =
   in
   { tool; charts = List.rev charts; spec = Core.Kernel.spec kernel }
 
+let default_scripts = [ "strength_reduce"; "narrow"; "strength_reduce; narrow" ]
+
+(* A transformation-sequence axis: the initial design plus each script
+   applied to it, as one extra single-axis chart.  Derived designs are
+   lazy like every other inventory entry; forcing one replays the script
+   through the verified engine, so an unsound rewrite can never produce
+   a measurable candidate. *)
+let with_scripts ?(scripts = default_scripts) t =
+  let initial =
+    List.find_map
+      (fun ch ->
+        Array.find_opt
+          (fun (d : Core.Design.t) -> d.Core.Design.label = "initial")
+          ch.chart_designs)
+      t.charts
+  in
+  match initial with
+  | None -> t
+  | Some base -> (
+      match base.Core.Design.impl with
+      | Core.Design.Pcie _ -> t
+      | Core.Design.Stream l ->
+          let derive s =
+            let impl =
+              Core.Design.Stream
+                (lazy
+                  (* plain Lazy.force, NOT Design.force: this body already
+                     runs under the Design.force lock (the derived design
+                     is itself forced through it), so re-taking the
+                     non-reentrant lock would deadlock — and every other
+                     force of the base also holds that lock, so this one
+                     is race-free *)
+                  (let subject = Transfo.Subject.of_circuit (Lazy.force l) in
+                   match
+                     Transfo.Engine.run (Transfo.Script.parse_exn s) subject
+                   with
+                   | Ok r ->
+                       r.Transfo.Engine.rep_subject.Transfo.Subject.circuit
+                   | Error e ->
+                       failwith (Transfo.Engine.error_to_string e)))
+            in
+            {
+              base with
+              Core.Design.label = base.Core.Design.label ^ " + [" ^ s ^ "]";
+              config_desc =
+                base.Core.Design.config_desc ^ "; transfo: " ^ s;
+              impl;
+            }
+          in
+          let chart =
+            {
+              chart_axes =
+                [
+                  {
+                    Core.Registry.axis_name = "script";
+                    axis_values = "(none)" :: scripts;
+                  };
+                ];
+              chart_designs =
+                Array.of_list (base :: List.map derive scripts);
+            }
+          in
+          { t with charts = t.charts @ [ chart ] })
+
 let size t =
   List.fold_left (fun n c -> n + Array.length c.chart_designs) 0 t.charts
 

@@ -1,0 +1,456 @@
+open Hw
+
+type arg_kind = No_arg | Int_arg of string
+
+module type TRANSFO = sig
+  val name : string
+  val aliases : string list
+  val description : string
+  val precondition : string
+  val arg : arg_kind
+  val check : arg:int option -> Subject.t -> (unit, string) result
+  val apply : arg:int option -> Subject.t -> Subject.t
+  val obligation : arg:int option -> Verify.obligation
+end
+
+let ( let* ) = Result.bind
+
+let comb_only who (c : Netlist.t) =
+  if Array.exists Netlist.is_reg c.Netlist.nodes then
+    Error (who ^ ": circuit must be combinational (it has registers)")
+  else if Array.length c.Netlist.mems > 0 then
+    Error (who ^ ": circuit must be combinational (it has memories)")
+  else Ok ()
+
+let no_arg who = function
+  | None -> Ok ()
+  | Some _ -> Error (who ^ " takes no argument")
+
+let int_arg who ~min = function
+  | None -> Error (Printf.sprintf "%s requires an integer argument" who)
+  | Some n when n < min ->
+      Error (Printf.sprintf "%s: argument must be >= %d (got %d)" who min n)
+  | Some n -> Ok n
+
+let get_arg = function
+  | Some n -> n
+  | None -> invalid_arg "transfo: missing argument after successful check"
+
+(* Netlist-level rewrites invalidate the architecture view. *)
+let netlist_result (s : Subject.t) ?(latency = 0) circuit =
+  { s with Subject.circuit; arch = None; latency_added = s.latency_added + latency }
+
+module Retime = struct
+  let name = "retime"
+  let aliases = [ "pipeline" ]
+  let description =
+    "macro-pipeline a combinational circuit into N register ranks"
+  let precondition = "combinational circuit (no registers or memories)"
+  let arg = Int_arg "stages"
+
+  let check ~arg (s : Subject.t) =
+    let* _ = int_arg name ~min:1 arg in
+    comb_only name s.Subject.circuit
+
+  let apply ~arg (s : Subject.t) =
+    let stages = get_arg arg in
+    netlist_result s ~latency:stages
+      (Pipeline.retime ~stages s.Subject.circuit)
+
+  let obligation ~arg = Verify.Delayed (get_arg arg)
+end
+
+module Outreg = struct
+  let name = "outreg"
+  let aliases = []
+  let description = "register every output (one added cycle of latency)"
+  let precondition = "combinational circuit (no registers or memories)"
+  let arg = No_arg
+
+  let check ~arg (s : Subject.t) =
+    let* () = no_arg name arg in
+    comb_only name s.Subject.circuit
+
+  let apply ~arg:_ (s : Subject.t) =
+    let c = s.Subject.circuit in
+    let n = Array.length c.Netlist.nodes in
+    let regs =
+      List.mapi
+        (fun i (nm, u) ->
+          let w = (Netlist.node c u).Netlist.width in
+          {
+            Netlist.uid = n + i;
+            width = w;
+            kind = Netlist.Reg { d = u; enable = None; init = Bits.zero w };
+            name = Some (nm ^ "_q");
+          })
+        c.Netlist.outputs
+    in
+    let result =
+      {
+        c with
+        Netlist.circuit_name = c.Netlist.circuit_name ^ "_outreg";
+        nodes = Array.append c.Netlist.nodes (Array.of_list regs);
+        outputs = List.mapi (fun i (nm, _) -> (nm, n + i)) c.Netlist.outputs;
+      }
+    in
+    Netlist.validate result;
+    netlist_result s ~latency:1 result
+
+  let obligation ~arg:_ = Verify.Delayed 1
+end
+
+module Strength_reduce = struct
+  let name = "strength_reduce"
+  let aliases = [ "csd" ]
+  let description =
+    "rewrite constant multiplications into canonical-signed-digit \
+     shift/add/sub ladders"
+  let precondition = "none (a circuit without constant products is unchanged)"
+  let arg = No_arg
+
+  let check ~arg _ = no_arg name arg
+
+  (* Canonical signed digit decomposition, least significant digit
+     first.  Each digit is +-1 at a distinct position and no two
+     adjacent positions are nonzero, so [popcount] shifted terms are
+     minimal for the classic DCT/IDCT coefficients. *)
+  let csd k =
+    let rec go n i acc =
+      if n = 0 then List.rev acc
+      else if n land 1 = 0 then go (n asr 1) (i + 1) acc
+      else
+        let d = if n land 3 = 1 then 1 else -1 in
+        go ((n - d) asr 1) (i + 1) ((i, d) :: acc)
+    in
+    go k 0 []
+
+  let hook em (c : Netlist.t) (nd : Netlist.node) =
+    match nd.Netlist.kind with
+    | Netlist.Binop (Netlist.Mul, a, b) -> (
+        let const_of u =
+          match (Netlist.node c u).Netlist.kind with
+          | Netlist.Const bits -> Some bits
+          | _ -> None
+        in
+        let expand x bits =
+          let w = nd.Netlist.width in
+          let k = Bits.to_signed_int bits in
+          (* digit positions >= w vanish modulo 2^w *)
+          let digits = List.filter (fun (i, _) -> i < w) (csd k) in
+          let xm = Rewrite.mapped em x in
+          let shifted i =
+            if i = 0 then xm
+            else
+              let hi =
+                Rewrite.emit em ~width:(w - i)
+                  (Netlist.Slice (xm, w - 1 - i, 0))
+              in
+              let zeros =
+                Rewrite.emit em ~width:i (Netlist.Const (Bits.zero i))
+              in
+              Rewrite.emit em ~width:w (Netlist.Concat (hi, zeros))
+          in
+          match digits with
+          | [] ->
+              Some
+                (Rewrite.emit em ?name:nd.name ~width:w
+                   (Netlist.Const (Bits.zero w)))
+          | (i0, d0) :: rest ->
+              let t0 = shifted i0 in
+              let acc0 =
+                if d0 = 1 then t0
+                else
+                  Rewrite.emit em ~width:w (Netlist.Unop (Netlist.Neg, t0))
+              in
+              Some
+                (List.fold_left
+                   (fun acc (i, d) ->
+                     let op = if d = 1 then Netlist.Add else Netlist.Sub in
+                     Rewrite.emit em ~width:w
+                       (Netlist.Binop (op, acc, shifted i)))
+                   acc0 rest)
+        in
+        match const_of b with
+        | Some bits -> expand a bits
+        | None -> (
+            match const_of a with
+            | Some bits -> expand b bits
+            | None -> None))
+    | _ -> None
+
+  let apply ~arg:_ (s : Subject.t) =
+    netlist_result s (Rewrite.rewrite hook s.Subject.circuit)
+
+  let obligation ~arg:_ = Verify.Cycle_exact
+end
+
+module Narrow = struct
+  let name = "narrow"
+  let aliases = [ "width_narrow" ]
+  let description =
+    "demand-driven width narrowing: shrink arithmetic to the low bits \
+     the outputs consume"
+  let precondition = "none (a circuit with no excess width is unchanged)"
+  let arg = No_arg
+
+  let check ~arg _ = no_arg name arg
+
+  (* Backward demand analysis: dem.(u) = how many LOW bits of node [u]
+     any consumer can observe.  Shifts, comparisons and memory addresses
+     demand their operands in full; everything bitwise/low-bit-determined
+     (add, sub, mul, logic, mux, neg, not) propagates the consumer's
+     demand unchanged.  Registers forward demand through the clock, so
+     iterate to a fixpoint. *)
+  let demands (c : Netlist.t) =
+    let n = Array.length c.Netlist.nodes in
+    let dem = Array.make n 0 in
+    let changed = ref true in
+    let bump u d =
+      let d = min d (Netlist.node c u).Netlist.width in
+      if d > dem.(u) then begin
+        dem.(u) <- d;
+        changed := true
+      end
+    in
+    List.iter (fun (_, u) -> bump u max_int) c.Netlist.outputs;
+    Array.iter
+      (fun (m : Netlist.mem) ->
+        List.iter
+          (fun (w : Netlist.write_port) ->
+            bump w.Netlist.w_enable 1;
+            bump w.Netlist.w_addr max_int;
+            bump w.Netlist.w_data max_int)
+          m.Netlist.mem_writes)
+      c.Netlist.mems;
+    while !changed do
+      changed := false;
+      for i = n - 1 downto 0 do
+        let nd = c.Netlist.nodes.(i) in
+        let d = dem.(i) in
+        if d > 0 then
+          match nd.Netlist.kind with
+          | Netlist.Input _ | Netlist.Const _ -> ()
+          | Netlist.Unop (_, a) -> bump a d
+          | Netlist.Binop
+              ( ( Netlist.Add | Netlist.Sub | Netlist.Mul | Netlist.And
+                | Netlist.Or | Netlist.Xor ),
+                x,
+                y ) ->
+              bump x d;
+              bump y d
+          | Netlist.Binop ((Netlist.Shl | Netlist.Shr | Netlist.Sra) as op, x, y)
+            -> (
+              (* a constant shift moves the demand window; a variable
+                 one demands everything *)
+              match (Netlist.node c y).Netlist.kind with
+              | Netlist.Const bits ->
+                  let k = min (Bits.to_int bits) Bits.max_width in
+                  if op = Netlist.Shl then begin
+                    if d > k then bump x (d - k)
+                  end
+                  else bump x (d + k)
+              | _ ->
+                  bump x max_int;
+                  bump y max_int)
+          | Netlist.Binop (_, x, y) ->
+              (* comparisons observe every bit *)
+              bump x max_int;
+              bump y max_int
+          | Netlist.Mux (s, t, f) ->
+              bump s 1;
+              bump t d;
+              bump f d
+          | Netlist.Slice (a, _, lo) -> bump a (lo + d)
+          | Netlist.Concat (hi, lo) ->
+              let wl = (Netlist.node c lo).Netlist.width in
+              bump lo d;
+              if d > wl then bump hi (d - wl)
+          | Netlist.Uext a | Netlist.Sext a -> bump a d
+          | Netlist.Reg { d = di; enable; _ } ->
+              bump di d;
+              Option.iter (fun e -> bump e 1) enable
+          | Netlist.Mem_read (_, a) -> bump a max_int
+      done
+    done;
+    dem
+
+  let apply ~arg:_ (s : Subject.t) =
+    let c = s.Subject.circuit in
+    let dem = demands c in
+    let hook em _ (nd : Netlist.node) =
+      let w = nd.Netlist.width in
+      let d = max 1 dem.(nd.Netlist.uid) in
+      if d >= w then None
+      else
+        let slim u = Rewrite.emit em ~width:d (Netlist.Slice (Rewrite.mapped em u, d - 1, 0)) in
+        let narrowed =
+          match nd.Netlist.kind with
+          | Netlist.Binop
+              ( ( Netlist.Add | Netlist.Sub | Netlist.Mul | Netlist.And
+                | Netlist.Or | Netlist.Xor ) as op,
+                x,
+                y ) ->
+              Some (Rewrite.emit em ~width:d (Netlist.Binop (op, slim x, slim y)))
+          | Netlist.Unop (op, x) ->
+              Some (Rewrite.emit em ~width:d (Netlist.Unop (op, slim x)))
+          | Netlist.Mux (sel, t, f) ->
+              Some
+                (Rewrite.emit em ~width:d
+                   (Netlist.Mux (Rewrite.mapped em sel, slim t, slim f)))
+          | _ -> None
+        in
+        Option.map
+          (fun u -> Rewrite.emit em ?name:nd.name ~width:w (Netlist.Uext u))
+          narrowed
+    in
+    netlist_result s (Rewrite.rewrite hook c)
+
+  let obligation ~arg:_ = Verify.Cycle_exact
+end
+
+module Unroll = struct
+  let name = "unroll"
+  let aliases = [ "replicate" ]
+  let description =
+    "replicate a combinational circuit K times with _r<j>-suffixed ports"
+  let precondition = "combinational circuit (no registers or memories); K >= 2"
+  let arg = Int_arg "copies"
+
+  let check ~arg (s : Subject.t) =
+    let* _ = int_arg name ~min:2 arg in
+    comb_only name s.Subject.circuit
+
+  let apply ~arg (s : Subject.t) =
+    let k = get_arg arg in
+    let c = s.Subject.circuit in
+    let n = Array.length c.Netlist.nodes in
+    let suffix j nm = Printf.sprintf "%s_r%d" nm j in
+    let nodes =
+      Array.init (n * k) (fun idx ->
+          let j = idx / n and i = idx mod n in
+          let nd = c.Netlist.nodes.(i) in
+          let m u = u + (j * n) in
+          let kind =
+            match nd.Netlist.kind with
+            | Netlist.Input nm -> Netlist.Input (suffix j nm)
+            | Netlist.Const _ as kk -> kk
+            | Netlist.Unop (o, a) -> Netlist.Unop (o, m a)
+            | Netlist.Binop (o, a, b) -> Netlist.Binop (o, m a, m b)
+            | Netlist.Mux (sel, t, f) -> Netlist.Mux (m sel, m t, m f)
+            | Netlist.Slice (a, hi, lo) -> Netlist.Slice (m a, hi, lo)
+            | Netlist.Concat (a, b) -> Netlist.Concat (m a, m b)
+            | Netlist.Uext a -> Netlist.Uext (m a)
+            | Netlist.Sext a -> Netlist.Sext (m a)
+            | Netlist.Reg _ | Netlist.Mem_read _ ->
+                invalid_arg "unroll: sequential node under comb precondition"
+          in
+          {
+            Netlist.uid = idx;
+            width = nd.Netlist.width;
+            kind;
+            name = Option.map (suffix j) nd.Netlist.name;
+          })
+    in
+    let ports l =
+      List.concat
+        (List.init k (fun j ->
+             List.map (fun (nm, u) -> (suffix j nm, u + (j * n))) l))
+    in
+    let result =
+      {
+        Netlist.circuit_name =
+          Printf.sprintf "%s_x%d" c.Netlist.circuit_name k;
+        nodes;
+        mems = [||];
+        inputs = ports c.Netlist.inputs;
+        outputs = ports c.Netlist.outputs;
+      }
+    in
+    Netlist.validate result;
+    netlist_result s result
+
+  let obligation ~arg = Verify.Replicated (get_arg arg)
+end
+
+let need_arch who stage (s : Subject.t) =
+  match s.Subject.arch with
+  | None ->
+      Error (who ^ ": subject has no architecture view (netlist-only subject)")
+  | Some a ->
+      if a.Subject.stage = stage then Ok a
+      else
+        Error
+          (Printf.sprintf "%s: architecture is at the %s stage, expected %s"
+             who
+             (Subject.stage_name a.Subject.stage)
+             (Subject.stage_name stage))
+
+let restage (s : Subject.t) arch =
+  { s with Subject.circuit = Subject.build arch; arch = Some arch }
+
+module Fold_rows = struct
+  let name = "fold_rows"
+  let aliases = [ "beat_rows" ]
+  let description =
+    "share one row unit across arriving beats (flat -> beat-row staging)"
+  let precondition = "matrix architecture at the flat stage"
+  let arg = No_arg
+
+  let check ~arg (s : Subject.t) =
+    let* () = no_arg name arg in
+    let* _ = need_arch name Subject.Flat s in
+    Ok ()
+
+  let apply ~arg:_ (s : Subject.t) =
+    let a = Option.get s.Subject.arch in
+    restage s { a with Subject.stage = Subject.Beat_row }
+
+  let obligation ~arg:_ = Verify.Stream_blocks
+end
+
+module Fold_cols = struct
+  let name = "fold_cols"
+  let aliases = [ "macro_pipeline" ]
+  let description =
+    "fold the column bank into one sequential unit (beat-row -> row-col \
+     macro-pipeline)"
+  let precondition = "matrix architecture at the beat-row stage"
+  let arg = No_arg
+
+  let check ~arg (s : Subject.t) =
+    let* () = no_arg name arg in
+    let* _ = need_arch name Subject.Beat_row s in
+    Ok ()
+
+  let apply ~arg:_ (s : Subject.t) =
+    let a = Option.get s.Subject.arch in
+    restage s { a with Subject.stage = Subject.Row_col }
+
+  let obligation ~arg:_ = Verify.Stream_blocks
+end
+
+let all : (module TRANSFO) list =
+  [
+    (module Retime);
+    (module Outreg);
+    (module Strength_reduce);
+    (module Narrow);
+    (module Unroll);
+    (module Fold_rows);
+    (module Fold_cols);
+  ]
+
+let names () = List.map (fun (module T : TRANSFO) -> T.name) all
+
+let find nm =
+  let nm = String.lowercase_ascii nm in
+  List.find_opt
+    (fun (module T : TRANSFO) -> T.name = nm || List.mem nm T.aliases)
+    all
+
+let unknown_transfo_msg nm =
+  Printf.sprintf "unknown transformation %S (valid transformations: %s)" nm
+    (String.concat ", " (names ()))
+
+let arg_doc = function No_arg -> "" | Int_arg doc -> " <" ^ doc ^ ">"

@@ -1,0 +1,125 @@
+open Hw
+
+type emitter = {
+  mutable buf : Netlist.node array;
+  mutable next : int;
+  map : int array; (* old uid -> new uid; -1 = not yet rewritten *)
+}
+
+let dummy_node =
+  { Netlist.uid = -1; width = 1; kind = Netlist.Input "!dummy"; name = None }
+
+let create n_old =
+  { buf = Array.make (max 16 n_old) dummy_node; next = 0; map = Array.make n_old (-1) }
+
+let emit em ?name ~width kind =
+  let uid = em.next in
+  if uid = Array.length em.buf then begin
+    let bigger = Array.make (2 * uid) dummy_node in
+    Array.blit em.buf 0 bigger 0 uid;
+    em.buf <- bigger
+  end;
+  em.buf.(uid) <- { Netlist.uid; width; kind; name };
+  em.next <- uid + 1;
+  uid
+
+let mapped em u =
+  let v = em.map.(u) in
+  if v < 0 then
+    invalid_arg
+      (Printf.sprintf "Rewrite.mapped: forward reference to old node %d" u);
+  v
+
+let width_of em u = em.buf.(u).Netlist.width
+
+(* Remap a combinational kind's operands from the old to the new space. *)
+let map_kind m = function
+  | Netlist.Unop (o, a) -> Netlist.Unop (o, m a)
+  | Netlist.Binop (o, a, b) -> Netlist.Binop (o, m a, m b)
+  | Netlist.Mux (s, t, f) -> Netlist.Mux (m s, m t, m f)
+  | Netlist.Slice (a, hi, lo) -> Netlist.Slice (m a, hi, lo)
+  | Netlist.Concat (a, b) -> Netlist.Concat (m a, m b)
+  | Netlist.Uext a -> Netlist.Uext (m a)
+  | Netlist.Sext a -> Netlist.Sext (m a)
+  | (Netlist.Input _ | Netlist.Const _) as k -> k
+  | Netlist.Reg _ | Netlist.Mem_read _ ->
+      assert false (* handled by the driver, never remapped here *)
+
+let rewrite ?name hook (c : Netlist.t) =
+  let em = create (Array.length c.Netlist.nodes) in
+  (* New uids of default-copied registers whose d/enable still reference
+     the OLD space (the only legal forward references). *)
+  let patch = ref [] in
+  Array.iter
+    (fun (nd : Netlist.node) ->
+      let new_uid =
+        match nd.kind with
+        | Netlist.Reg _ ->
+            let u = emit em ?name:nd.name ~width:nd.width nd.kind in
+            patch := u :: !patch;
+            u
+        | Netlist.Mem_read (m, a) ->
+            emit em ?name:nd.name ~width:nd.width
+              (Netlist.Mem_read (m, mapped em a))
+        | Netlist.Input _ | Netlist.Const _ ->
+            emit em ?name:nd.name ~width:nd.width nd.kind
+        | _ -> (
+            match hook em c nd with
+            | Some u ->
+                if width_of em u <> nd.width then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Rewrite: hook replaced node %d (width %d) with width \
+                        %d"
+                       nd.uid nd.width (width_of em u));
+                u
+            | None ->
+                emit em ?name:nd.name ~width:nd.width
+                  (map_kind (mapped em) nd.kind))
+      in
+      em.map.(nd.uid) <- new_uid)
+    c.Netlist.nodes;
+  let final u = em.map.(u) in
+  List.iter
+    (fun u ->
+      let nd = em.buf.(u) in
+      match nd.Netlist.kind with
+      | Netlist.Reg { d; enable; init } ->
+          em.buf.(u) <-
+            {
+              nd with
+              Netlist.kind =
+                Netlist.Reg
+                  { d = final d; enable = Option.map final enable; init };
+            }
+      | _ -> assert false)
+    !patch;
+  let mems =
+    Array.map
+      (fun (m : Netlist.mem) ->
+        {
+          m with
+          Netlist.mem_writes =
+            List.map
+              (fun (w : Netlist.write_port) ->
+                {
+                  Netlist.w_enable = final w.Netlist.w_enable;
+                  w_addr = final w.Netlist.w_addr;
+                  w_data = final w.Netlist.w_data;
+                })
+              m.Netlist.mem_writes;
+        })
+      c.Netlist.mems
+  in
+  let result =
+    {
+      Netlist.circuit_name =
+        Option.value name ~default:c.Netlist.circuit_name;
+      nodes = Array.sub em.buf 0 em.next;
+      mems;
+      inputs = List.map (fun (nm, u) -> (nm, final u)) c.Netlist.inputs;
+      outputs = List.map (fun (nm, u) -> (nm, final u)) c.Netlist.outputs;
+    }
+  in
+  Netlist.validate result;
+  result

@@ -1,0 +1,47 @@
+(** Netlist reconstruction substrate for the transformation catalogue.
+
+    {!Hw.Builder} cannot re-express an arbitrary finished netlist: a
+    register's data input may reference a node declared {e after} it (the
+    builder's [connect]-later idiom), so a transformation cannot simply
+    replay the node list through a fresh builder.  This module rebuilds a
+    circuit node by node in a separate uid space instead: combinational
+    operands are already rewritten when their consumer is visited (the
+    builder emits nodes in dependency order), while register data/enable
+    inputs and memory write ports — the only legal forward references —
+    are recorded verbatim and patched to the new uid space once every
+    node has been placed.
+
+    A per-node hook may replace any {e combinational} node with a freshly
+    emitted expression of the same width; registers, memories, inputs and
+    constants are copied structurally.  The result is {!Hw.Netlist.validate}d
+    before it is returned, so a hook that emits an ill-formed expansion
+    fails here, not in a downstream engine. *)
+
+type emitter
+
+val emit :
+  emitter -> ?name:string -> width:int -> Hw.Netlist.kind -> Hw.Netlist.uid
+(** Append a fresh node.  The kind's operand uids are in the NEW space
+    (use {!mapped} to translate an old operand). *)
+
+val mapped : emitter -> Hw.Netlist.uid -> Hw.Netlist.uid
+(** New-space uid standing for an already-rewritten old node.
+    @raise Invalid_argument on a forward reference (an old node the
+    rewrite has not reached yet — only registers may do that, and they
+    are patched by the driver, never through a hook). *)
+
+val width_of : emitter -> Hw.Netlist.uid -> int
+(** Width of a NEW-space node, for building coercions. *)
+
+val rewrite :
+  ?name:string ->
+  (emitter -> Hw.Netlist.t -> Hw.Netlist.node -> Hw.Netlist.uid option) ->
+  Hw.Netlist.t ->
+  Hw.Netlist.t
+(** [rewrite hook c] copies [c] into a fresh uid space, asking [hook] for
+    every combinational node (everything except inputs, constants,
+    registers and memory reads): [Some u] substitutes the emitted node
+    [u] — which must have the old node's width — for it; [None] copies
+    the node with operands remapped.  [name] renames the result circuit.
+    @raise Invalid_argument if a hook replacement changes a node's width
+    @raise Failure if the rebuilt circuit does not validate *)

@@ -1,0 +1,49 @@
+type step = { step_name : string; step_arg : int option }
+
+type t = step list
+
+let step_to_string s =
+  match s.step_arg with
+  | None -> s.step_name
+  | Some n -> Printf.sprintf "%s %d" s.step_name n
+
+let to_string t = String.concat "; " (List.map step_to_string t)
+
+let parse_step raw =
+  match
+    String.split_on_char ' ' (String.trim raw)
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun w -> w <> "")
+  with
+  | [] -> Error "empty step"
+  | [ name ] -> Ok { step_name = String.lowercase_ascii name; step_arg = None }
+  | [ name; arg ] -> (
+      match int_of_string_opt arg with
+      | Some n -> Ok { step_name = String.lowercase_ascii name; step_arg = Some n }
+      | None ->
+          Error
+            (Printf.sprintf "step %S: argument %S is not an integer" raw arg))
+  | _ ->
+      Error
+        (Printf.sprintf "step %S: expected NAME or NAME N" (String.trim raw))
+
+let parse s =
+  let items =
+    String.split_on_char ';' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  if items = [] then Error "empty script (expected e.g. \"retime 2; strength_reduce\")"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | it :: rest -> (
+          match parse_step it with
+          | Ok st -> go (st :: acc) rest
+          | Error e -> Error e)
+    in
+    go [] items
+
+let parse_exn s =
+  match parse s with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Script.parse: " ^ e)

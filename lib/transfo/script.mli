@@ -1,0 +1,23 @@
+(** Transformation scripts as data (DESIGN.md §17).
+
+    A script is a semicolon-separated sequence of named steps, each with
+    an optional integer argument: ["retime 2; strength_reduce; unroll 4"].
+    Parsing is purely syntactic — step names are resolved against the
+    {!Catalog} by the {!Engine}, so an unknown name fails with the list
+    of valid transformations, not a parse error. *)
+
+type step = { step_name : string; step_arg : int option }
+
+type t = step list
+
+val parse : string -> (t, string) result
+(** Syntax: [STEP (";" STEP)*] with [STEP = NAME | NAME INT].  Fails on
+    an empty script, an empty step, or a non-integer argument. *)
+
+val parse_exn : string -> t
+(** @raise Invalid_argument on a parse error. *)
+
+val step_to_string : step -> string
+
+val to_string : t -> string
+(** Canonical form: steps joined with ["; "]. *)

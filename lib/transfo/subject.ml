@@ -1,0 +1,60 @@
+type stage = Flat | Beat_row | Row_col
+
+type matrix_arch = {
+  arch_name : string;
+  stage : stage;
+  row : Axis.Adapter.lane_fn;
+  col : Axis.Adapter.lane_fn;
+  arch_mid : int;
+}
+
+type t = {
+  circuit : Hw.Netlist.t;
+  arch : matrix_arch option;
+  latency_added : int;
+  history : string list;
+}
+
+let stage_name = function
+  | Flat -> "flat"
+  | Beat_row -> "beat-row"
+  | Row_col -> "row-col"
+
+(* These bodies mirror the hand-written generators point for point
+   (Chisel.Idct_gen.kernel_full / design_row8col / design_rowcol): same
+   array-initialization order, same adapter arguments — the builder's
+   determinism then makes the regenerated netlist node-identical to the
+   ladder's, which the rederivation test pins. *)
+let build a =
+  let lanes = Axis.Stream.lanes in
+  match a.stage with
+  | Flat ->
+      let kernel b mid =
+        let rows =
+          Array.init lanes (fun r ->
+              a.row b (Array.init lanes (fun c -> mid.((r * lanes) + c))))
+        in
+        let cols =
+          Array.init lanes (fun c ->
+              a.col b (Array.init lanes (fun r -> rows.(r).(c))))
+        in
+        Array.init (lanes * lanes) (fun i -> cols.(i mod lanes).(i / lanes))
+      in
+      Axis.Adapter.wrap_matrix_kernel ~name:a.arch_name ~latency:0 ~kernel ()
+  | Beat_row ->
+      let kernel b mid =
+        let cols =
+          Array.init lanes (fun c ->
+              a.col b (Array.init lanes (fun r -> mid.((r * lanes) + c))))
+        in
+        Array.init (lanes * lanes) (fun i -> cols.(i mod lanes).(i / lanes))
+      in
+      Axis.Adapter.wrap_matrix_kernel ~name:a.arch_name ~beat_map:a.row
+        ~mid_width:a.arch_mid ~latency:0 ~kernel ()
+  | Row_col ->
+      Axis.Adapter.wrap_row_col ~name:a.arch_name ~row_unit:a.row
+        ~mid_width:a.arch_mid ~col_unit:a.col ()
+
+let of_circuit circuit = { circuit; arch = None; latency_added = 0; history = [] }
+
+let of_arch a = { circuit = build a; arch = Some a; latency_added = 0; history = [] }

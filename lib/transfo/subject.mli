@@ -1,0 +1,44 @@
+(** What a transformation script operates on.
+
+    A subject always carries a concrete {!Hw.Netlist.t}; it may
+    additionally carry the {e architecture} it was generated from — the
+    row/column lane functions and staging discipline of the matrix
+    kernel, the eDSL-level view.  Netlist-level transformations (retime,
+    strength reduction, narrowing, replication) rewrite the circuit and
+    drop the architecture view; staging transformations (fold_rows,
+    fold_cols) rewrite the architecture and regenerate the circuit from
+    it, which is how an optimized design is re-derived as
+    [initial + script] (DESIGN.md §17). *)
+
+type stage =
+  | Flat      (** N row + N column units, fully combinational kernel *)
+  | Beat_row  (** one row unit applied per arriving beat, N column units *)
+  | Row_col   (** one row + one column unit, sequential macro-pipeline *)
+
+type matrix_arch = {
+  arch_name : string;  (** circuit name of every regeneration *)
+  stage : stage;
+  row : Axis.Adapter.lane_fn;
+  col : Axis.Adapter.lane_fn;
+  arch_mid : int;      (** width of a row-pass result in the transpose store *)
+}
+
+type t = {
+  circuit : Hw.Netlist.t;
+  arch : matrix_arch option;
+  latency_added : int;
+      (** registers ranks added on the input→output path by delayed
+          transformations (retime, outreg) since the original subject *)
+  history : string list;  (** applied steps, oldest first *)
+}
+
+val stage_name : stage -> string
+
+val build : matrix_arch -> Hw.Netlist.t
+(** Regenerate the AXI-Stream circuit of an architecture.  Uses exactly
+    the {!Axis.Adapter} wrapper calls of the hand-written design ladder,
+    so regenerating an architecture that mirrors a hand-written design
+    yields a node-identical netlist (the builder is deterministic). *)
+
+val of_circuit : Hw.Netlist.t -> t
+val of_arch : matrix_arch -> t
